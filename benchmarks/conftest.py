@@ -1,0 +1,39 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation artefacts and
+prints a paper-vs-measured table.  pytest-benchmark times the experiment
+(one round — these are simulations, not microbenchmarks).
+"""
+
+import numpy as np
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title, rows, paper_note=None):
+    """Render a paper-vs-measured table to the captured stdout."""
+    print(f"\n=== {title} ===")
+    width = max(len(r[0]) for r in rows)
+    for label, value in rows:
+        print(f"  {label:<{width}}  {value}")
+    if paper_note:
+        print(f"  [paper] {paper_note}")
+
+
+def cdf_row(values, label):
+    """A compact CDF summary row (p10/p50/p90)."""
+    v = np.asarray(values, dtype=float)
+    return (label, f"p10 {np.percentile(v, 10):6.2f}   "
+                   f"median {np.median(v):6.2f}   "
+                   f"p90 {np.percentile(v, 90):6.2f}")
+
+
+@pytest.fixture(scope="session")
+def experiment_seed():
+    """One seed for the whole benchmark session (reproducible)."""
+    return 2014  # the paper's year

@@ -1,0 +1,41 @@
+"""Fig. 1: SNR heatmap of the home, AP only vs AP + FF relay.
+
+Paper: with the AP alone most of the home sits at 10-15 dB and the edge
+at 0-6 dB; the FF relay lifts the majority of the coverage area.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table, run_once
+from repro.netsim import Testbed, coverage_heatmap, paper_scenarios
+
+
+def test_fig01_snr_heatmap(benchmark, experiment_seed):
+    testbed = Testbed(paper_scenarios()[0], seed=experiment_seed)
+    result = run_once(benchmark, coverage_heatmap, testbed,
+                      spacing_m=1.0, seed=experiment_seed)
+
+    ap = result.snr_ap_only_db
+    ff = result.snr_with_ff_db
+    d = np.linalg.norm(result.positions - testbed.scenario.ap, axis=1)
+    mid = (d > 3.5) & (d < 5.5)
+    edge = d > 7.0
+
+    print_table(
+        "Fig. 1 — SNR field (dB), AP only vs AP + FF",
+        [
+            ("mid-home, AP only   (median)", f"{np.median(ap[mid]):6.1f}"),
+            ("edge,     AP only   (median)", f"{np.median(ap[edge]):6.1f}"),
+            ("mid-home, AP + FF   (median)", f"{np.median(ff[mid]):6.1f}"),
+            ("edge,     AP + FF   (median)", f"{np.median(ff[edge]):6.1f}"),
+            ("median improvement", f"{result.median_improvement_db():6.1f} dB"),
+        ],
+        paper_note="AP only: mid-home 10-15 dB, edge 0-6 dB; FF lifts the "
+                   "majority of the home to ~15-20+ dB",
+    )
+
+    # Shape assertions: the calibrated field and the relay's lift.
+    assert 8.0 < np.median(ap[mid]) < 20.0
+    assert -6.0 < np.median(ap[edge]) < 8.0
+    assert np.median(ff[edge]) > np.median(ap[edge]) + 5.0
+    assert result.median_improvement_db() > 3.0

@@ -1,0 +1,35 @@
+"""Fig. 14: SISO-only gains — pure construct-and-forward SNR gain.
+
+Paper: with SISO AP/relay/client (no MIMO rank expansion available) FF
+still delivers a 1.6x median gain and ~4x at the tail; edge clients
+benefit the most, since lifting 2-8 dB SNR to 15-20 dB unlocks several
+modulation steps, while high-SNR clients saturate (concave capacity).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cdf_row, print_table, run_once
+from repro.netsim import siso_gains_experiment
+
+
+def test_fig14_siso_gains(benchmark, experiment_seed):
+    data = run_once(benchmark, siso_gains_experiment,
+                    num_clients=64, seed=experiment_seed)
+
+    gains = data["ff_gain_vs_hd"]
+    print_table(
+        "Fig. 14 — SISO relative throughput gains (vs HD baseline)",
+        [
+            ("median FF vs HD", f"{data['median_ff_vs_hd']:.2f}x"),
+            ("p90 (tail) FF vs HD", f"{data['tail_ff_vs_hd']:.2f}x"),
+            cdf_row(gains, "FF / HD gain CDF"),
+        ],
+        paper_note="1.6x median, up to ~4x at the tail — SNR gain only, "
+                   "no rank expansion in SISO",
+    )
+
+    assert 1.1 <= data["median_ff_vs_hd"] <= 2.2
+    assert data["tail_ff_vs_hd"] >= 1.5
+    # SISO median sits below the MIMO median (Fig. 12): rank expansion
+    # is a real, separate contributor.
+    assert data["median_ff_vs_hd"] < 2.5

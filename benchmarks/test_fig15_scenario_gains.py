@@ -1,0 +1,44 @@
+"""Fig. 15: gains by client class — (a) low SNR + low rank, (b) medium
+SNR + low rank (pinhole), (c) high SNR + full rank.
+
+Paper: class (a) gains ~4x (SNR gain + rank expansion from a terrible
+baseline); class (b) ~1.7x (rank restored to full); class (c) ~1.15x
+(nothing left to fix).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table, run_once
+from repro.netsim import scenario_class_experiment
+
+
+def test_fig15_scenario_gains(benchmark, experiment_seed):
+    data = run_once(benchmark, scenario_class_experiment,
+                    num_clients=96, seed=experiment_seed)
+
+    rows = []
+    medians = {}
+    for key, paper in (("low_snr_low_rank", "~4x"),
+                       ("medium_snr_low_rank", "~1.7x"),
+                       ("high_snr_high_rank", "~1.15x")):
+        gains = data[key]
+        count = data["counts"][key]
+        if gains.size:
+            medians[key] = float(np.median(gains))
+            rows.append((f"{key} (n={count})",
+                         f"median {medians[key]:.2f}x  (paper {paper})"))
+        else:
+            rows.append((f"{key} (n={count})", "no clients in class"))
+
+    print_table("Fig. 15 — FF gain vs HD baseline, by client class", rows)
+
+    # Shape: monotone ordering across the three classes.
+    if "low_snr_low_rank" in medians and "high_snr_high_rank" in medians:
+        assert medians["low_snr_low_rank"] > medians["high_snr_high_rank"]
+    if "medium_snr_low_rank" in medians and "high_snr_high_rank" in medians:
+        assert (medians["medium_snr_low_rank"]
+                >= medians["high_snr_high_rank"] - 0.05)
+    if "high_snr_high_rank" in medians:
+        assert medians["high_snr_high_rank"] < 1.6
+    if "low_snr_low_rank" in medians:
+        assert medians["low_snr_low_rank"] > 1.4

@@ -1,0 +1,35 @@
+"""Fig. 16: median throughput gain vs relay processing latency.
+
+Paper: the gain holds while total latency stays inside the OFDM CP,
+degrades as it approaches it, and drops below 1 (worse than no relay)
+when processing latency exceeds ~300 ns — the relayed copy turns into
+inter-symbol interference.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table, run_once
+from repro.netsim import latency_sweep_experiment
+
+LATENCIES_NS = (100, 200, 300, 400, 500)
+
+
+def test_fig16_latency(benchmark, experiment_seed):
+    data = run_once(benchmark, latency_sweep_experiment,
+                    latencies_ns=LATENCIES_NS, num_clients=32,
+                    seed=experiment_seed)
+
+    rows = [(f"{int(lat)} ns", f"median gain {gain:.2f}x")
+            for lat, gain in zip(data["latency_ns"], data["median_gain"])]
+    print_table(
+        "Fig. 16 — median gain vs processing latency (vs HD baseline)",
+        rows,
+        paper_note="gain collapses past ~300 ns and goes below 1 "
+                   "(worse than no relay) near/after 400-500 ns",
+    )
+
+    gains = data["median_gain"]
+    assert gains[0] == max(gains)            # fastest relay wins
+    assert all(a >= b - 1e-9 for a, b in zip(gains, gains[1:]))  # monotone
+    assert gains[0] > 1.25                   # healthy gain inside the CP
+    assert gains[-1] < 1.0                   # worse than no relay at 500 ns

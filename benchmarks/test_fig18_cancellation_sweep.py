@@ -1,0 +1,42 @@
+"""Fig. 18: median throughput gain vs achieved cancellation.
+
+Paper: reduced cancellation caps the relay's amplification, which hits
+the dead-spot clients hardest — the median gain falls significantly as
+cancellation drops from 110 dB toward 100 dB.
+
+Our sweep extends down to 90 dB: the calibrated geometry puts typical
+relay->client attenuations at 70-100 dB, so the §3.5 noise-safety cap
+(not cancellation) binds for mid-range clients above ~102 dB and the
+knee sits lower than the paper's (see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table, run_once
+from repro.netsim import cancellation_sweep_experiment
+
+CANCELLATIONS_DB = (90, 95, 100, 105, 110)
+
+
+def test_fig18_cancellation_sweep(benchmark, experiment_seed):
+    data = run_once(benchmark, cancellation_sweep_experiment,
+                    cancellations_db=CANCELLATIONS_DB, num_clients=32,
+                    seed=experiment_seed)
+
+    rows = [(f"{int(c)} dB cancellation",
+             f"median gain {m:.2f}x   p80 {t:.2f}x")
+            for c, m, t in zip(data["cancellation_db"],
+                               data["median_gain"], data["p80_gain"])]
+    print_table(
+        "Fig. 18 — gain vs achieved cancellation (vs HD baseline)",
+        rows,
+        paper_note="median gain rises with cancellation; dead-spot "
+                   "clients (the gain tail) depend on high amplification",
+    )
+
+    med = data["median_gain"]
+    p80 = data["p80_gain"]
+    assert med[0] <= med[-1] + 1e-9          # monotone in cancellation
+    assert p80[0] <= p80[-1] + 1e-9
+    assert med[-1] > 1.25                    # full cancellation: real gains
+    assert med[0] < med[-1] or p80[0] < p80[-1]  # the sweep actually bites

@@ -1,0 +1,134 @@
+"""§3.3 experimental result: 108-110 dB of total self-interference
+cancellation, via the noise-injection tuning procedure.
+
+Paper: "our design consistently achieves between 108-110dB of
+cancellation. Note that the maximum cancellation expected is 110dB,
+since the maximum transmit power is 20dBm and the noise floor is
+-90dBm."
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table, run_once
+from repro.cancellation import CancellationPipeline
+
+
+def _measure_many(seeds):
+    reports = []
+    for seed in seeds:
+        pipe = CancellationPipeline(rng=seed)
+        pipe.tune()
+        reports.append(pipe.measure())
+    return reports
+
+
+def test_sec33_cancellation(benchmark, experiment_seed):
+    seeds = [experiment_seed + k for k in range(8)]
+    reports = run_once(benchmark, _measure_many, seeds)
+    totals = np.array([r.total_db for r in reports])
+    analog = np.array([r.analog_db for r in reports])
+    digital = np.array([r.digital_db for r in reports])
+
+    print_table(
+        "§3.3 — self-interference cancellation across placements",
+        [
+            ("total cancellation (min..max)",
+             f"{totals.min():.1f} .. {totals.max():.1f} dB"),
+            ("total cancellation (median)", f"{np.median(totals):.1f} dB"),
+            ("analog stage (median)", f"{np.median(analog):.1f} dB"),
+            ("digital stage (median)", f"{np.median(digital):.1f} dB"),
+        ],
+        paper_note="consistently 108-110 dB total (theoretical max 110 dB); "
+                   "the paper's analog stage contributes ~70 dB, ours less "
+                   "(magnitude-only quantised board model) with the digital "
+                   "stage making up the difference",
+    )
+
+    assert totals.min() > 104.0
+    assert totals.max() <= 111.0
+    assert np.median(totals) > 106.0
+
+
+def test_sec33_online_tuning(benchmark, experiment_seed):
+    """The same figure reached while relaying (probe under traffic)."""
+
+    def run():
+        pipe = CancellationPipeline(rng=experiment_seed + 100)
+        pipe.tune(online=True, iterations=6)
+        return pipe.measure()
+
+    report = run_once(benchmark, run)
+    print_table(
+        "§3.3 — online (correlation-trap-safe) tuning",
+        [("total cancellation", f"{report.total_db:.1f} dB")],
+        paper_note="tuning must work while the relay transmits a delayed "
+                   "copy of its own receive stream",
+    )
+    assert report.total_db > 104.0
+
+
+def test_sec33_closed_loop(benchmark, experiment_seed):
+    """The full-duplex loop closed for real: receive + cancel + forward
+    simultaneously, stability emerging from the dynamics (Figs. 3, 7)."""
+    from repro.cancellation.pipeline import bandlimited_gaussian
+    from repro.core import FullDuplexRelaySession
+    from repro.utils import make_rng
+
+    def run():
+        pipe = CancellationPipeline(rng=experiment_seed + 50)
+        pipe.tune()
+        session = FullDuplexRelaySession(pipe, amplification_db=78.0,
+                                         rng=experiment_seed + 51)
+        rng = make_rng(experiment_seed + 52)
+        src = bandlimited_gaussian(12000, -60.0, pipe.occupied_fraction, rng)
+        stable_run = session.run(src, rng=rng)
+        hot = FullDuplexRelaySession(pipe, amplification_db=105.0,
+                                     rng=experiment_seed + 51)
+        hot_run = hot.run(src, rng=make_rng(experiment_seed + 53))
+        iso = session.measured_isolation_db(rng=experiment_seed + 54)
+        tail = slice(2000, None)
+        corr = abs(np.vdot(stable_run.cleaned[tail], src[tail])) / (
+            np.linalg.norm(stable_run.cleaned[tail])
+            * np.linalg.norm(src[tail]))
+        return iso, stable_run, hot_run, float(corr)
+
+    iso, stable_run, hot_run, corr = run_once(benchmark, run)
+    print_table(
+        "§3.3 — closed full-duplex loop (streaming, feedback live)",
+        [
+            ("loop effective isolation", f"{iso:.1f} dB"),
+            ("A = 78 dB", f"stable={stable_run.stable}, residual SI "
+                          f"{stable_run.residual_si_dbm:.1f} dBm, "
+                          f"source heard at corr {corr:.3f}"),
+            ("A = 105 dB", f"stable={hot_run.stable} (rings to "
+                           f"{hot_run.peak_tx_dbm:.0f} dBm saturation)"),
+        ],
+        paper_note="amplify less than the isolation and the relay "
+                   "receives cleanly while transmitting; amplify more "
+                   "and the positive feedback loop rings (Fig. 7)",
+    )
+    assert stable_run.stable and not hot_run.stable
+    assert corr > 0.98
+    assert iso > 85.0
+
+
+def test_sec33_mimo_cancellation(benchmark, experiment_seed):
+    """Fig. 8 / §4.3: the 2x2 MIMO architecture — four analog boards,
+    cross-talk paths, per-chain cancellation."""
+    from repro.cancellation import MimoCancellationPipeline
+
+    def run():
+        pipe = MimoCancellationPipeline(rng=experiment_seed + 70)
+        pipe.tune()
+        return pipe.measure()
+
+    report = run_once(benchmark, run)
+    rows = [(f"rx chain {i}", f"{v:.1f} dB total")
+            for i, v in enumerate(report.per_chain_total_db)]
+    print_table(
+        "§3.3/§4.3 — 2x2 MIMO self-interference cancellation",
+        rows,
+        paper_note="the prototype is a 2x2 MIMO full-duplex relay: "
+                   "4 analog boards including antenna cross-talk taps",
+    )
+    assert report.worst_chain_db() > 101.0

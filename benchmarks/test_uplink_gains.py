@@ -1,0 +1,29 @@
+"""Uplink gains (§1 footnote: the relay improves client->AP links too).
+
+Not a numbered figure — the paper states the capability and uses the
+same filter by reciprocity (§4.2); this bench quantifies it with the
+client transmitting at a typical 15 dBm.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import cdf_row, print_table, run_once
+from repro.netsim import uplink_gains_experiment
+
+
+def test_uplink_gains(benchmark, experiment_seed):
+    data = run_once(benchmark, uplink_gains_experiment,
+                    num_clients=40, seed=experiment_seed)
+    print_table(
+        "Uplink — client->AP rates with and without the FF relay",
+        [
+            cdf_row(data["ap_only"], "client -> AP direct (Mbps)"),
+            cdf_row(data["fastforward"], "with FF relay (Mbps)"),
+            ("median gain", f"{data['median_ff_vs_ap']:.2f}x"),
+            ("dead uplinks fixed", f"{data['dead_fixed']:.0%}"),
+        ],
+        paper_note="same constructive filter as the downlink "
+                   "(reciprocity), amplification re-derived per direction",
+    )
+    assert data["median_ff_vs_ap"] > 1.2
+    assert np.median(data["fastforward"]) > np.median(data["ap_only"])

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Dead-spot rescue, sample by sample.
+
+The full Layer-1 story on real IQ waveforms: an AP transmits an actual
+802.11-style PPDU, an edge client fails to decode it, and the
+FastForward relay — receiving, filtering and re-transmitting the very
+same samples — turns the dead spot into a working link.  No link-budget
+shortcuts: the client runs the stock receiver chain (detection, CFO,
+channel estimation, Viterbi) on the combined waveform.
+
+Run:  python examples/deadspot_rescue.py
+"""
+
+import numpy as np
+
+from repro.channel import PropagationModel, fig1_home
+from repro.core import FastForwardRelay, RelayConfig
+from repro.phy import Receiver, Transmitter, TxConfig, WIFI_20MHZ
+from repro.utils import add_signals, awgn_like, make_rng
+
+
+def decode(combined, rng, label):
+    noisy = combined + awgn_like(combined, 1e-9, rng)  # -90 dBm floor
+    result = Receiver(detection_threshold=0.7).receive(noisy)
+    status = "DECODED" if result.success else f"FAILED ({result.failure_reason})"
+    snr = (f"{result.snr_estimate_db:5.1f} dB"
+           if np.isfinite(result.snr_estimate_db) else "   n/a")
+    print(f"  {label:<28} {status:<30} est. SNR {snr}")
+    return result
+
+
+def main():
+    plan, ap, relay_pos = fig1_home()
+    propagation = PropagationModel(plan, rms_delay_spread_s=30e-9)
+    client = np.array([7.8, 6.2])
+    params = WIFI_20MHZ
+    rng = make_rng(7)
+
+    chan = lambda a, b, s: propagation.siso_channel(
+        a, b, params.sample_period_s, num_taps=3, rng=make_rng(s))
+    ch_sd, ch_sr, ch_rd = chan(ap, client, 11), chan(ap, relay_pos, 12), \
+        chan(relay_pos, client, 13)
+
+    # The AP's actual transmission: MCS1 (QPSK 1/2), 240 payload bits.
+    tx = Transmitter(TxConfig(mcs_index=1, tx_power_dbm=20.0))
+    bits = rng.integers(0, 2, 240)
+    wave = tx.transmit(bits)[0] * 10.0  # scale to 20 dBm (sqrt-mW units)
+
+    print(f"AP -> client at {client} (MCS 1, {bits.size} payload bits)\n")
+
+    # --- attempt 1: direct only -------------------------------------------
+    direct = ch_sd.apply_trimmed(wave)
+    prefix = np.zeros(120, dtype=complex)
+    decode(np.concatenate([prefix, direct]), rng, "direct only")
+
+    # --- attempt 2: with the FF relay --------------------------------------
+    used = params.used_subcarriers()
+    relay = FastForwardRelay(RelayConfig(params=params))
+    relay.configure_siso_link(ch_sd.frequency_response(used, 64),
+                              ch_sr.frequency_response(used, 64),
+                              ch_rd.frequency_response(used, 64))
+
+    at_relay = ch_sr.apply_trimmed(wave)
+    relayed = relay.process(at_relay)
+    latency_samples = int(round(relay.latency_s() / params.sample_period_s))
+    relayed = np.concatenate([np.zeros(latency_samples, dtype=complex),
+                              relayed])
+    combined = add_signals(direct, ch_rd.apply_trimmed(relayed))
+    result = decode(np.concatenate([prefix, combined]), rng,
+                    "direct + FF relay")
+    if result.success:
+        ok = np.array_equal(result.payload_bits, bits)
+        print(f"\n  payload bit-exact: {ok}")
+        print(f"  relay amplification: {relay.amplification_db:.0f} dB, "
+              f"latency {relay.latency_s() * 1e9:.0f} ns "
+              f"(CP {params.cp_duration_s * 1e9:.0f} ns)")
+
+    # --- attempt 3: a slow relay (blows the CP) ----------------------------
+    slow = np.concatenate([np.zeros(12, dtype=complex), relayed])  # +600 ns
+    combined_slow = add_signals(direct, ch_rd.apply_trimmed(slow))
+    print()
+    decode(np.concatenate([prefix, combined_slow]), rng,
+           "direct + SLOW relay (+600ns)")
+    print("\nThe slow relay's copy lands outside the cyclic prefix and "
+          "turns into inter-symbol interference (paper Fig. 6 / §5.4).")
+
+
+if __name__ == "__main__":
+    main()

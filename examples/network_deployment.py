@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Deployment, end to end: one AP, one relay, a roomful of clients (§6).
+
+Every mechanism from the paper working together at sample level:
+
+* the AP prepends each packet with the destination client's PN
+  signature (Fig. 19);
+* the relay's control plane detects the signature mid-stream, checks
+  its sounding book, and arms that client's constructive filter —
+  before the preamble even ends (Fig. 20);
+* packets from a *neighbouring* network carry unknown signatures and
+  are left alone ("FF should only constructively relay the packets from
+  its own network");
+* each client runs a completely stock receiver.
+
+Run:  python examples/network_deployment.py
+"""
+
+import numpy as np
+
+from repro.netsim import Testbed, paper_scenarios
+from repro.netsim.network import NetworkSimulation
+from repro.utils import make_rng
+
+
+def main():
+    testbed = Testbed(paper_scenarios()[0], seed=3)
+    positions = {
+        "laptop-livingroom": np.array([3.2, 1.8]),
+        "tv-bedroom1": np.array([6.8, 5.6]),
+        "phone-bedroom2": np.array([1.5, 6.3]),
+    }
+    net = NetworkSimulation(testbed, positions, seed=3, mcs_index=1)
+    rng = make_rng(1)
+
+    print(f"AP at {testbed.scenario.ap}, relay at {testbed.scenario.relay}")
+    print(f"clients: {', '.join(net.clients())}\n")
+
+    print("--- one downlink round (own network) ---")
+    payloads = {c: rng.integers(0, 2, 160) for c in net.clients()}
+    outcomes = net.run_round(payloads, rng)
+    for client, outcome in outcomes.items():
+        print(f"  {client:<20} relayed={str(outcome.relayed):<5} "
+              f"decoded={str(outcome.decoded):<5} "
+              f"bit-exact={outcome.bit_exact}")
+
+    print("\n--- a neighbour's packet (unknown signature) ---")
+    foreign = net.send_downlink("phone-bedroom2",
+                                rng.integers(0, 2, 160), rng, foreign=True)
+    print(f"  relayed={foreign.relayed}  decoded={foreign.decoded}"
+          f"  ({foreign.controller_reason})")
+
+    print("\n--- stale channel state (sounding expired) ---")
+    stale = net.send_downlink("phone-bedroom2",
+                              rng.integers(0, 2, 160), rng, now_s=60.0)
+    print(f"  relayed={stale.relayed}  ({stale.controller_reason})")
+    print("\nThe relay only acts when it knows who the packet is for and "
+          "holds fresh channels — a missed relay is harmless, a wrong "
+          "filter is not (§6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Uplink sender identification from STF channel fingerprints (§6.1).
+
+Clients cannot be modified, so the relay names an uplink transmitter by
+how the known STF arrives transformed by that client's channel.  This
+example enrolls four clients in the Fig. 1 home, fires noisy packets
+from each, and prints the confusion matrix plus false-positive /
+false-negative rates for the aggressive and passive thresholds
+(paper Fig. 21).
+
+Run:  python examples/uplink_fingerprinting.py
+"""
+
+import numpy as np
+
+from repro.channel import PropagationModel, fig1_home
+from repro.ident import (
+    AGGRESSIVE_THRESHOLD,
+    ChannelFingerprinter,
+    PASSIVE_THRESHOLD,
+)
+from repro.phy.params import WIFI_20MHZ
+from repro.phy.preamble import stf_time_symbol, stf_tone_indices
+from repro.utils import make_rng
+
+
+def stf_through_channel(h_used, params):
+    """One received STF period after the client->relay channel."""
+    stf = stf_time_symbol(params)
+    used = list(params.used_subcarriers())
+    grid = np.fft.fft(np.tile(stf, 4))
+    h_full = np.ones(params.fft_size, dtype=complex)
+    for tone in stf_tone_indices(params):
+        h_full[tone % params.fft_size] = h_used[used.index(tone)]
+    return np.fft.ifft(grid * h_full)[:16]
+
+
+def run_threshold(threshold, name, channels, params, rng,
+                  packets_per_client=200, noise=0.1, drift=0.18):
+    finger = ChannelFingerprinter(params, threshold=threshold)
+    used = params.used_subcarriers()
+    for cid, h in channels.items():
+        finger.enroll(cid, h, used)
+
+    confusion = {c: {d: 0 for d in list(channels) + [None]}
+                 for c in channels}
+    for cid, h in channels.items():
+        for _ in range(packets_per_client):
+            # Per-tone channel drift since enrollment, plus receiver
+            # noise on the measurement.
+            wobble = h * (1.0 + drift / np.sqrt(2.0) * (
+                rng.standard_normal(h.size)
+                + 1j * rng.standard_normal(h.size)))
+            wobble = wobble + noise * (rng.standard_normal(h.size)
+                                       + 1j * rng.standard_normal(h.size))
+            decision = finger.identify(stf_through_channel(wobble, params))
+            confusion[cid][decision.client_id] += 1
+
+    total = packets_per_client * len(channels)
+    fp = sum(confusion[c][d] for c in channels for d in channels if d != c)
+    fn = sum(confusion[c][None] for c in channels)
+    print(f"\n--- {name} threshold ({threshold}) ---")
+    header = "true\\named " + " ".join(f"{d!s:>7}" for d in
+                                       list(channels) + ["none"])
+    print(header)
+    for c in channels:
+        row = " ".join(f"{confusion[c][d]:7d}" for d in
+                       list(channels) + [None])
+        print(f"{c!s:>10} {row}")
+    print(f"false positive rate: {fp / total:.3%}   "
+          f"false negative rate: {fn / total:.3%}")
+    return fp / total, fn / total
+
+
+def main():
+    plan, ap, relay_pos = fig1_home()
+    propagation = PropagationModel(plan)
+    params = WIFI_20MHZ
+    rng = make_rng(3)
+
+    spots = [np.array(p) for p in ((2.0, 5.5), (7.5, 6.0), (8.0, 1.5),
+                                   (3.5, 2.0))]
+    channels = {}
+    used = params.used_subcarriers()
+    for i, spot in enumerate(spots):
+        h = propagation.siso_channel(spot, relay_pos,
+                                     params.sample_period_s, num_taps=4,
+                                     rng=rng).frequency_response(used, 64)
+        h = h / np.sqrt(np.mean(np.abs(h) ** 2))
+        channels[f"client{i}"] = h
+        print(f"client{i} at {spot} enrolled")
+
+    fp_a, fn_a = run_threshold(AGGRESSIVE_THRESHOLD, "aggressive",
+                               channels, params, rng)
+    fp_p, fn_p = run_threshold(PASSIVE_THRESHOLD, "passive",
+                               channels, params, rng)
+
+    print("\nThe paper deploys the AGGRESSIVE threshold: a false negative "
+          "only skips constructive relaying for one packet, while a false "
+          "positive applies the wrong filter and can hurt SNR (§6).")
+    print(f"aggressive: FP {fp_a:.2%} / FN {fn_a:.2%}    "
+          f"passive: FP {fp_p:.2%} / FN {fn_p:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``python setup.py develop`` works on minimal environments
+(no ``wheel`` package, no network) where PEP 660 editable installs fail.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

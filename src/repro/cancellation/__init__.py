@@ -1,0 +1,58 @@
+"""Full-duplex self-interference cancellation (paper §3.3, Figs. 7-9).
+
+The relay transmits an amplified copy of what it is receiving, on the
+same frequency, at the same time.  Everything here exists to remove that
+transmission from the receive chain:
+
+* :mod:`repro.cancellation.si_channel` — the self-interference channel
+  (circulator leakage + near-field reflections + MIMO cross-talk);
+* :mod:`repro.cancellation.analog` — the 8-tap analog cancellation board
+  with quantised step attenuators (~70 dB);
+* :mod:`repro.cancellation.digital` — causal (zero-buffering) digital
+  cancellation vs the buffered non-causal baseline;
+* :mod:`repro.cancellation.tuning` — the Gaussian-noise-injection tuning
+  algorithm that estimates the SI channel *while relaying*, avoiding the
+  correlation trap of §3.3;
+* :mod:`repro.cancellation.loop` — the positive-feedback loop simulator
+  (amplification vs isolation stability, Fig. 7);
+* :mod:`repro.cancellation.pipeline` — the combined chain and its
+  achieved cancellation in dB.
+"""
+
+from repro.cancellation.si_channel import SelfInterferenceChannel
+from repro.cancellation.analog import AnalogCancellationBoard
+from repro.cancellation.digital import (
+    CausalDigitalCanceller,
+    NonCausalDigitalCanceller,
+    estimate_si_taps_ls,
+)
+from repro.cancellation.tuning import (
+    NoiseInjectionTuner,
+    naive_si_estimate,
+    probe_si_estimate,
+)
+from repro.cancellation.loop import RelayLoop, loop_is_stable
+from repro.cancellation.pipeline import CancellationPipeline, CancellationReport
+from repro.cancellation.mimo_pipeline import (
+    MimoCancellationPipeline,
+    MimoCancellationReport,
+    MimoSelfInterference,
+)
+
+__all__ = [
+    "SelfInterferenceChannel",
+    "AnalogCancellationBoard",
+    "CausalDigitalCanceller",
+    "NonCausalDigitalCanceller",
+    "estimate_si_taps_ls",
+    "NoiseInjectionTuner",
+    "naive_si_estimate",
+    "probe_si_estimate",
+    "RelayLoop",
+    "loop_is_stable",
+    "CancellationPipeline",
+    "CancellationReport",
+    "MimoCancellationPipeline",
+    "MimoCancellationReport",
+    "MimoSelfInterference",
+]

@@ -1,0 +1,126 @@
+"""The analog cancellation board (paper §4.3, after [11, 10]).
+
+Eight fixed delay taps spaced 100-200 ps apart, each with a digital step
+attenuator (0.25 dB steps, 0-31.75 dB) and a sign, fed from a coupler on
+the transmit path and summed back (inverted) into the receive path
+before the LNA.  Tuning picks the per-tap settings so the board's
+response matches the self-interference channel across the signal band.
+
+The quantised attenuators are what keep the analog stage around the
+70 dB the paper quotes rather than perfect: the tuner does an ideal
+least-squares solve and then a greedy coordinate-descent refinement on
+the quantised grid, exactly the "tuned from baseband after observing the
+residual" loop of §4.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.tapped_delay_line import AnalogTapDelayLine
+from repro.utils.units import power_to_db
+from repro.utils.validation import ensure_complex_1d
+
+#: Analog path latency through the board (couplers + combiners), ~10 ns
+#: in prior full-duplex designs (§3.3).
+ANALOG_PATH_DELAY_S = 10e-9
+
+
+class AnalogCancellationBoard:
+    """An 8-tap quantised analog canceller.
+
+    Parameters mirror the prototype: tap delays strictly increasing in
+    the 100-200 ps range, attenuators in 0.25 dB steps up to 31.75 dB.
+    """
+
+    def __init__(self, num_taps=8, tap_spacing_s=200e-12, carrier_hz=2.45e9,
+                 max_attenuation_db=31.75, attenuation_step_db=0.25,
+                 insertion_gain_db=-6.0):
+        if num_taps < 1:
+            raise ValueError(f"num_taps must be >= 1, got {num_taps}")
+        delays = np.arange(num_taps) * tap_spacing_s
+        self.line = AnalogTapDelayLine(
+            delays, carrier_hz=carrier_hz,
+            max_attenuation_db=max_attenuation_db,
+            attenuation_step_db=attenuation_step_db)
+        # The coupler feeding the board samples the TX at this level;
+        # attenuator range then spans the achievable tap magnitudes.
+        self.insertion_gain = 10.0 ** (insertion_gain_db / 20.0)
+        self._tuned = False
+
+    @property
+    def num_taps(self):
+        """Number of analog taps."""
+        return self.line.num_taps
+
+    def tune(self, si_response, baseband_freqs_hz, refine_iterations=2):
+        """Point the board at a measured SI response.
+
+        ``si_response`` is the self-interference channel measured on a
+        frequency grid (from the noise-injection tuner in practice).
+        The board is set to approximate ``-si_response`` so that summing
+        its output into the receive path cancels the interference.
+
+        Returns the residual response after analog cancellation on the
+        same grid.
+        """
+        si_response = ensure_complex_1d(si_response, "si_response")
+        freqs = np.asarray(baseband_freqs_hz, dtype=float)
+        if si_response.shape != freqs.shape:
+            raise ValueError("response and frequency grid must match")
+        target = -si_response / self.insertion_gain
+        ideal = self.line.solve_gains_for_response(freqs, target, max_gain=1.0)
+        quantised = self.line.quantize_gains(ideal)
+        self.line.set_gains(quantised)
+        self._refine(target, freqs, refine_iterations)
+        self._tuned = True
+        return si_response + self.response(freqs)
+
+    def _refine(self, target, freqs, iterations):
+        """Greedy coordinate descent on the quantised attenuator grid."""
+        step = self.line.attenuation_step_db
+        for _ in range(max(0, iterations)):
+            improved = False
+            for tap in range(self.num_taps):
+                base_gains = self.line.gains.copy()
+                best_err = self._error(target, freqs)
+                best_gains = base_gains
+                mag = np.abs(base_gains[tap])
+                for delta_db in (-step, step):
+                    trial = base_gains.copy()
+                    if mag > 0:
+                        trial[tap] = trial[tap] * 10.0 ** (delta_db / 20.0)
+                    else:
+                        trial[tap] = 10.0 ** (-(self.line.max_attenuation_db) / 20.0)
+                    trial = self.line.quantize_gains(trial)
+                    self.line.set_gains(trial)
+                    err = self._error(target, freqs)
+                    if err < best_err:
+                        best_err, best_gains, improved = err, trial, True
+                self.line.set_gains(best_gains)
+            if not improved:
+                break
+
+    def _error(self, target, freqs):
+        """Mean squared response error against the target."""
+        resp = self.line.frequency_response(freqs)
+        return float(np.mean(np.abs(resp - target) ** 2))
+
+    def response(self, baseband_freqs_hz):
+        """The board's contribution to the receive path (includes coupler)."""
+        return self.insertion_gain * self.line.frequency_response(baseband_freqs_hz)
+
+    def apply(self, tx_signal, sample_rate_hz):
+        """The cancellation waveform injected into the receive path."""
+        out = self.line.apply(tx_signal, sample_rate_hz)
+        return self.insertion_gain * out
+
+    def cancellation_db(self, si_response, baseband_freqs_hz):
+        """Achieved analog cancellation in dB (band-average power ratio)."""
+        si_response = ensure_complex_1d(si_response, "si_response")
+        residual = si_response + self.response(np.asarray(baseband_freqs_hz, dtype=float))
+        before = np.mean(np.abs(si_response) ** 2)
+        after = np.mean(np.abs(residual) ** 2)
+        if after == 0:
+            return float("inf")
+        return float(power_to_db(before / after))

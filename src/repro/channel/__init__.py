@@ -1,0 +1,55 @@
+"""Propagation and impairment models.
+
+Replaces the paper's physical testbed and the commercial ray-propagation
+planning software used for Figs. 1–2: log-distance path loss with
+per-wall attenuation over an explicit floor plan, tapped-delay-line
+multipath, pinhole/keyhole rank-deficient MIMO channels, thermal noise
+and CFO impairments.
+"""
+
+from repro.channel.noise import NoiseModel, awgn, DEFAULT_NOISE_FLOOR_DBM
+from repro.channel.pathloss import (
+    log_distance_path_loss_db,
+    free_space_path_loss_db,
+    PathLossModel,
+)
+from repro.channel.multipath import (
+    MultipathChannel,
+    exponential_pdp,
+    rayleigh_taps,
+    rician_taps,
+)
+from repro.channel.floorplan import Wall, FloorPlan, fig1_home
+from repro.channel.raytrace import PropagationModel, LinkBudget
+from repro.channel.mimo_channel import (
+    iid_rayleigh_mimo,
+    pinhole_mimo,
+    correlated_mimo,
+    MimoLink,
+)
+from repro.channel.cfo import CfoImpairment
+from repro.channel.reciprocity import reciprocal_channel
+
+__all__ = [
+    "NoiseModel",
+    "awgn",
+    "DEFAULT_NOISE_FLOOR_DBM",
+    "log_distance_path_loss_db",
+    "free_space_path_loss_db",
+    "PathLossModel",
+    "MultipathChannel",
+    "exponential_pdp",
+    "rayleigh_taps",
+    "rician_taps",
+    "Wall",
+    "FloorPlan",
+    "fig1_home",
+    "PropagationModel",
+    "LinkBudget",
+    "iid_rayleigh_mimo",
+    "pinhole_mimo",
+    "correlated_mimo",
+    "MimoLink",
+    "CfoImpairment",
+    "reciprocal_channel",
+]

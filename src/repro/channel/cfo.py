@@ -1,0 +1,47 @@
+"""Carrier-frequency-offset impairment.
+
+Every oscillator is off by up to +-20 ppm (802.11 tolerance); at
+2.45 GHz that is +-49 kHz.  The relay must preserve the *source's* CFO
+through relaying (paper §4.1), which the tests verify by comparing the
+CFO a client estimates with and without the relay in the path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.sync import apply_cfo
+from repro.utils.rng import make_rng
+
+
+class CfoImpairment:
+    """A fixed oscillator offset applied to passing signals.
+
+    Tracks phase continuously across calls so consecutive chunks of one
+    stream stay phase-coherent, as they would through real hardware.
+    """
+
+    def __init__(self, cfo_hz, sample_rate_hz):
+        self.cfo_hz = float(cfo_hz)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self._phase = 0.0
+
+    @classmethod
+    def random(cls, sample_rate_hz, carrier_hz=2.45e9, ppm=20.0, rng=None):
+        """Draw a uniform offset within +-ppm of the carrier."""
+        rng = make_rng(rng)
+        max_cfo = carrier_hz * ppm * 1e-6
+        return cls(rng.uniform(-max_cfo, max_cfo), sample_rate_hz)
+
+    def reset(self):
+        """Restart the phase accumulator."""
+        self._phase = 0.0
+
+    def apply(self, x):
+        """Rotate a chunk by the offset, continuing the running phase."""
+        x = np.asarray(x, dtype=complex)
+        out = apply_cfo(x, self.cfo_hz, self.sample_rate_hz,
+                        initial_phase=self._phase)
+        self._phase += 2.0 * np.pi * self.cfo_hz * x.size / self.sample_rate_hz
+        self._phase %= 2.0 * np.pi
+        return out

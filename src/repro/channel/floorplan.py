@@ -1,0 +1,186 @@
+"""Floor-plan geometry: walls, rooms and the paper's Fig. 1 home.
+
+The heatmap experiments (Figs. 1–2) run over "a typical 2000 sq. ft.
+home with a WiFi AP at one corner of the house in the living room",
+9 m across, with the relay placed mid-home.  :func:`fig1_home` builds a
+layout matching the figure: a living room at the bottom, two bedrooms at
+the top, interior walls between them, and an exterior shell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A wall segment with an RF penetration loss.
+
+    ``a`` and ``b`` are (x, y) endpoints in metres; ``loss_db`` is the
+    power loss a ray crossing the wall suffers.  Typical values: ~3 dB
+    drywall, 6-10 dB brick, 10-15 dB concrete.
+    """
+
+    a: tuple
+    b: tuple
+    loss_db: float = 5.0
+    name: str = ""
+
+    def intersects(self, p, q):
+        """True if segment p->q crosses this wall (proper intersection).
+
+        Standard orientation test; touching an endpoint counts as a
+        crossing so rays grazing a wall edge still pay the loss.
+        """
+        return _segments_intersect(np.asarray(self.a, dtype=float),
+                                   np.asarray(self.b, dtype=float),
+                                   np.asarray(p, dtype=float),
+                                   np.asarray(q, dtype=float))
+
+
+def _orient(a, b, c):
+    """Signed area orientation of the triple (a, b, c)."""
+    return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+
+def _on_segment(a, b, c):
+    """True if c lies on segment ab (given collinearity)."""
+    return (min(a[0], b[0]) - 1e-12 <= c[0] <= max(a[0], b[0]) + 1e-12 and
+            min(a[1], b[1]) - 1e-12 <= c[1] <= max(a[1], b[1]) + 1e-12)
+
+
+def _point_segment_distance(c, a, b):
+    """Distance from point c to segment ab."""
+    ab = b - a
+    denom = float(np.dot(ab, ab))
+    if denom == 0.0:
+        return float(np.linalg.norm(c - a))
+    t = float(np.clip(np.dot(c - a, ab) / denom, 0.0, 1.0))
+    return float(np.linalg.norm(c - (a + t * ab)))
+
+
+def _segments_intersect(a, b, p, q):
+    """Segment intersection with collinear handling."""
+    d1 = _orient(a, b, p)
+    d2 = _orient(a, b, q)
+    d3 = _orient(p, q, a)
+    d4 = _orient(p, q, b)
+    if ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0)):
+        return True
+    if abs(d1) < 1e-12 and _on_segment(a, b, p):
+        return True
+    if abs(d2) < 1e-12 and _on_segment(a, b, q):
+        return True
+    if abs(d3) < 1e-12 and _on_segment(p, q, a):
+        return True
+    if abs(d4) < 1e-12 and _on_segment(p, q, b):
+        return True
+    return False
+
+
+class FloorPlan:
+    """A rectangular floor plan with interior/exterior walls.
+
+    ``width_m`` x ``depth_m`` with the origin at the bottom-left corner.
+    Interior walls determine per-link penetration loss; the geometry also
+    drives the pinhole-MIMO severity (more walls crossed -> fewer
+    independent propagation paths survive).
+
+    ``apertures`` mark doorways and corridor mouths — the paper's "RF
+    pinholes" [9, 17]: a ray squeezing through one arrives with all its
+    spatial paths funnelled through a single opening, collapsing MIMO
+    rank even though it crosses no wall.  Each aperture is
+    ``(x, y, radius_m)``.
+    """
+
+    def __init__(self, width_m, depth_m, walls=(), apertures=(),
+                 name="floorplan"):
+        if width_m <= 0 or depth_m <= 0:
+            raise ValueError("floor plan dimensions must be positive")
+        self.width_m = float(width_m)
+        self.depth_m = float(depth_m)
+        self.walls = tuple(walls)
+        self.apertures = tuple(tuple(map(float, a)) for a in apertures)
+        self.name = name
+
+    def passes_aperture(self, p, q):
+        """True if the straight ray p->q threads any aperture."""
+        p = np.asarray(p, dtype=float)
+        q = np.asarray(q, dtype=float)
+        for ax, ay, radius in self.apertures:
+            centre = np.array([ax, ay])
+            if _point_segment_distance(centre, p, q) <= radius:
+                return True
+        return False
+
+    def wall_losses_db(self, p, q):
+        """Total wall-penetration loss (dB) along the straight ray p->q."""
+        return float(sum(w.loss_db for w in self.walls if w.intersects(p, q)))
+
+    def walls_crossed(self, p, q):
+        """Number of walls the straight ray p->q crosses."""
+        return sum(1 for w in self.walls if w.intersects(p, q))
+
+    def contains(self, p):
+        """True if the point lies inside the floor plan's bounding box."""
+        x, y = p
+        return 0.0 <= x <= self.width_m and 0.0 <= y <= self.depth_m
+
+    def grid(self, spacing_m=0.5, margin_m=0.25):
+        """Regular grid of candidate client positions.
+
+        Returns an array of (x, y) points covering the interior with the
+        given spacing, inset by ``margin_m`` from the outer walls.
+        """
+        if spacing_m <= 0:
+            raise ValueError("spacing must be positive")
+        xs = np.arange(margin_m, self.width_m - margin_m + 1e-9, spacing_m)
+        ys = np.arange(margin_m, self.depth_m - margin_m + 1e-9, spacing_m)
+        gx, gy = np.meshgrid(xs, ys)
+        return np.column_stack([gx.ravel(), gy.ravel()])
+
+    def random_points(self, count, rng):
+        """Uniformly random interior positions."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        xs = rng.uniform(0.0, self.width_m, size=count)
+        ys = rng.uniform(0.0, self.depth_m, size=count)
+        return np.column_stack([xs, ys])
+
+
+def fig1_home(interior_loss_db=6.0, exterior_loss_db=12.0):
+    """The paper's Fig. 1 home: 9 m x 7 m (~2000 sq ft over two notional
+    floors collapsed to one), living room at the bottom, two bedrooms at
+    the top, AP in the bottom-left corner of the living room and the
+    relay socket mid-home.
+
+    Returns ``(floorplan, ap_position, relay_position)``.
+    """
+    w, d = 9.0, 7.0
+    walls = [
+        # Exterior shell.
+        Wall((0, 0), (w, 0), exterior_loss_db, "south"),
+        Wall((w, 0), (w, d), exterior_loss_db, "east"),
+        Wall((w, d), (0, d), exterior_loss_db, "north"),
+        Wall((0, d), (0, 0), exterior_loss_db, "west"),
+        # Living room / bedrooms divider (y = 3.5) with a corridor gap
+        # between x = 4.0 and x = 5.2 (the RF pinhole).
+        Wall((0, 3.5), (4.0, 3.5), interior_loss_db, "divider-west"),
+        Wall((5.2, 3.5), (w, 3.5), interior_loss_db, "divider-east"),
+        # Wall between the two bedrooms (x = 4.6 above the divider) with
+        # a doorway gap near the corridor.
+        Wall((4.6, 4.4), (4.6, d), interior_loss_db, "bedroom-split"),
+        # A closet/bathroom block in the top-left bedroom.
+        Wall((2.6, 4.8), (2.6, d), interior_loss_db, "bath-east"),
+        Wall((0.0, 4.8), (1.8, 4.8), interior_loss_db, "bath-south"),
+    ]
+    apertures = (
+        (4.6, 3.5, 0.7),   # corridor gap in the divider
+        (4.6, 4.4, 0.5),   # bedroom doorway
+    )
+    plan = FloorPlan(w, d, walls, apertures=apertures, name="fig1-home")
+    ap_position = np.array([0.7, 0.7])
+    relay_position = np.array([4.0, 2.8])
+    return plan, ap_position, relay_position

@@ -1,0 +1,194 @@
+"""MIMO channel matrix generators, including pinhole/keyhole channels.
+
+The paper's rank story (§1, Fig. 2): corridors, doors and windows act as
+RF pinholes [9, 17] — all propagation is funnelled through one aperture,
+so the channel factorises as ``H = g_rx @ g_tx^T`` (outer product, rank
+one) no matter how many antennas each side has.  Real links are a blend:
+a strong pinhole component plus weak residual scattering, captured by
+:func:`pinhole_mimo`'s ``leakage`` parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def _cn(rng, *shape):
+    """Standard complex normal draws, unit variance per entry."""
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)) / np.sqrt(2.0)
+
+
+def iid_rayleigh_mimo(num_rx, num_tx, rng=None):
+    """An i.i.d. Rayleigh MIMO matrix (rich scattering, full rank)."""
+    if num_rx < 1 or num_tx < 1:
+        raise ValueError("antenna counts must be >= 1")
+    rng = make_rng(rng)
+    return _cn(rng, num_rx, num_tx)
+
+
+def pinhole_mimo(num_rx, num_tx, leakage=0.05, rng=None):
+    """A keyhole/pinhole MIMO matrix: rank-1 plus weak leakage.
+
+    ``H = g_rx g_tx^T + sqrt(leakage) * W`` with unit-power
+    normalisation.  ``leakage`` is the power fraction of the residual
+    full-rank scattering; 0 gives a mathematically rank-1 channel, and
+    values of a few percent reproduce the "one strong eigenvalue, one
+    weak" condition numbers the paper attributes to corridors.
+    """
+    if not 0.0 <= leakage <= 1.0:
+        raise ValueError(f"leakage must be in [0, 1], got {leakage}")
+    rng = make_rng(rng)
+    g_rx = _cn(rng, num_rx)
+    g_tx = _cn(rng, num_tx)
+    keyhole = np.outer(g_rx, g_tx)
+    scatter = _cn(rng, num_rx, num_tx)
+    h = np.sqrt(1.0 - leakage) * keyhole + np.sqrt(leakage) * scatter
+    return h
+
+
+def correlated_mimo(num_rx, num_tx, rx_corr, tx_corr, rng=None):
+    """Kronecker-correlated Rayleigh MIMO.
+
+    ``rx_corr``/``tx_corr`` in [0, 1) are the neighbouring-antenna
+    correlation coefficients; exponential correlation matrices are built
+    from them.  High correlation is the milder cousin of the pinhole.
+    """
+    rng = make_rng(rng)
+    for value, label in ((rx_corr, "rx_corr"), (tx_corr, "tx_corr")):
+        if not 0.0 <= value < 1.0:
+            raise ValueError(f"{label} must be in [0, 1), got {value}")
+    r_rx = _exp_corr(num_rx, rx_corr)
+    r_tx = _exp_corr(num_tx, tx_corr)
+    w = _cn(rng, num_rx, num_tx)
+    return _sqrtm_psd(r_rx) @ w @ _sqrtm_psd(r_tx)
+
+
+def _exp_corr(n, rho):
+    """Exponential correlation matrix: R[i, j] = rho^|i-j|."""
+    idx = np.arange(n)
+    return rho ** np.abs(idx[:, None] - idx[None, :]).astype(float)
+
+
+def _sqrtm_psd(m):
+    """Hermitian PSD matrix square root via eigendecomposition."""
+    vals, vecs = np.linalg.eigh(m)
+    vals = np.clip(vals, 0.0, None)
+    return (vecs * np.sqrt(vals)) @ vecs.conj().T
+
+
+class MimoLink:
+    """A frequency-selective MIMO link built from per-tap matrices.
+
+    Combines the multipath structure of
+    :class:`repro.channel.multipath.MultipathChannel` with MIMO spatial
+    structure: each delay tap carries its own matrix, and the link's
+    per-subcarrier response is the matrix-valued DFT of the tap set.
+    """
+
+    def __init__(self, tap_matrices, tap_powers=None, extra_delay_samples=0):
+        taps = np.asarray(tap_matrices, dtype=complex)
+        if taps.ndim != 3:
+            raise ValueError(
+                f"tap_matrices must be (num_taps, num_rx, num_tx), got {taps.shape}")
+        if tap_powers is not None:
+            tap_powers = np.asarray(tap_powers, dtype=float)
+            if tap_powers.shape != (taps.shape[0],):
+                raise ValueError("tap_powers must have one entry per tap")
+            taps = taps * np.sqrt(tap_powers)[:, None, None]
+        self.taps = taps
+        self.extra_delay_samples = int(extra_delay_samples)
+
+    @classmethod
+    def draw(cls, num_rx, num_tx, pdp, kind="rayleigh", leakage=0.05, rng=None):
+        """Draw a link whose every tap is i.i.d. Rayleigh or pinhole.
+
+        A pinhole link shares *one* keyhole across taps (the aperture is
+        the same physical object at every delay), with per-tap phases.
+        """
+        rng = make_rng(rng)
+        pdp = np.asarray(pdp, dtype=float)
+        num_taps = pdp.size
+        if kind == "rayleigh":
+            mats = np.stack([iid_rayleigh_mimo(num_rx, num_tx, rng)
+                             for _ in range(num_taps)])
+        elif kind == "pinhole":
+            g_rx = _cn(rng, num_rx)
+            g_tx = _cn(rng, num_tx)
+            keyhole = np.outer(g_rx, g_tx)
+            mats = []
+            for _ in range(num_taps):
+                phase = np.exp(1j * rng.uniform(0, 2 * np.pi))
+                scatter = _cn(rng, num_rx, num_tx)
+                mats.append(np.sqrt(1 - leakage) * keyhole * phase
+                            + np.sqrt(leakage) * scatter)
+            mats = np.stack(mats)
+        else:
+            raise ValueError(f"unknown kind {kind!r}; use 'rayleigh' or 'pinhole'")
+        return cls(mats, tap_powers=pdp, extra_delay_samples=0)
+
+    @property
+    def num_rx(self):
+        """Receive antenna count."""
+        return self.taps.shape[1]
+
+    @property
+    def num_tx(self):
+        """Transmit antenna count."""
+        return self.taps.shape[2]
+
+    def frequency_response(self, subcarrier_indices, fft_size):
+        """Per-subcarrier matrices, shape (n_tones, num_rx, num_tx)."""
+        idx = np.asarray(subcarrier_indices, dtype=float)
+        k = np.arange(self.taps.shape[0]) + self.extra_delay_samples
+        phases = np.exp(-2j * np.pi * np.outer(idx / fft_size, k))
+        return np.einsum("fk,krt->frt", phases, self.taps)
+
+    def apply(self, x):
+        """Pass per-antenna streams through the link.
+
+        ``x`` is (num_tx, n_samples); returns (num_rx, n_samples +
+        num_taps - 1 + extra_delay).
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=complex))
+        if x.shape[0] != self.num_tx:
+            raise ValueError(
+                f"expected {self.num_tx} transmit streams, got {x.shape[0]}")
+        n_out = x.shape[1] + self.taps.shape[0] - 1 + self.extra_delay_samples
+        out = np.zeros((self.num_rx, n_out), dtype=complex)
+        for k in range(self.taps.shape[0]):
+            h = self.taps[k]
+            start = k + self.extra_delay_samples
+            seg = h @ x  # (num_rx, n)
+            out[:, start : start + x.shape[1]] += seg
+        return out
+
+    def scaled(self, gain):
+        """A copy with every tap matrix multiplied by ``gain``."""
+        return MimoLink(self.taps * gain,
+                        extra_delay_samples=self.extra_delay_samples)
+
+    def narrowband(self):
+        """The aggregate (sum-of-taps) matrix — the DC response."""
+        return self.taps.sum(axis=0)
+
+    def evolve(self, correlation, rng):
+        """A time-evolved draw of this link (Gauss-Markov aging).
+
+        Entry-wise ``rho * h + sqrt(1 - rho^2) * innovation`` with the
+        innovation drawn at each entry's own power; preserves the mean
+        power structure (including pinhole dominance) while the
+        realisation decorrelates.
+        """
+        rho = float(correlation)
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError(f"correlation must be in [0, 1], got {rho}")
+        rng = make_rng(rng)
+        powers = np.abs(self.taps) ** 2
+        innovation = np.sqrt(powers / 2.0) * (
+            rng.standard_normal(self.taps.shape)
+            + 1j * rng.standard_normal(self.taps.shape))
+        new_taps = rho * self.taps + np.sqrt(1.0 - rho ** 2) * innovation
+        return MimoLink(new_taps,
+                        extra_delay_samples=self.extra_delay_samples)

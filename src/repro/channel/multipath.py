@@ -1,0 +1,165 @@
+"""Tapped-delay-line multipath channels.
+
+These produce both the time-domain impulse response (for sample-level
+simulation) and the per-subcarrier frequency response (for the
+link-level throughput model) from one consistent tap set, so the two
+simulation layers agree by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+from repro.utils.validation import ensure_complex_1d
+
+
+def exponential_pdp(num_taps, rms_delay_spread_s, sample_period_s):
+    """Exponential power-delay profile, normalised to unit total power."""
+    if num_taps < 1:
+        raise ValueError(f"num_taps must be >= 1, got {num_taps}")
+    if rms_delay_spread_s <= 0:
+        return np.concatenate([[1.0], np.zeros(num_taps - 1)])
+    t = np.arange(num_taps) * sample_period_s
+    profile = np.exp(-t / rms_delay_spread_s)
+    return profile / profile.sum()
+
+
+def rayleigh_taps(pdp, rng=None):
+    """Complex Gaussian taps with powers following ``pdp``."""
+    rng = make_rng(rng)
+    pdp = np.asarray(pdp, dtype=float)
+    if np.any(pdp < 0):
+        raise ValueError("PDP entries must be non-negative")
+    scale = np.sqrt(pdp / 2.0)
+    return scale * (rng.standard_normal(pdp.size) + 1j * rng.standard_normal(pdp.size))
+
+
+def rician_taps(pdp, k_factor_db, rng=None):
+    """Rician fading: a deterministic LoS component on the first tap.
+
+    ``k_factor_db`` is the LoS-to-scattered power ratio; the total power
+    still follows the PDP.
+    """
+    rng = make_rng(rng)
+    pdp = np.asarray(pdp, dtype=float)
+    k = 10.0 ** (k_factor_db / 10.0)
+    taps = rayleigh_taps(pdp, rng)
+    if pdp.size:
+        los_power = pdp[0] * k / (k + 1.0)
+        nlos_power = pdp[0] / (k + 1.0)
+        phase = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi))
+        scatter = taps[0] / np.sqrt(pdp[0]) if pdp[0] > 0 else 0.0
+        taps = taps.copy()
+        taps[0] = np.sqrt(los_power) * phase + np.sqrt(nlos_power) * scatter
+    return taps
+
+
+class MultipathChannel:
+    """A static tapped-delay-line channel.
+
+    Parameters
+    ----------
+    taps:
+        Complex tap gains; ``taps[k]`` multiplies the input delayed by
+        ``k`` samples.
+    extra_delay_samples:
+        Whole-sample propagation delay prepended before the first tap —
+        how the relay's *processing latency* is injected when composing
+        source->relay->destination paths.
+    """
+
+    def __init__(self, taps, extra_delay_samples=0):
+        taps = ensure_complex_1d(taps, "taps")
+        if taps.size == 0:
+            raise ValueError("need at least one tap")
+        if extra_delay_samples < 0:
+            raise ValueError("extra delay must be non-negative")
+        self.taps = taps
+        self.extra_delay_samples = int(extra_delay_samples)
+
+    @classmethod
+    def rayleigh(cls, num_taps, rms_delay_spread_s, sample_period_s,
+                 gain_db=0.0, rng=None):
+        """Draw a Rayleigh channel with an exponential PDP and mean gain."""
+        pdp = exponential_pdp(num_taps, rms_delay_spread_s, sample_period_s)
+        taps = rayleigh_taps(pdp, rng) * 10.0 ** (gain_db / 20.0)
+        return cls(taps)
+
+    @classmethod
+    def flat(cls, gain):
+        """A single-tap (frequency-flat) channel."""
+        return cls(np.array([gain], dtype=complex))
+
+    @property
+    def full_taps(self):
+        """Taps including the leading extra-delay zeros."""
+        if self.extra_delay_samples == 0:
+            return self.taps
+        return np.concatenate([np.zeros(self.extra_delay_samples, dtype=complex),
+                               self.taps])
+
+    def apply(self, x):
+        """Convolve a signal through the channel (full length output)."""
+        x = ensure_complex_1d(x, "x")
+        return np.convolve(x, self.full_taps)
+
+    def apply_trimmed(self, x):
+        """Convolve, trimming the output back to the input length."""
+        return self.apply(x)[: np.asarray(x).size]
+
+    def frequency_response(self, subcarrier_indices, fft_size):
+        """Per-subcarrier response: DFT of the taps at each tone.
+
+        ``subcarrier_indices`` are signed tone indices (DC = 0); the
+        result is what an OFDM receiver's channel estimator would see,
+        provided the tap span stays inside the CP.
+        """
+        idx = np.asarray(subcarrier_indices, dtype=float)
+        taps = self.full_taps
+        k = np.arange(taps.size)
+        return np.exp(-2j * np.pi * np.outer(idx / fft_size, k)) @ taps
+
+    def delay_span_samples(self):
+        """Index of the last non-negligible tap (ISI bookkeeping)."""
+        mags = np.abs(self.full_taps)
+        if mags.max() == 0:
+            return 0
+        significant = np.flatnonzero(mags > 1e-6 * mags.max())
+        return int(significant[-1]) if significant.size else 0
+
+    def compose(self, other):
+        """The cascade of this channel followed by ``other``.
+
+        Tap convolution; extra delays add.  Used to build the
+        source->relay->destination compound path.
+        """
+        taps = np.convolve(self.taps, other.taps)
+        return MultipathChannel(
+            taps,
+            extra_delay_samples=self.extra_delay_samples + other.extra_delay_samples)
+
+    def scaled(self, gain):
+        """A copy of this channel with every tap multiplied by ``gain``."""
+        return MultipathChannel(self.taps * gain,
+                                extra_delay_samples=self.extra_delay_samples)
+
+    def evolve(self, correlation, rng):
+        """A time-evolved draw of this channel (Gauss-Markov aging).
+
+        Each tap becomes ``rho * tap + sqrt(1 - rho^2) * innovation``
+        with the innovation drawn at the tap's own power, so the mean
+        power profile is preserved while the realisation decorrelates —
+        the mechanism behind sounding staleness (§4.2's 50 ms refresh).
+        """
+        rho = float(correlation)
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError(f"correlation must be in [0, 1], got {rho}")
+        rng = make_rng(rng)
+        powers = np.abs(self.taps) ** 2
+        innovation = np.sqrt(powers / 2.0) * (
+            rng.standard_normal(self.taps.shape)
+            + 1j * rng.standard_normal(self.taps.shape))
+        new_taps = rho * self.taps + np.sqrt(1.0 - rho ** 2) * innovation
+        return MultipathChannel(new_taps,
+                                extra_delay_samples=self.extra_delay_samples)

@@ -1,0 +1,68 @@
+"""Distance-based path-loss models.
+
+Indoor WiFi links are dominated by log-distance loss plus wall
+penetration; the wall part lives in :mod:`repro.channel.floorplan` /
+:mod:`repro.channel.raytrace`, the distance part here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.units import SPEED_OF_LIGHT
+
+
+def free_space_path_loss_db(distance_m, frequency_hz):
+    """Friis free-space path loss in dB (power)."""
+    if distance_m <= 0:
+        raise ValueError(f"distance must be positive, got {distance_m}")
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    return float(20.0 * np.log10(4.0 * np.pi * distance_m / wavelength))
+
+
+def log_distance_path_loss_db(distance_m, frequency_hz, exponent=3.0,
+                              reference_m=1.0, shadowing_db=0.0):
+    """Log-distance path loss with optional shadowing term.
+
+    Free-space loss to ``reference_m``, then ``10 * exponent *
+    log10(d/d0)`` beyond it.  ``exponent`` around 3 matches cluttered
+    indoor LoS/NLoS mixes.
+    """
+    if distance_m <= 0:
+        raise ValueError(f"distance must be positive, got {distance_m}")
+    d = max(distance_m, reference_m)
+    base = free_space_path_loss_db(reference_m, frequency_hz)
+    return float(base + 10.0 * exponent * np.log10(d / reference_m) + shadowing_db)
+
+
+class PathLossModel:
+    """A configured log-distance model with lognormal shadowing.
+
+    Shadowing draws are made by the caller-supplied RNG so a fixed seed
+    reproduces an entire coverage map.
+    """
+
+    def __init__(self, frequency_hz=2.45e9, exponent=3.0,
+                 shadowing_sigma_db=0.0):
+        if shadowing_sigma_db < 0:
+            raise ValueError("shadowing sigma must be non-negative")
+        self.frequency_hz = float(frequency_hz)
+        self.exponent = float(exponent)
+        self.shadowing_sigma_db = float(shadowing_sigma_db)
+
+    def loss_db(self, distance_m, rng=None):
+        """Path loss in dB for one link, with a fresh shadowing draw."""
+        shadow = 0.0
+        if self.shadowing_sigma_db > 0.0:
+            if rng is None:
+                raise ValueError("rng required when shadowing is enabled")
+            shadow = float(rng.normal(0.0, self.shadowing_sigma_db))
+        return log_distance_path_loss_db(
+            distance_m, self.frequency_hz, exponent=self.exponent,
+            shadowing_db=shadow)
+
+    def received_power_dbm(self, tx_power_dbm, distance_m, rng=None):
+        """Received power for a transmit power and distance."""
+        return float(tx_power_dbm) - self.loss_db(distance_m, rng=rng)

@@ -1,0 +1,30 @@
+"""Uplink/downlink channel reciprocity.
+
+§4.2's deployment argument: the constructive filter computed for the
+downlink AP->client works unchanged on the uplink client->AP, because
+the propagation environment is reciprocal and the cascade channel *
+filter * channel commutes in the SISO per-subcarrier algebra.  For MIMO
+the uplink channel is the transpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.mimo_channel import MimoLink
+from repro.channel.multipath import MultipathChannel
+
+
+def reciprocal_channel(channel):
+    """The reverse-direction channel of a forward link.
+
+    SISO multipath channels are identical in both directions; MIMO links
+    transpose each tap matrix (antenna roles swap).
+    """
+    if isinstance(channel, MultipathChannel):
+        return MultipathChannel(channel.taps.copy(),
+                                extra_delay_samples=channel.extra_delay_samples)
+    if isinstance(channel, MimoLink):
+        return MimoLink(np.transpose(channel.taps, (0, 2, 1)).copy(),
+                        extra_delay_samples=channel.extra_delay_samples)
+    raise TypeError(f"unsupported channel type {type(channel).__name__}")

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Gives downstream users the headline experiments without writing code:
+
+=============  =====================================================
+command        regenerates
+=============  =====================================================
+coverage       Figs. 1-2: SNR / MIMO-stream heatmap statistics
+cancellation   §3.3: the 108-110 dB self-interference figure
+gains          Fig. 12: relative throughput gains (three schemes)
+latency        Fig. 16: median gain vs processing latency
+fingerprint    Fig. 21: uplink identification error rates
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_coverage(args):
+    from repro.netsim import Testbed, coverage_heatmap, paper_scenarios
+
+    scenario = next((s for s in paper_scenarios() if s.name == args.scenario),
+                    None)
+    if scenario is None:
+        names = [s.name for s in paper_scenarios()]
+        raise SystemExit(f"unknown scenario {args.scenario!r}; "
+                         f"choose from {names}")
+    testbed = Testbed(scenario, seed=args.seed)
+    result = coverage_heatmap(testbed, spacing_m=args.spacing,
+                              seed=args.seed)
+    print(f"scenario {scenario.name}: {len(result.positions)} grid points")
+    print(f"  SNR (median): AP only {np.median(result.snr_ap_only_db):.1f} dB"
+          f" -> with FF {np.median(result.snr_with_ff_db):.1f} dB")
+    print(f"  median improvement: {result.median_improvement_db():.1f} dB")
+    print(f"  2-stream coverage: {result.fraction_full_rank(False):.0%}"
+          f" -> {result.fraction_full_rank(True):.0%}")
+
+
+def _cmd_cancellation(args):
+    from repro.cancellation import CancellationPipeline
+
+    for seed in range(args.seed, args.seed + args.trials):
+        pipe = CancellationPipeline(rng=seed)
+        pipe.tune(online=args.online)
+        print(f"seed {seed}: {pipe.measure()}")
+
+
+def _cmd_gains(args):
+    from repro.netsim import overall_gains_experiment
+
+    data = overall_gains_experiment(num_clients=args.clients, seed=args.seed)
+    print(f"clients: {data['ap_only'].size}")
+    print(f"  median FF vs AP-only : {data['median_ff_vs_ap']:.2f}x "
+          f"(paper: 3x)")
+    print(f"  median FF vs HD mesh : {data['median_ff_vs_hd']:.2f}x "
+          f"(paper: 2.3x)")
+    print(f"  dead locations       : "
+          f"{np.mean(data['ap_only'] == 0):.0%} (AP only) -> "
+          f"{np.mean(data['fastforward'] == 0):.0%} (with FF)")
+
+
+def _cmd_latency(args):
+    from repro.netsim import latency_sweep_experiment
+
+    data = latency_sweep_experiment(
+        latencies_ns=tuple(args.latencies), num_clients=args.clients,
+        seed=args.seed)
+    for lat, gain in zip(data["latency_ns"], data["median_gain"]):
+        marker = "  <- worse than no relay" if gain < 1.0 else ""
+        print(f"  {int(lat):4d} ns: median gain {gain:.2f}x{marker}")
+
+
+def _cmd_fingerprint(args):
+    from repro.netsim import fingerprint_experiment
+
+    data = fingerprint_experiment(num_locations=args.locations,
+                                  packets_per_client=args.packets,
+                                  seed=args.seed)
+    print(f"threshold {data['threshold']}: "
+          f"false positives {data['false_positive'].mean():.3%}, "
+          f"false negatives {data['false_negative'].mean():.3%} "
+          f"(paper: ~0% / ~5%)")
+
+
+def build_parser():
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FastForward (SIGCOMM 2014) reproduction experiments")
+    parser.add_argument("--seed", type=int, default=2014,
+                        help="experiment seed (default 2014)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cov = sub.add_parser("coverage", help="Figs. 1-2 coverage statistics")
+    cov.add_argument("--scenario", default="fig1-home")
+    cov.add_argument("--spacing", type=float, default=1.0)
+    cov.set_defaults(func=_cmd_coverage)
+
+    canc = sub.add_parser("cancellation", help="the §3.3 cancellation figure")
+    canc.add_argument("--trials", type=int, default=3)
+    canc.add_argument("--online", action="store_true",
+                      help="tune with the probe under live traffic")
+    canc.set_defaults(func=_cmd_cancellation)
+
+    gains = sub.add_parser("gains", help="Fig. 12 throughput gains")
+    gains.add_argument("--clients", type=int, default=48)
+    gains.set_defaults(func=_cmd_gains)
+
+    lat = sub.add_parser("latency", help="Fig. 16 latency sweep")
+    lat.add_argument("--clients", type=int, default=24)
+    lat.add_argument("--latencies", type=int, nargs="+",
+                     default=[100, 200, 300, 400, 500])
+    lat.set_defaults(func=_cmd_latency)
+
+    finger = sub.add_parser("fingerprint", help="Fig. 21 identification")
+    finger.add_argument("--locations", type=int, default=40)
+    finger.add_argument("--packets", type=int, default=30)
+    finger.set_defaults(func=_cmd_fingerprint)
+    return parser
+
+
+def main(argv=None):
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Amplification control (paper §3.3 and §3.5).
+
+Two independent ceilings bound the relay's amplification:
+
+1. **Loop stability** (Fig. 7): amplifying beyond the achieved
+   self-interference cancellation leaves residual that re-circulates —
+   an unstable positive feedback loop.  A margin below the cancellation
+   keeps the geometric residual series convergent.
+2. **Noise safety** (Fig. 11): the relay amplifies its own receiver
+   noise along with the signal.  Capping A at the relay->destination
+   attenuation minus 3 dB lands that noise below the destination's own
+   floor, so the direct-path signal is never drowned.
+"""
+
+from __future__ import annotations
+
+
+def cancellation_cap_db(cancellation_db, loop_margin_db=3.0):
+    """Ceiling 1: stay under the achieved cancellation by a margin."""
+    if loop_margin_db < 0:
+        raise ValueError(f"loop margin must be non-negative, got {loop_margin_db}")
+    return float(cancellation_db) - float(loop_margin_db)
+
+
+def noise_safe_cap_db(rd_attenuation_db, noise_margin_db=3.0):
+    """Ceiling 2: §3.5's rule — A <= (a - 3) dB.
+
+    ``rd_attenuation_db`` is the relay->destination path attenuation;
+    the 3 dB margin puts relayed noise safely below the destination's
+    floor after traversing that path.
+    """
+    if noise_margin_db < 0:
+        raise ValueError(f"noise margin must be non-negative, got {noise_margin_db}")
+    return float(rd_attenuation_db) - float(noise_margin_db)
+
+
+def select_amplification_db(cancellation_db, rd_attenuation_db,
+                            loop_margin_db=3.0, noise_margin_db=3.0,
+                            noise_safe=True):
+    """The operating amplification: the binding ceiling of the two.
+
+    ``noise_safe=False`` drops the §3.5 rule — the blind repeater mode
+    the paper evaluates in §5.5 (Fig. 17), which "amplif[ies] the
+    received signal to the maximum extent, i.e. as much as the amount of
+    cancellation".
+    """
+    cap = cancellation_cap_db(cancellation_db, loop_margin_db)
+    if noise_safe:
+        cap = min(cap, noise_safe_cap_db(rd_attenuation_db, noise_margin_db))
+    return max(cap, 0.0)

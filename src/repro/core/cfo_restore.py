@@ -1,0 +1,69 @@
+"""CFO correct-process-restore (paper §4.1).
+
+The relayed copy must look to the client like one more multipath from
+the *source*, which means it must carry the source's carrier frequency
+offset, not the relay's.  But the relay's own processing (digital
+cancellation regression, CNF pre-filtering) wants a CFO-free signal.
+The trick: measure the source CFO once, derotate on ingest, process,
+re-rotate by exactly the same amount on egress — phase-continuously, so
+consecutive chunks stitch seamlessly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.sync import apply_cfo
+from repro.utils.validation import ensure_complex_1d
+
+
+class CfoRestorer:
+    """Derotate on ingest, re-rotate identically on egress.
+
+    One instance per (source, relay) pair; both directions keep their
+    own running phase so arbitrary chunking works.
+    """
+
+    def __init__(self, cfo_hz, sample_rate_hz):
+        self.cfo_hz = float(cfo_hz)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self._ingest_phase = 0.0
+        self._egress_phase = 0.0
+
+    def reset(self):
+        """Restart both phase accumulators."""
+        self._ingest_phase = 0.0
+        self._egress_phase = 0.0
+
+    def _advance(self, phase, num_samples):
+        step = 2.0 * np.pi * self.cfo_hz * num_samples / self.sample_rate_hz
+        return (phase + step) % (2.0 * np.pi)
+
+    def correct(self, x):
+        """Remove the source CFO from an ingest chunk."""
+        x = ensure_complex_1d(x, "x")
+        out = apply_cfo(x, -self.cfo_hz, self.sample_rate_hz,
+                        initial_phase=-self._ingest_phase)
+        self._ingest_phase = self._advance(self._ingest_phase, x.size)
+        return out
+
+    def restore(self, x):
+        """Re-apply the source CFO to an egress chunk."""
+        x = ensure_complex_1d(x, "x")
+        out = apply_cfo(x, self.cfo_hz, self.sample_rate_hz,
+                        initial_phase=self._egress_phase)
+        self._egress_phase = self._advance(self._egress_phase, x.size)
+        return out
+
+    def process(self, x, processor):
+        """correct -> processor(x) -> restore, in one call.
+
+        ``processor`` must preserve length; the returned chunk carries
+        the original CFO as if the relay's oscillator never existed.
+        """
+        clean = self.correct(x)
+        processed = ensure_complex_1d(processor(clean), "processor output")
+        if processed.size != x.size:
+            raise ValueError(
+                f"processor changed the length: {x.size} -> {processed.size}")
+        return self.restore(processed)

@@ -1,0 +1,126 @@
+"""Processing-latency accounting and the ISI penalty model (§3.2, §5.4).
+
+The relayed copy must arrive at the destination within the OFDM cyclic
+prefix of the first-arriving (direct) copy.  The budget for a 400 ns
+WiFi CP, per the prototype (§4.3):
+
+=====================  ==========================================
+component              delay
+=====================  ==========================================
+ADC + DAC              ~50 ns
+digital cancellation   0 (causal — no buffering)
+CNF digital pre-filter ~50 ns (4 taps at 80 Msps, worst case)
+CNF analog filter      ~3 ns
+analog cancellation    ~10 ns (receive-path insertion)
+=====================  ==========================================
+
+When the budget is blown, the relayed symbol straddles the FFT window:
+part of its energy leaves the window (useful power loss) and the
+straddle drags the previous symbol in (ISI) plus breaks orthogonality
+(ICI).  The standard model: a path with excess delay ``e`` beyond the
+CP, within an FFT window of ``N`` samples, keeps a fraction
+``rho = ((N - e) / N)^2`` of its power as useful signal; the remaining
+``1 - rho`` turns into interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.params import OfdmParams, WIFI_20MHZ
+
+
+@dataclass
+class LatencyBudget:
+    """The relay's processing-delay ledger, all in seconds."""
+
+    adc_dac_s: float = 50e-9
+    digital_cancellation_s: float = 0.0     # causal: zero buffering
+    cnf_digital_s: float = 50e-9            # 4 taps @ 80 Msps, worst case
+    cnf_analog_s: float = 3e-9
+    analog_cancellation_s: float = 10e-9
+    extra_buffering_s: float = 0.0          # experiment knob (Fig. 16)
+
+    def total_s(self):
+        """Total processing latency through the relay."""
+        return (self.adc_dac_s + self.digital_cancellation_s
+                + self.cnf_digital_s + self.cnf_analog_s
+                + self.analog_cancellation_s + self.extra_buffering_s)
+
+    def fits_cp(self, params: OfdmParams = WIFI_20MHZ, propagation_slack_s=0.0):
+        """True if the latency leaves room inside the CP.
+
+        ``propagation_slack_s`` reserves part of the CP for the extra
+        over-the-air distance of the source->relay->destination path.
+        """
+        return self.total_s() + propagation_slack_s <= params.cp_duration_s
+
+    def with_extra_buffering(self, extra_s):
+        """A copy with added buffering — the Fig. 16 sweep knob."""
+        return LatencyBudget(
+            adc_dac_s=self.adc_dac_s,
+            digital_cancellation_s=self.digital_cancellation_s,
+            cnf_digital_s=self.cnf_digital_s,
+            cnf_analog_s=self.cnf_analog_s,
+            analog_cancellation_s=self.analog_cancellation_s,
+            extra_buffering_s=extra_s,
+        )
+
+    def non_causal_digital(self, buffered_s=350e-9):
+        """The prior-work baseline: buffered digital cancellation."""
+        return LatencyBudget(
+            adc_dac_s=self.adc_dac_s,
+            digital_cancellation_s=buffered_s,
+            cnf_digital_s=self.cnf_digital_s,
+            cnf_analog_s=self.cnf_analog_s,
+            analog_cancellation_s=self.analog_cancellation_s,
+            extra_buffering_s=self.extra_buffering_s,
+        )
+
+
+def isi_useful_fraction(excess_delay_s, params: OfdmParams = WIFI_20MHZ):
+    """Fraction of a late path's power that stays useful.
+
+    Zero excess (inside the CP) keeps everything; an excess of a full
+    FFT window loses everything.
+    """
+    if excess_delay_s <= 0:
+        return 1.0
+    n = params.fft_size
+    e = excess_delay_s / params.sample_period_s
+    if e >= n:
+        return 0.0
+    return float(((n - e) / n) ** 2)
+
+
+#: The late path's lost energy counts roughly twice: once as ISI from
+#: the previous symbol sliding in, once as ICI from the orthogonality
+#: break within the current symbol.
+ISI_ICI_FACTOR = 2.0
+
+
+def isi_effective_snr(direct_power, relayed_power, noise_power,
+                      excess_delay_s, params: OfdmParams = WIFI_20MHZ,
+                      coherent=True):
+    """Effective SINR when the relayed path may straddle the CP.
+
+    ``direct_power``/``relayed_power`` are the received powers of the
+    two copies (linear), assumed phase-aligned when ``coherent`` (the
+    CNF case) and power-additive otherwise.  The late path's lost
+    fraction becomes interference (ISI + ICI, see
+    :data:`ISI_ICI_FACTOR`), and a copy that has slid past the CP no
+    longer combines coherently — its per-subcarrier phase relationship
+    to the direct copy is broken.  Returns a linear SINR.
+    """
+    if noise_power <= 0:
+        raise ValueError(f"noise power must be positive, got {noise_power}")
+    rho = isi_useful_fraction(excess_delay_s, params)
+    useful_relayed = relayed_power * rho
+    interference = ISI_ICI_FACTOR * relayed_power * (1.0 - rho)
+    if coherent and rho >= 1.0:
+        signal = (np.sqrt(direct_power) + np.sqrt(useful_relayed)) ** 2
+    else:
+        signal = direct_power + useful_relayed
+    return float(signal / (noise_power + interference))

@@ -1,0 +1,465 @@
+"""The assembled FastForward relay device.
+
+Two views of the same machine:
+
+* **link level** — given the three per-subcarrier channels (source->
+  destination, source->relay, relay->destination) the relay computes its
+  constructive filter, its amplification, and the resulting destination
+  SNRs / MIMO stream SINRs, including relayed noise and (when its
+  latency budget is blown) the ISI penalty.  This is what the
+  throughput experiments consume.
+* **sample level** — :meth:`FastForwardRelay.process` pushes an IQ
+  stream through the realised digital pre-filter, analog CNF line,
+  amplification and CFO restore, producing the waveform the relay
+  would transmit.  Integration tests run real PPDUs through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.amplification import select_amplification_db
+from repro.core.cfo_restore import CfoRestorer
+from repro.core.cnf_filter import (
+    band_phase_alignment,
+    mimo_cnf_filter,
+    siso_cnf_phase,
+)
+from repro.core.decomposition import decompose_cnf_filter
+from repro.core.latency import ISI_ICI_FACTOR, LatencyBudget, isi_useful_fraction
+from repro.phy.params import OfdmParams, WIFI_20MHZ
+from repro.utils.units import db_to_linear, db_to_power, power_to_db
+
+
+@dataclass
+class RelayConfig:
+    """Operating configuration of a FastForward relay."""
+
+    params: OfdmParams = WIFI_20MHZ
+    cancellation_db: float = 110.0
+    loop_margin_db: float = 3.0
+    noise_margin_db: float = 3.0
+    #: Disable to get the blind amplify-and-forward repeater of §5.5.
+    use_cnf: bool = True
+    #: Disable the §3.5 noise rule (the blind repeater ignores it).
+    noise_safe: bool = True
+    #: Realise the SISO filter through the digital/analog decomposition
+    #: (adds the §3.4 approximation error) instead of using the ideal F.
+    use_decomposition: bool = True
+    latency: LatencyBudget = field(default_factory=LatencyBudget)
+    #: Delay spread of the over-the-air channels; it consumes CP budget
+    #: alongside processing latency (the CP must cover latency + extra
+    #: path delay + the tail of the multipath spread).
+    channel_delay_spread_s: float = 150e-9
+    tx_power_dbm: float = 20.0
+    noise_floor_dbm: float = -90.0
+    relay_noise_floor_dbm: float = -90.0
+
+
+class FastForwardRelay:
+    """A construct-and-forward full-duplex relay.
+
+    Call :meth:`configure_siso_link` or :meth:`configure_mimo_link`
+    with per-subcarrier channels (from estimation or a channel model),
+    then query :meth:`destination_snr_db` / :meth:`stream_sinrs_db`.
+    """
+
+    def __init__(self, config: RelayConfig = None):
+        self.config = config or RelayConfig()
+        self._mode = None
+        self._h_sd = None
+        self._h_sr = None
+        self._h_rd = None
+        self._filter_response = None   # SISO: per-subcarrier complex
+        self._mimo_f0 = None           # MIMO: band unitary
+        self._mimo_phases = None       # MIMO: per-subcarrier scalar phase
+        self._decomposition = None
+        self.amplification_db = 0.0
+
+    # -- configuration ---------------------------------------------------
+
+    def _rd_attenuation_db(self, h_rd):
+        """Band-mean relay->destination attenuation in dB."""
+        power = np.mean(np.abs(h_rd) ** 2)
+        if power <= 0:
+            return float("inf")
+        return float(-power_to_db(power))
+
+    def configure_siso_link(self, h_sd, h_sr, h_rd):
+        """Install per-subcarrier SISO channels and compute the filter."""
+        h_sd = np.asarray(h_sd, dtype=complex)
+        h_sr = np.asarray(h_sr, dtype=complex)
+        h_rd = np.asarray(h_rd, dtype=complex)
+        if not h_sd.shape == h_sr.shape == h_rd.shape:
+            raise ValueError("per-subcarrier channel arrays must match")
+        self._mode = "siso"
+        self._h_sd, self._h_sr, self._h_rd = h_sd, h_sr, h_rd
+        cfg = self.config
+        self.amplification_db = select_amplification_db(
+            cfg.cancellation_db, self._rd_attenuation_db(h_rd),
+            loop_margin_db=cfg.loop_margin_db,
+            noise_margin_db=cfg.noise_margin_db,
+            noise_safe=cfg.noise_safe)
+        if not cfg.use_cnf:
+            self._filter_response = np.ones_like(h_sd)
+            self._decomposition = None
+            return self
+        ideal = siso_cnf_phase(h_sd, h_sr, h_rd)
+        if cfg.use_decomposition:
+            self._decomposition, self._filter_response = \
+                self._best_decomposition(ideal)
+        else:
+            self._decomposition = None
+            self._filter_response = ideal
+        return self
+
+    def _best_decomposition(self, ideal):
+        """Decompose the ideal SISO filter, selecting by realised gain.
+
+        The ideal response usually contains a linear-phase ramp no
+        causal 4-tap stage can follow (perfect alignment of a longer
+        via-path needs an advance).  Sweeping slid variants of the
+        target and scoring each candidate by the *constructive gain it
+        actually achieves* finds the best realisable compromise — the
+        practical counterpart of the paper's SCP solve.
+        """
+        cfg = self.config
+        freqs = cfg.params.subcarrier_freqs_hz()
+        a = db_to_linear(self.amplification_db)
+        relay_mag = np.abs(self._h_rd * self._h_sr)
+        direct_mag = np.abs(self._h_sd)
+        base_weights = relay_mag * (direct_mag + 0.05 * direct_mag.max() + 1e-30)
+        p_tx = 10.0 ** (cfg.tx_power_dbm / 10.0)
+        sigma_d2 = 10.0 ** (cfg.noise_floor_dbm / 10.0)
+
+        def capacity_metric(resp):
+            # Sum-log-SNR punishes the per-subcarrier dips a plain power
+            # sum would forgive — matching how coded OFDM actually pays
+            # for deeply faded tones.
+            h_eff = self._h_sd + self._h_rd * resp * a * self._h_sr
+            snr = np.abs(h_eff) ** 2 * p_tx / sigma_d2
+            return float(np.sum(np.log2(1.0 + snr)))
+
+        best = None
+        best_metric = -np.inf
+        best_resp = None
+        for tau in np.linspace(-25e-9, 75e-9, 11):
+            weights = base_weights
+            for _ in range(2):
+                cand = decompose_cnf_filter(
+                    freqs, ideal, carrier_hz=cfg.params.carrier_hz,
+                    delay_slack_s=tau, weights=weights)
+                resp = cand.response(freqs)
+                # The filter's gain is bounded by unity (extra gain
+                # belongs to the capped amplification); scale so the
+                # strongest subcarrier uses the full budget.
+                peak = np.abs(resp).max()
+                if peak > 0:
+                    resp = resp / peak
+                metric = capacity_metric(resp)
+                if metric > best_metric:
+                    best, best_metric, best_resp = cand, metric, resp
+                # Constant-modulus reweighting: pull up the dips.
+                weights = base_weights / np.maximum(np.abs(resp), 0.25) ** 2
+        return best, best_resp
+
+    def configure_mimo_link(self, h_sd, h_sr, h_rd, group_size=8):
+        """Install per-subcarrier MIMO channels, shapes (n_sc, ., .).
+
+        ``h_sd``: (n_sc, N, M); ``h_sr``: (n_sc, K, M); ``h_rd``:
+        (n_sc, N, K).  One unitary is optimised per group of
+        ``group_size`` adjacent subcarriers (channels are correlated
+        across neighbouring tones, so group-level solves capture most of
+        the per-tone optimum at a fraction of the cost); per-subcarrier
+        scalar phases refine each group's filter (see
+        :func:`repro.core.cnf_filter.band_phase_alignment`).
+        """
+        h_sd = np.asarray(h_sd, dtype=complex)
+        h_sr = np.asarray(h_sr, dtype=complex)
+        h_rd = np.asarray(h_rd, dtype=complex)
+        if h_sd.ndim != 3 or h_sr.ndim != 3 or h_rd.ndim != 3:
+            raise ValueError("MIMO channels must be (n_sc, rx, tx) arrays")
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        self._mode = "mimo"
+        self._h_sd, self._h_sr, self._h_rd = h_sd, h_sr, h_rd
+        cfg = self.config
+        self.amplification_db = select_amplification_db(
+            cfg.cancellation_db, self._rd_attenuation_db(h_rd),
+            loop_margin_db=cfg.loop_margin_db,
+            noise_margin_db=cfg.noise_margin_db,
+            noise_safe=cfg.noise_safe)
+        k = h_sr.shape[1]
+        n_sc = h_sd.shape[0]
+        if not cfg.use_cnf:
+            self._mimo_f0 = np.broadcast_to(
+                np.eye(k, dtype=complex), (n_sc, k, k)).copy()
+            self._mimo_phases = np.zeros(n_sc)
+            return self
+        self._mimo_f0 = np.empty((n_sc, k, k), dtype=complex)
+        self._mimo_phases = np.empty(n_sc)
+        for start in range(0, n_sc, group_size):
+            group = slice(start, min(start + group_size, n_sc))
+            f_group = mimo_cnf_filter(
+                h_sd[group].mean(axis=0), h_sr[group].mean(axis=0),
+                h_rd[group].mean(axis=0), self.amplification_db)
+            self._mimo_f0[group] = f_group
+            self._mimo_phases[group] = band_phase_alignment(
+                h_sd[group], h_sr[group], h_rd[group], f_group,
+                self.amplification_db)
+        return self
+
+    # -- link-level results ----------------------------------------------
+
+    def _recirculation_factor(self, extra_path_delay_s, max_copies=12):
+        """Power factor of loop-recirculated copies that land past the CP.
+
+        Amplifying within ``loop_margin`` of the cancellation leaves a
+        residual that re-circulates: copy ``k`` is ``k * (A - C)`` dB
+        down and ``k`` loop-latencies further delayed.  Copies still
+        inside the CP are more (weak) multipath; the rest is
+        interference.  Returns ``sum_k r^k * (1 - rho_k)`` relative to
+        the relayed signal's power — the cost of the blind repeater's
+        "amplify as much as the cancellation" policy (§5.5).
+        """
+        cfg = self.config
+        r = db_to_power(self.amplification_db - cfg.cancellation_db)
+        if r <= 1e-6:
+            return 0.0
+        base = (cfg.latency.total_s() + max(extra_path_delay_s, 0.0)
+                + cfg.channel_delay_spread_s)
+        total = 0.0
+        for k in range(1, max_copies + 1):
+            delay = base + k * cfg.latency.total_s()
+            excess = max(delay - cfg.params.cp_duration_s, 0.0)
+            rho_k = isi_useful_fraction(excess, cfg.params)
+            total += (r ** k) * (1.0 - rho_k)
+        return total
+
+    def _isi_fraction(self, extra_path_delay_s):
+        """Useful-power fraction of the relayed copy (1.0 inside CP).
+
+        The CP must absorb processing latency, the via-path's extra
+        flight time *and* the multipath delay spread already riding on
+        the channels.
+        """
+        total = (self.config.latency.total_s()
+                 + max(extra_path_delay_s, 0.0)
+                 + self.config.channel_delay_spread_s)
+        excess = total - self.config.params.cp_duration_s
+        return isi_useful_fraction(max(excess, 0.0), self.config.params)
+
+    def destination_snr_db(self, extra_path_delay_s=0.0):
+        """Per-subcarrier destination SNR (dB), SISO mode.
+
+        ``extra_path_delay_s`` is the additional over-the-air delay of
+        the source->relay->destination route relative to the direct
+        path; it eats into the CP budget alongside processing latency.
+        """
+        if self._mode != "siso":
+            raise RuntimeError("configure_siso_link first")
+        cfg = self.config
+        a = db_to_linear(self.amplification_db)
+        p_tx = 10.0 ** (cfg.tx_power_dbm / 10.0)
+        sigma_d2 = 10.0 ** (cfg.noise_floor_dbm / 10.0)
+        sigma_r2 = 10.0 ** (cfg.relay_noise_floor_dbm / 10.0)
+
+        relay_path = self._h_rd * self._filter_response * a * self._h_sr
+        rho = self._isi_fraction(extra_path_delay_s)
+        if rho >= 1.0:
+            h_eff = self._h_sd + relay_path
+            isi = 0.0
+        else:
+            # Past the CP the copies no longer combine coherently and
+            # the lost fraction interferes twice (ISI + ICI).
+            h_eff = np.sqrt(np.abs(self._h_sd) ** 2
+                            + rho * np.abs(relay_path) ** 2)
+            isi = (ISI_ICI_FACTOR * (1.0 - rho)
+                   * np.abs(relay_path) ** 2 * p_tx)
+        relay_noise = np.abs(self._h_rd * self._filter_response * a) ** 2 * sigma_r2
+        recirc = (self._recirculation_factor(extra_path_delay_s)
+                  * np.abs(relay_path) ** 2 * p_tx)
+        denom = sigma_d2 + relay_noise + isi + recirc
+        snr = np.abs(h_eff) ** 2 * p_tx / denom
+        with np.errstate(divide="ignore"):
+            return 10.0 * np.log10(np.maximum(snr, 1e-30))
+
+    def mimo_effective_channels(self, extra_path_delay_s=0.0):
+        """Per-subcarrier (H_eff, noise_cov) with the relay active.
+
+        Returns ``(h_eff, noise_cov)`` of shapes (n_sc, N, M) and
+        (n_sc, N, N).  The relayed copy's ISI loss (when the latency
+        budget is blown) shrinks its useful part and adds the lost
+        power to the noise, exactly as in :meth:`destination_snr_db`.
+        """
+        if self._mode != "mimo":
+            raise RuntimeError("configure_mimo_link first")
+        cfg = self.config
+        rho = self._isi_fraction(extra_path_delay_s)
+        a = db_to_linear(self.amplification_db)
+        a2 = db_to_power(self.amplification_db)
+        sigma_d2 = 10.0 ** (cfg.noise_floor_dbm / 10.0)
+        sigma_r2 = 10.0 ** (cfg.relay_noise_floor_dbm / 10.0)
+        p_per_stream = 10.0 ** (cfg.tx_power_dbm / 10.0) / self._h_sd.shape[2]
+        n_sc, n_rx, _ = self._h_sd.shape
+        h_eff = np.empty_like(self._h_sd)
+        noise_cov = np.empty((n_sc, n_rx, n_rx), dtype=complex)
+        eye = np.eye(n_rx)
+        for s in range(n_sc):
+            f = np.exp(1j * self._mimo_phases[s]) * self._mimo_f0[s]
+            relay_term = self._h_rd[s] @ f @ (a * self._h_sr[s])
+            h_eff[s] = self._h_sd[s] + np.sqrt(rho) * relay_term
+            relay_mix = self._h_rd[s] @ f
+            cov = sigma_d2 * eye \
+                + a2 * sigma_r2 * (relay_mix @ relay_mix.conj().T)
+            if rho < 1.0:
+                lost = (ISI_ICI_FACTOR * (1.0 - rho) * p_per_stream
+                        * np.mean(np.abs(relay_term) ** 2)
+                        * self._h_sd.shape[2])
+                cov = cov + lost * eye
+            recirc = self._recirculation_factor(extra_path_delay_s)
+            if recirc > 0.0:
+                cov = cov + recirc * p_per_stream \
+                    * (relay_term @ relay_term.conj().T)
+            noise_cov[s] = cov
+        return h_eff, noise_cov
+
+    def stream_sinrs_db(self, extra_path_delay_s=0.0):
+        """Per-subcarrier MMSE stream SINRs (dB), shape (n_sc, streams).
+
+        Computed from :meth:`mimo_effective_channels` so every
+        impairment (relayed noise colouring, ISI, loop recirculation)
+        flows through one model.
+        """
+        from repro.phy.mimo import mimo_stream_sinrs
+
+        h_eff, noise_cov = self.mimo_effective_channels(extra_path_delay_s)
+        cfg = self.config
+        p_per_stream = 10.0 ** (cfg.tx_power_dbm / 10.0) / h_eff.shape[2]
+        n_sc, _, num_streams = h_eff.shape
+        out = np.empty((n_sc, num_streams))
+        for s in range(n_sc):
+            vals, vecs = np.linalg.eigh(noise_cov[s])
+            whiten = (vecs / np.sqrt(np.maximum(vals.real, 1e-30))) \
+                @ vecs.conj().T
+            h_white = whiten @ h_eff[s] * np.sqrt(p_per_stream)
+            sinrs = mimo_stream_sinrs(h_white, 1.0)
+            out[s] = 10.0 * np.log10(np.maximum(sinrs, 1e-30))
+        return out
+
+    @property
+    def decomposition(self):
+        """The §3.4 digital/analog split of the current SISO filter."""
+        return self._decomposition
+
+    @property
+    def filter_response(self):
+        """Per-subcarrier realised SISO filter response."""
+        return self._filter_response
+
+    def latency_s(self):
+        """Total processing latency of the device."""
+        return self.config.latency.total_s()
+
+    # -- sample-level processing ------------------------------------------
+
+    def process(self, iq_stream, sample_rate_hz=None, cfo_hz=0.0):
+        """Produce the relay's transmit waveform for a received stream.
+
+        SISO only.  Applies, in order: CFO correction, the digital
+        pre-filter, the analog CNF line, amplification, and CFO restore.
+        Self-interference is assumed cancelled (the cancellation
+        subpackage demonstrates that separately); the processing delay
+        is represented by the configured latency budget, which callers
+        convert to channel delay when composing paths.
+        """
+        if self._mode != "siso":
+            raise RuntimeError("sample-level processing requires a SISO link")
+        cfg = self.config
+        sample_rate_hz = sample_rate_hz or cfg.params.bandwidth_hz
+        x = np.asarray(iq_stream, dtype=complex)
+        restorer = CfoRestorer(cfo_hz, sample_rate_hz) if cfo_hz else None
+        if restorer is not None:
+            x = restorer.correct(x)
+        if self._decomposition is not None:
+            # The pre-filter runs at its own (higher) rate; at the
+            # signal rate its in-band response is what matters, so apply
+            # it spectrally on the subcarrier grid.
+            from repro.dsp.spectrum import apply_frequency_response
+
+            x = apply_frequency_response(
+                x, lambda f: self._decomposition.response(f), sample_rate_hz)
+        else:
+            from repro.dsp.spectrum import apply_frequency_response
+
+            freqs_grid = cfg.params.subcarrier_freqs_hz()
+            resp = self._filter_response
+
+            def interp_response(f):
+                real = np.interp(f, freqs_grid, resp.real,
+                                 left=resp.real[0], right=resp.real[-1])
+                imag = np.interp(f, freqs_grid, resp.imag,
+                                 left=resp.imag[0], right=resp.imag[-1])
+                return real + 1j * imag
+
+            x = apply_frequency_response(x, interp_response, sample_rate_hz)
+        x = x * db_to_linear(self.amplification_db)
+        if restorer is not None:
+            x = restorer.restore(x)
+        return x
+
+    def process_mimo(self, iq_streams, sample_rate_hz=None, cfo_hz=0.0):
+        """Produce the K relay transmit streams for K received streams.
+
+        MIMO only.  Applies the per-subcarrier unitary filters
+        ``exp(j*phi_i) * F0_i`` in the frequency domain (zero-padded, so
+        the operation is effectively a linear convolution), then
+        amplification, with optional CFO correct/restore around the
+        processing.  ``iq_streams`` is (K, n_samples).
+
+        Note: unlike the SISO path, these are the *ideal* per-subcarrier
+        filters — no latency-constrained decomposition is applied, so
+        tone-to-tone filter variation lengthens the effective channel.
+        The prototype bounds this with the same 4-tap structure; here it
+        is a functional model, fine away from the deepest dead spots.
+        """
+        from repro.phy.sync import apply_cfo
+
+        if self._mode != "mimo":
+            raise RuntimeError(
+                "sample-level MIMO processing requires a MIMO link")
+        cfg = self.config
+        sample_rate_hz = sample_rate_hz or cfg.params.bandwidth_hz
+        x = np.atleast_2d(np.asarray(iq_streams, dtype=complex))
+        k = self._mimo_f0.shape[1]
+        if x.shape[0] != k:
+            raise ValueError(
+                f"expected {k} receive streams, got {x.shape[0]}")
+        if cfo_hz:
+            x = np.stack([apply_cfo(row, -cfo_hz, sample_rate_hz)
+                          for row in x])
+
+        # Per-bin K x K matrix response, nearest-neighbour interpolated
+        # from the per-subcarrier filters (out-of-band bins reuse the
+        # band-edge filter; the signal has no energy there anyway).
+        n = x.shape[1]
+        m = 1
+        while m < 2 * n:
+            m *= 2
+        freqs = np.fft.fftfreq(m, d=1.0 / sample_rate_hz)
+        grid_freqs = cfg.params.subcarrier_freqs_hz()
+        order = np.argsort(grid_freqs)
+        gf = grid_freqs[order]
+        filt = (np.exp(1j * self._mimo_phases)[:, None, None]
+                * self._mimo_f0)[order]
+        idx = np.clip(np.searchsorted(gf, freqs), 0, gf.size - 1)
+        spec = np.fft.fft(x, m, axis=1)
+        out_spec = np.einsum("brt,tb->rb", filt[idx], spec)
+        out = np.fft.ifft(out_spec, axis=1)[:, :n]
+        out = out * db_to_linear(self.amplification_db)
+        if cfo_hz:
+            out = np.stack([apply_cfo(row, cfo_hz, sample_rate_hz)
+                            for row in out])
+        return out

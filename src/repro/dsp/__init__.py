@@ -1,0 +1,47 @@
+"""Digital and analog-modelled signal processing building blocks.
+
+This subpackage provides the filters the FastForward relay is built from:
+
+* :mod:`repro.dsp.fir` — block and streaming (sample-by-sample) FIR
+  filters; the streaming causal form is what makes zero-buffering digital
+  cancellation possible (paper §3.3, Fig. 9a).
+* :mod:`repro.dsp.iir` — low-latency one-pole IIR sections used for STF
+  subcarrier extraction in the uplink fingerprinting path (paper Fig. 20).
+* :mod:`repro.dsp.fractional_delay` — fractional-sample delay filters
+  (sinc/Lagrange, after Laakso et al. [18]) used to *model* why fine
+  delays are expensive in the digital domain (paper §3.4).
+* :mod:`repro.dsp.tapped_delay_line` — the analog tap-delay-line model
+  with picosecond-spaced taps and tunable gains, used by both the analog
+  cancellation board and the analog CNF filter.
+* :mod:`repro.dsp.correlation` — peak finding on correlation outputs.
+* :mod:`repro.dsp.spectrum` — PSD and band-power helpers for tests.
+"""
+
+from repro.dsp.fir import FirFilter, StreamingFir, fir_frequency_response, design_ls_fir
+from repro.dsp.iir import OnePoleIir, GoertzelBank
+from repro.dsp.fractional_delay import (
+    sinc_fractional_delay_taps,
+    lagrange_fractional_delay_taps,
+    apply_fractional_delay,
+)
+from repro.dsp.tapped_delay_line import AnalogTapDelayLine
+from repro.dsp.correlation import find_correlation_peaks, detect_sequence
+from repro.dsp.spectrum import psd, band_power, occupied_bandwidth
+
+__all__ = [
+    "FirFilter",
+    "StreamingFir",
+    "fir_frequency_response",
+    "design_ls_fir",
+    "OnePoleIir",
+    "GoertzelBank",
+    "sinc_fractional_delay_taps",
+    "lagrange_fractional_delay_taps",
+    "apply_fractional_delay",
+    "AnalogTapDelayLine",
+    "find_correlation_peaks",
+    "detect_sequence",
+    "psd",
+    "band_power",
+    "occupied_bandwidth",
+]

@@ -1,0 +1,54 @@
+"""Peak detection on correlation outputs.
+
+Used by packet detection (:mod:`repro.phy.sync`) and PN-signature
+identification (:mod:`repro.ident.pn_signature`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.signal_ops import normalized_xcorr
+
+
+def find_correlation_peaks(corr, threshold, min_separation=1):
+    """Indices of local maxima of ``corr`` that exceed ``threshold``.
+
+    Peaks closer than ``min_separation`` are merged, keeping the larger.
+    Input is a real-valued correlation magnitude array.
+    """
+    corr = np.asarray(corr, dtype=float)
+    if min_separation < 1:
+        raise ValueError(f"min_separation must be >= 1, got {min_separation}")
+    above = corr >= threshold
+    if not above.any():
+        return np.array([], dtype=int)
+    candidates = np.flatnonzero(above)
+    # Keep only local maxima within the candidate set.
+    peaks = []
+    for idx in candidates:
+        left = corr[idx - 1] if idx > 0 else -np.inf
+        right = corr[idx + 1] if idx < corr.size - 1 else -np.inf
+        if corr[idx] >= left and corr[idx] >= right:
+            peaks.append(idx)
+    # Enforce separation greedily by descending magnitude.
+    peaks.sort(key=lambda i: corr[i], reverse=True)
+    kept = []
+    for idx in peaks:
+        if all(abs(idx - k) >= min_separation for k in kept):
+            kept.append(idx)
+    return np.array(sorted(kept), dtype=int)
+
+
+def detect_sequence(x, template, threshold=0.6, min_separation=None):
+    """Find occurrences of ``template`` inside ``x`` by normalised xcorr.
+
+    Returns ``(indices, scores)`` where each index is the start of a
+    detected occurrence.  The default ``min_separation`` is the template
+    length, so overlapping detections of the same instance are merged.
+    """
+    if min_separation is None:
+        min_separation = len(template)
+    corr = normalized_xcorr(x, template)
+    idx = find_correlation_peaks(corr, threshold, min_separation)
+    return idx, corr[idx]

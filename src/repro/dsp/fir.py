@@ -1,0 +1,149 @@
+"""FIR filters: block application, streaming causal form, and LS design.
+
+The distinction between *causal* and *non-causal* FIR filtering is central
+to the paper.  Prior full-duplex work used non-causal digital cancellation
+filters that "peek ahead" into future transmit samples, which forces the
+relay to buffer the received stream (~350 ns of delay).  FastForward's
+cancellation filter is strictly causal — it only combines the current and
+*past* transmitted samples — so received samples stream through with zero
+buffering delay (paper §3.3, Fig. 9a).  :class:`StreamingFir` implements
+exactly that sample-by-sample discipline and is used by the relay loop
+simulator, where block filtering would hide the feedback path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_complex_1d
+
+
+class FirFilter:
+    """A fixed-coefficient FIR filter applied to whole blocks.
+
+    ``taps[k]`` multiplies the input delayed by ``k`` samples, i.e. the
+    filter computes ``y[n] = sum_k taps[k] * x[n-k]`` (causal convolution,
+    output trimmed to the input length).
+    """
+
+    def __init__(self, taps):
+        taps = np.asarray(taps, dtype=complex)
+        if taps.ndim != 1 or taps.size == 0:
+            raise ValueError(f"taps must be a non-empty 1-D array, got shape {taps.shape}")
+        self.taps = taps
+
+    @property
+    def order(self):
+        """Filter order (number of taps minus one)."""
+        return self.taps.size - 1
+
+    def apply(self, x):
+        """Filter a block, returning an output of the same length."""
+        x = ensure_complex_1d(x, "x")
+        full = np.convolve(x, self.taps)
+        return full[: x.size]
+
+    def apply_full(self, x):
+        """Filter a block returning the full convolution (len x + order)."""
+        x = ensure_complex_1d(x, "x")
+        return np.convolve(x, self.taps)
+
+    def frequency_response(self, freqs_normalized):
+        """Complex response at normalised frequencies (cycles/sample)."""
+        return fir_frequency_response(self.taps, freqs_normalized)
+
+    def group_delay_samples(self):
+        """Energy-weighted mean tap index — the effective filter delay."""
+        energy = np.abs(self.taps) ** 2
+        total = energy.sum()
+        if total == 0:
+            return 0.0
+        return float(np.dot(np.arange(self.taps.size), energy) / total)
+
+
+class StreamingFir:
+    """Sample-by-sample causal FIR with internal state.
+
+    Unlike :class:`FirFilter.apply`, this object is fed one sample (or a
+    small chunk) at a time and remembers its delay line across calls, so
+    it can sit inside a feedback loop where the filter's own output
+    re-enters the input stream — exactly the situation in the full-duplex
+    relay where the transmitted signal is a function of what was received
+    moments ago.
+    """
+
+    def __init__(self, taps):
+        taps = np.asarray(taps, dtype=complex)
+        if taps.ndim != 1 or taps.size == 0:
+            raise ValueError(f"taps must be a non-empty 1-D array, got shape {taps.shape}")
+        self.taps = taps
+        self._history = np.zeros(taps.size, dtype=complex)
+
+    def reset(self):
+        """Clear the delay line."""
+        self._history[:] = 0.0
+
+    def push(self, sample):
+        """Process one input sample and return one output sample."""
+        self._history = np.roll(self._history, 1)
+        self._history[0] = sample
+        return complex(np.dot(self.taps, self._history))
+
+    def process(self, x):
+        """Process a chunk, preserving state between calls.
+
+        Equivalent to calling :meth:`push` for every sample, but
+        vectorised: the chunk is convolved against the taps with the
+        saved history prepended.
+        """
+        x = ensure_complex_1d(x, "x")
+        if x.size == 0:
+            return x.copy()
+        # Prepend history (most-recent-first storage must be reversed
+        # into chronological order for convolution).
+        chron_hist = self._history[::-1]
+        ext = np.concatenate([chron_hist, x])
+        full = np.convolve(ext, self.taps)
+        out = full[self._history.size : self._history.size + x.size]
+        # Update history with the most recent samples, newest first.
+        take = min(self._history.size, x.size)
+        new_hist = np.roll(self._history, take)
+        new_hist[:take] = x[-take:][::-1]
+        self._history = new_hist
+        return out
+
+
+def fir_frequency_response(taps, freqs_normalized):
+    """Evaluate ``H(f) = sum_k taps[k] exp(-j 2 pi f k)`` at given freqs.
+
+    ``freqs_normalized`` is in cycles/sample (so the Nyquist band is
+    [-0.5, 0.5]).
+    """
+    taps = np.asarray(taps, dtype=complex)
+    f = np.atleast_1d(np.asarray(freqs_normalized, dtype=float))
+    k = np.arange(taps.size)
+    return np.exp(-2j * np.pi * np.outer(f, k)) @ taps
+
+
+def design_ls_fir(freqs_normalized, desired_response, num_taps, weight=None):
+    """Least-squares FIR design matching a desired complex response.
+
+    Finds the ``num_taps`` causal taps minimising the (optionally
+    weighted) squared error ``|H(f_i) - D_i|^2`` over the given frequency
+    grid.  This is the workhorse used both for digital cancellation (fit
+    the self-interference channel) and the CNF digital pre-filter.
+    """
+    f = np.atleast_1d(np.asarray(freqs_normalized, dtype=float))
+    d = np.atleast_1d(np.asarray(desired_response, dtype=complex))
+    if f.shape != d.shape:
+        raise ValueError(f"freqs and desired must match, got {f.shape} vs {d.shape}")
+    if num_taps < 1:
+        raise ValueError(f"num_taps must be >= 1, got {num_taps}")
+    k = np.arange(num_taps)
+    basis = np.exp(-2j * np.pi * np.outer(f, k))
+    if weight is not None:
+        w = np.sqrt(np.atleast_1d(np.asarray(weight, dtype=float)))
+        basis = basis * w[:, None]
+        d = d * w
+    taps, *_ = np.linalg.lstsq(basis, d, rcond=None)
+    return taps

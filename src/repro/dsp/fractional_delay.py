@@ -1,0 +1,83 @@
+"""Fractional-sample delay filters (sinc and Lagrange designs).
+
+§3.4 of the paper explains why constructive filtering cannot be done
+purely digitally: rotating a 2.45 GHz carrier by 90 degrees requires a
+100 ps delay, two orders of magnitude finer than the 10 ns sample period
+at 100 Msps.  Interpolating between samples needs long sinc filters
+(Laakso et al. [18], Välimäki & Laakso [28]) whose many taps blow the
+relay's latency budget.  These designs are implemented here both as a
+general DSP utility and so the benchmarks can *quantify* that trade-off
+(taps needed vs. delay accuracy) that motivates the analog CNF filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_complex_1d
+
+
+def sinc_fractional_delay_taps(delay_samples, num_taps, window="hamming"):
+    """Windowed-sinc FIR approximating a ``delay_samples`` delay.
+
+    The ideal fractional delay is ``h[k] = sinc(k - d)``; truncating to
+    ``num_taps`` taps and windowing controls the approximation error.
+    The delay should sit near the centre of the filter for best accuracy,
+    so callers typically pass ``delay_samples ≈ num_taps/2 + frac``.
+    """
+    if num_taps < 1:
+        raise ValueError(f"num_taps must be >= 1, got {num_taps}")
+    k = np.arange(num_taps)
+    taps = np.sinc(k - float(delay_samples))
+    if window == "hamming":
+        taps = taps * np.hamming(num_taps)
+    elif window == "blackman":
+        taps = taps * np.blackman(num_taps)
+    elif window not in (None, "rect", "rectangular"):
+        raise ValueError(f"unknown window {window!r}")
+    return taps.astype(complex)
+
+
+def lagrange_fractional_delay_taps(delay_samples, order):
+    """Lagrange-interpolation fractional-delay FIR of a given order.
+
+    Maximally flat at DC; excellent for small fractional delays with few
+    taps, degrading toward Nyquist.  ``delay_samples`` should lie within
+    ``[order/2 - 1, order/2 + 1]`` for a well-conditioned design.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    n = order + 1
+    d = float(delay_samples)
+    taps = np.ones(n, dtype=float)
+    for k in range(n):
+        for m in range(n):
+            if m != k:
+                taps[k] *= (d - m) / (k - m)
+    return taps.astype(complex)
+
+
+def apply_fractional_delay(x, delay_samples, num_taps=33):
+    """Delay ``x`` by a fractional number of samples with a sinc filter.
+
+    The integer part is handled by shifting, the fractional part by a
+    windowed-sinc filter centred in its support; output is trimmed back
+    to the input length.  Total effective delay is ``delay_samples``.
+    """
+    x = ensure_complex_1d(x, "x")
+    d = float(delay_samples)
+    if d < 0:
+        raise ValueError(f"delay must be non-negative, got {d}")
+    int_part = int(np.floor(d))
+    frac = d - int_part
+    centre = (num_taps - 1) // 2
+    taps = sinc_fractional_delay_taps(centre + frac, num_taps)
+    full = np.convolve(x, taps)
+    out = np.zeros_like(x)
+    start = centre - int_part
+    if start >= 0:
+        seg = full[start : start + x.size]
+    else:
+        seg = np.concatenate([np.zeros(-start, dtype=complex), full])[: x.size]
+    out[: seg.size] = seg
+    return out

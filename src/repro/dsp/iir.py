@@ -1,0 +1,83 @@
+"""Low-latency IIR building blocks.
+
+The paper's uplink sender-identification path (§6, Fig. 20) extracts the
+energy on ~10 STF subcarriers using "complex exponent and low latency IIR
+filters" so a client can be identified before the PHY header ends.  A
+one-pole complex resonator per subcarrier does exactly this with one
+multiply-accumulate per sample and zero look-ahead; :class:`GoertzelBank`
+bundles a bank of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_complex_1d, ensure_in_range
+
+
+class OnePoleIir:
+    """One-pole complex IIR: ``y[n] = (1-a) x[n] + a p y[n-1]``.
+
+    ``pole_magnitude`` (``a``) controls the bandwidth/latency trade-off
+    and ``pole_frequency`` (cycles/sample) tunes the resonator onto one
+    subcarrier.  With ``pole_frequency=0`` this is a standard leaky
+    integrator / envelope tracker.
+    """
+
+    def __init__(self, pole_magnitude, pole_frequency=0.0):
+        ensure_in_range(pole_magnitude, 0.0, 0.999999, "pole_magnitude")
+        self.pole = pole_magnitude * np.exp(2j * np.pi * pole_frequency)
+        self.gain = 1.0 - pole_magnitude
+        self._state = 0.0 + 0.0j
+
+    def reset(self):
+        """Clear the filter state."""
+        self._state = 0.0 + 0.0j
+
+    def push(self, sample):
+        """Process one sample, returning the filtered output."""
+        self._state = self.gain * sample + self.pole * self._state
+        return self._state
+
+    def process(self, x):
+        """Process a block, preserving state across calls."""
+        x = ensure_complex_1d(x, "x")
+        out = np.empty_like(x)
+        state = self._state
+        gain, pole = self.gain, self.pole
+        for i, sample in enumerate(x):
+            state = gain * sample + pole * state
+            out[i] = state
+        self._state = state
+        return out
+
+
+class GoertzelBank:
+    """A bank of single-bin DFT trackers (complex resonators).
+
+    :meth:`measure` mixes the input down by each target frequency and
+    accumulates, producing a per-bin complex amplitude estimate.  This is
+    the vectorised (block) equivalent of running one :class:`OnePoleIir`
+    per subcarrier and reading its state after the STF — the measurement
+    the uplink fingerprinter feeds to its nearest-neighbour matcher.
+    """
+
+    def __init__(self, freqs_normalized):
+        f = np.atleast_1d(np.asarray(freqs_normalized, dtype=float))
+        if f.size == 0:
+            raise ValueError("GoertzelBank needs at least one frequency")
+        self.freqs = f
+
+    def measure(self, x):
+        """Per-bin complex amplitude of ``x`` at each bank frequency.
+
+        Returns an array of ``len(freqs)`` complex values, each the
+        average of ``x[n] * exp(-j 2 pi f n)`` — i.e. the DFT bin value
+        normalised by block length.
+        """
+        x = ensure_complex_1d(x, "x")
+        if x.size == 0:
+            raise ValueError("cannot measure an empty block")
+        n = np.arange(x.size)
+        mixers = np.exp(-2j * np.pi * np.outer(self.freqs, n))
+        return (mixers @ x) / x.size

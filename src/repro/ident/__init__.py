@@ -1,0 +1,55 @@
+"""Source/destination identification for relay filter selection (§6).
+
+The relay must know which constructive filter to apply *before* the PHY
+header arrives (the destination estimates its channel from the
+preamble, so relaying must start immediately):
+
+* **downlink** (:mod:`repro.ident.pn_signature`) — the AP prepends a
+  per-client pseudo-random signature (4 us, repeated twice) that the
+  relay detects by correlation; legacy clients ignore it.
+* **uplink** (:mod:`repro.ident.fingerprint`) — clients cannot be
+  changed, so the relay identifies the transmitter from how the known
+  STF is transformed by the client->relay channel, nearest-neighbour
+  matched against its per-client channel database.
+* **sounding** (:mod:`repro.ident.sounding`) — the 802.11n/ac-style
+  explicit feedback loop (every 50 ms) that hands the relay the three
+  channels construct-and-forward needs (§4.2).
+"""
+
+from repro.ident.pn_signature import (
+    SignatureBook,
+    SignatureDetector,
+    DEFAULT_SIGNATURE_LENGTH,
+)
+from repro.ident.fingerprint import (
+    ChannelFingerprinter,
+    FingerprintDecision,
+    AGGRESSIVE_THRESHOLD,
+    PASSIVE_THRESHOLD,
+)
+from repro.ident.sounding import SoundingProtocol, ChannelReport
+from repro.ident.controller import RelayController, RelayDecision
+from repro.ident.feedback import (
+    FeedbackReport,
+    encode_channel_feedback,
+    quantize_channel,
+    feedback_quantization_ablation,
+)
+
+__all__ = [
+    "SignatureBook",
+    "SignatureDetector",
+    "DEFAULT_SIGNATURE_LENGTH",
+    "ChannelFingerprinter",
+    "FingerprintDecision",
+    "AGGRESSIVE_THRESHOLD",
+    "PASSIVE_THRESHOLD",
+    "SoundingProtocol",
+    "ChannelReport",
+    "RelayController",
+    "RelayDecision",
+    "FeedbackReport",
+    "encode_channel_feedback",
+    "quantize_channel",
+    "feedback_quantization_ablation",
+]

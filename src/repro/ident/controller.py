@@ -1,0 +1,131 @@
+"""Packet-by-packet relay decisions (§6).
+
+"A final implementation question is how selective is the FF relay.
+Should it relay any packet it detects?"  The paper's answer: only
+constructively relay packets of its own network, with the right filter,
+identified *before* the PHY header arrives:
+
+* downlink — the AP prepends the per-client PN signature; a correlation
+  match names the destination client;
+* uplink — the destination is always the AP; the transmitting client is
+  named by its STF channel fingerprint;
+* anything else (a neighbour's AP, an unknown client, stale channel
+  state) is left alone — a missed relay is harmless, a wrong filter is
+  not.
+
+:class:`RelayController` composes the signature detector, the
+fingerprinter and the sounding book into those decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ident.fingerprint import ChannelFingerprinter
+from repro.ident.pn_signature import SignatureBook, SignatureDetector
+from repro.ident.sounding import SoundingProtocol
+
+
+@dataclass(frozen=True)
+class RelayDecision:
+    """What the relay should do with the packet now arriving."""
+
+    relay: bool
+    client_id: object = None
+    direction: str = ""          # "downlink" / "uplink" when relaying
+    channels: tuple = None       # (h_sd, h_sr, h_rd) for the filter
+    reason: str = ""
+
+
+class RelayController:
+    """The relay's per-packet control plane.
+
+    Parameters
+    ----------
+    book / detector:
+        The shared signature book and its streaming detector (downlink).
+    fingerprinter:
+        The STF matcher, enrolled from sounding estimates (uplink).
+    sounding:
+        The channel bookkeeping; a relay decision requires fresh
+        channels for the named client.
+    """
+
+    def __init__(self, book: SignatureBook = None,
+                 fingerprinter: ChannelFingerprinter = None,
+                 sounding: SoundingProtocol = None,
+                 detection_threshold=0.5):
+        self.book = book or SignatureBook()
+        self.detector = SignatureDetector(self.book,
+                                          threshold=detection_threshold)
+        self.fingerprinter = fingerprinter or ChannelFingerprinter()
+        self.sounding = sounding or SoundingProtocol()
+        self._clients = set()
+
+    def register_client(self, client_id):
+        """Learn a client: allocate its signature (the AP shares the
+        book) and track it for decisions."""
+        self._clients.add(client_id)
+        self.book.signature(client_id)
+
+    def observe_sounding(self, client_id, reported_direct,
+                         measured_client_to_relay, now_s):
+        """Feed one sounding reply into the channel book and the
+        fingerprint database."""
+        self.register_client(client_id)
+        self.sounding.record_poll_reply(client_id, reported_direct,
+                                        measured_client_to_relay, now_s)
+        h = np.asarray(measured_client_to_relay, dtype=complex)
+        norm = np.sqrt(np.mean(np.abs(h) ** 2))
+        if norm > 0:
+            self.fingerprinter.enroll(client_id, h / norm)
+
+    def observe_ap_packet(self, measured_ap_to_relay, now_s):
+        """Any AP transmission refreshes the backhaul channel."""
+        self.sounding.record_ap_packet(measured_ap_to_relay, now_s)
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide_downlink(self, rx_stream, now_s):
+        """Decision for a stream that may begin with a PN signature."""
+        if not self._clients:
+            return RelayDecision(relay=False, reason="no clients registered")
+        hit = self.detector.identify(rx_stream, sorted(self._clients,
+                                                       key=str))
+        if hit is None:
+            return RelayDecision(relay=False,
+                                 reason="no signature match (foreign or "
+                                        "unknown packet)")
+        client_id, _, _ = hit
+        channels = self.sounding.channels_for(client_id, now_s,
+                                              direction="downlink")
+        if channels is None:
+            return RelayDecision(relay=False, client_id=client_id,
+                                 reason="channel state missing or stale")
+        return RelayDecision(relay=True, client_id=client_id,
+                             direction="downlink", channels=channels,
+                             reason="signature matched")
+
+    def decide_uplink(self, stf_period, now_s):
+        """Decision for an uplink packet from its first STF period."""
+        if not self._clients:
+            return RelayDecision(relay=False, reason="no clients registered")
+        try:
+            decision = self.fingerprinter.identify(stf_period)
+        except RuntimeError:
+            return RelayDecision(relay=False, reason="no fingerprints "
+                                                     "enrolled")
+        if decision.client_id is None:
+            return RelayDecision(relay=False,
+                                 reason="fingerprint below threshold "
+                                        "(false negative is harmless)")
+        channels = self.sounding.channels_for(decision.client_id, now_s,
+                                              direction="uplink")
+        if channels is None:
+            return RelayDecision(relay=False, client_id=decision.client_id,
+                                 reason="channel state missing or stale")
+        return RelayDecision(relay=True, client_id=decision.client_id,
+                             direction="uplink", channels=channels,
+                             reason="fingerprint matched")

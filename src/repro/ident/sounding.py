@@ -1,0 +1,122 @@
+"""The channel-sounding loop that feeds construct-and-forward (§4.2).
+
+The relay can measure two of the three channels itself (source->relay
+from any AP packet, relay->client from ACKs/poll replies), but the
+direct source->destination channel must be told to it.  802.11n/ac's
+explicit sounding does exactly that: the AP sounds every 50 ms, clients
+reply with compressed channel state, and the relay — spoofing the AP's
+poll — snoops the replies.  This module simulates that protocol at the
+report level (who knows which channel when), with staleness tracking so
+experiments can model the 50 ms refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The paper's sounding/polling period.
+DEFAULT_SOUNDING_INTERVAL_S = 50e-3
+
+
+@dataclass
+class ChannelReport:
+    """One channel estimate held by the relay."""
+
+    link: tuple                  # (source_id, destination_id)
+    channel: np.ndarray          # per-subcarrier estimate
+    timestamp_s: float
+
+    def age_s(self, now_s):
+        """Seconds since this report was captured."""
+        return now_s - self.timestamp_s
+
+
+class SoundingProtocol:
+    """The relay's channel book-keeping over the sounding loop.
+
+    Experiments drive it with events:
+
+    * :meth:`record_ap_packet` — any AP transmission refreshes the
+      AP->relay channel;
+    * :meth:`record_poll_reply` — a client's sounding reply carries its
+      measured AP->client channel and lets the relay measure the
+      client->relay channel from the reply itself;
+    * :meth:`channels_for` — the (h_sd, h_sr, h_rd) triple for a client,
+      or None while any piece is missing or stale.
+
+    Reciprocity (§4.2) supplies relay->client from client->relay.
+    """
+
+    def __init__(self, relay_id="relay", ap_id="ap",
+                 sounding_interval_s=DEFAULT_SOUNDING_INTERVAL_S,
+                 staleness_factor=3.0):
+        self.relay_id = relay_id
+        self.ap_id = ap_id
+        self.sounding_interval_s = float(sounding_interval_s)
+        self.staleness_factor = float(staleness_factor)
+        self._reports = {}
+
+    def _store(self, link, channel, now_s):
+        self._reports[link] = ChannelReport(
+            link=link, channel=np.asarray(channel, dtype=complex),
+            timestamp_s=float(now_s))
+
+    def record_ap_packet(self, measured_ap_to_relay, now_s):
+        """The relay measured the AP->relay channel from a preamble."""
+        self._store((self.ap_id, self.relay_id), measured_ap_to_relay, now_s)
+
+    def record_poll_reply(self, client_id, reported_ap_to_client,
+                          measured_client_to_relay, now_s):
+        """A sounding reply from ``client_id`` arrived.
+
+        The reply's payload carries the client's AP->client estimate;
+        its preamble lets the relay estimate client->relay, which by
+        reciprocity is also relay->client.
+        """
+        self._store((self.ap_id, client_id), reported_ap_to_client, now_s)
+        self._store((client_id, self.relay_id), measured_client_to_relay, now_s)
+        self._store((self.relay_id, client_id),
+                    np.asarray(measured_client_to_relay, dtype=complex), now_s)
+
+    def _fresh(self, link, now_s):
+        report = self._reports.get(link)
+        if report is None:
+            return None
+        if report.age_s(now_s) > self.staleness_factor * self.sounding_interval_s:
+            return None
+        return report
+
+    def channels_for(self, client_id, now_s, direction="downlink"):
+        """The (h_sd, h_sr, h_rd) triple for construct-and-forward.
+
+        Downlink: source = AP, destination = client.  Uplink: source =
+        client, destination = AP; by reciprocity and commutativity the
+        same constructive filter serves both (§4.2), so the same triple
+        is returned with source/destination channels swapped.
+        Returns None when any piece is missing or stale.
+        """
+        direct = self._fresh((self.ap_id, client_id), now_s)
+        to_relay = self._fresh((self.ap_id, self.relay_id), now_s)
+        from_relay = self._fresh((self.relay_id, client_id), now_s)
+        if direct is None or to_relay is None or from_relay is None:
+            return None
+        if direction == "downlink":
+            return direct.channel, to_relay.channel, from_relay.channel
+        if direction == "uplink":
+            client_to_relay = self._reports.get((client_id, self.relay_id))
+            if client_to_relay is None:
+                return None
+            # Reciprocity: AP->relay measured channel serves relay->AP.
+            return direct.channel, client_to_relay.channel, to_relay.channel
+        raise ValueError(f"unknown direction {direction!r}")
+
+    def next_sounding_due_s(self, last_sounding_s):
+        """When the AP should sound again."""
+        return last_sounding_s + self.sounding_interval_s
+
+    def known_clients(self):
+        """Clients with a direct-channel report."""
+        return sorted({dst for (src, dst) in self._reports
+                       if src == self.ap_id and dst != self.relay_id})

@@ -1,0 +1,76 @@
+"""Testbeds, throughput models and per-figure experiment runners.
+
+This is the evaluation layer: it places APs, relays and clients in
+floor plans (§5's indoor settings), computes each scheme's PHY-layer
+throughput — "the optimal bitrate that can be used at any location
+given the SNR and the MIMO rank" — and packages one runner per figure
+of the paper's evaluation section.
+"""
+
+from repro.netsim.testbed import Testbed, Scenario, paper_scenarios
+from repro.netsim.throughput import (
+    siso_rate_mbps,
+    mimo_rate_mbps,
+    ap_only_siso_rate,
+    ap_only_mimo_rate,
+    ff_siso_rate,
+    ff_mimo_rate,
+    snr_field_db,
+)
+from repro.netsim.metrics import (
+    empirical_cdf,
+    relative_gains,
+    median_gain,
+    percentile_gain,
+)
+from repro.netsim.heatmap import coverage_heatmap, HeatmapResult
+from repro.netsim.link import SampleLevelLink, LinkResult
+from repro.netsim.ablations import (
+    causality_ablation,
+    decomposition_ablation,
+    oversample_ablation,
+    stale_channel_ablation,
+)
+from repro.netsim.experiments import (
+    overall_gains_experiment,
+    siso_gains_experiment,
+    uplink_gains_experiment,
+    scenario_class_experiment,
+    latency_sweep_experiment,
+    no_cnf_experiment,
+    cancellation_sweep_experiment,
+    fingerprint_experiment,
+)
+
+__all__ = [
+    "Testbed",
+    "Scenario",
+    "paper_scenarios",
+    "siso_rate_mbps",
+    "mimo_rate_mbps",
+    "ap_only_siso_rate",
+    "ap_only_mimo_rate",
+    "ff_siso_rate",
+    "ff_mimo_rate",
+    "snr_field_db",
+    "empirical_cdf",
+    "relative_gains",
+    "median_gain",
+    "percentile_gain",
+    "coverage_heatmap",
+    "HeatmapResult",
+    "SampleLevelLink",
+    "LinkResult",
+    "causality_ablation",
+    "decomposition_ablation",
+    "oversample_ablation",
+    "stale_channel_ablation",
+    "overall_gains_experiment",
+    "siso_gains_experiment",
+    "uplink_gains_experiment",
+    "scenario_class_experiment",
+    "latency_sweep_experiment",
+    "no_cnf_experiment",
+    "cancellation_sweep_experiment",
+    "fingerprint_experiment",
+]

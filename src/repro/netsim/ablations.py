@@ -1,0 +1,196 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each function isolates one mechanism of the system and sweeps it, so
+the contribution of every design decision is measurable:
+
+* :func:`decomposition_ablation` — how much of the ideal constructive
+  filter's gain survives the 4-tap digital / 4-tap analog split (§3.4),
+  and what each stage contributes alone;
+* :func:`causality_ablation` — causal vs buffered (non-causal) digital
+  cancellation: cancellation depth *and* whether the latency fits the
+  WiFi CP (§3.3's central trade-off);
+* :func:`oversample_ablation` — total cancellation vs the hardware's
+  oversampling factor (why the chain runs faster than the signal);
+* :func:`stale_channel_ablation` — constructive gain vs channel-state
+  age under Gauss-Markov aging (why §4.2 re-sounds every 50 ms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cancellation import CancellationPipeline
+from repro.core.relay import FastForwardRelay, RelayConfig
+from repro.netsim.testbed import Testbed, paper_scenarios
+from repro.netsim.throughput import ff_siso_rate
+from repro.phy.rates import effective_snr_db
+from repro.utils.rng import child_rngs, make_rng
+
+
+def _siso_clients(num_clients, seed):
+    """Channel triples + extra delays across the paper scenarios."""
+    scenarios = paper_scenarios()
+    out = []
+    for s_idx, scenario in enumerate(scenarios):
+        testbed = Testbed(scenario, seed=seed + s_idx)
+        count = max(1, num_clients // len(scenarios))
+        positions = testbed.client_positions(count, rng=seed + 50 + s_idx)
+        rngs = child_rngs(seed + 90 + s_idx, count)
+        for client, rng in zip(positions, rngs):
+            out.append((testbed.siso_triple(client, rng),
+                        testbed.extra_path_delay_s(client)))
+    return out
+
+
+def decomposition_ablation(num_clients=24, seed=0):
+    """Median destination SNR per filter-realisation variant (dB).
+
+    Variants: the ideal per-subcarrier filter, the full digital+analog
+    decomposition, digital-only (no analog fine rotation), analog-only
+    (no per-subcarrier pre-rotation), and no CNF at all.
+    """
+    clients = _siso_clients(num_clients, seed)
+    variants = {
+        "ideal": dict(use_cnf=True, use_decomposition=False),
+        "digital+analog": dict(use_cnf=True, use_decomposition=True),
+        "no_cnf": dict(use_cnf=False, use_decomposition=False),
+    }
+    results = {name: [] for name in variants}
+    results["digital_only"] = []
+    results["analog_only"] = []
+
+    for (h_sd, h_sr, h_rd), delay in clients:
+        for name, flags in variants.items():
+            cfg = RelayConfig(**flags)
+            relay = FastForwardRelay(cfg).configure_siso_link(h_sd, h_sr, h_rd)
+            results[name].append(
+                effective_snr_db(relay.destination_snr_db(delay)))
+        # Stage-isolated variants: reuse the full decomposition and
+        # evaluate each stage's response alone (normalised to unit peak).
+        relay = FastForwardRelay(RelayConfig()).configure_siso_link(
+            h_sd, h_sr, h_rd)
+        freqs = relay.config.params.subcarrier_freqs_hz()
+        for name, resp in (
+                ("digital_only", relay.decomposition.digital_response(freqs)),
+                ("analog_only", relay.decomposition.analog_response(freqs))):
+            peak = np.abs(resp).max()
+            stage = FastForwardRelay(RelayConfig()).configure_siso_link(
+                h_sd, h_sr, h_rd)
+            stage._filter_response = resp / peak if peak > 0 else resp
+            results[name].append(
+                effective_snr_db(stage.destination_snr_db(delay)))
+
+    return {name: float(np.median(vals)) for name, vals in results.items()}
+
+
+def causality_ablation(seed=0):
+    """Causal vs non-causal digital cancellation: depth and latency.
+
+    Returns per-variant dicts with the achieved total cancellation and
+    whether the relay's latency budget (with that canceller) fits the
+    WiFi CP.  The non-causal baseline buffers ~350 ns (§3.3).
+    """
+    from repro.core.latency import LatencyBudget
+    from repro.phy.params import WIFI_20MHZ
+
+    pipe = CancellationPipeline(rng=seed)
+    pipe.tune()
+    causal_report = pipe.measure()
+
+    budget = LatencyBudget()
+    out = {
+        "causal": {
+            "total_cancellation_db": causal_report.total_db,
+            "latency_ns": budget.total_s() * 1e9,
+            "fits_wifi_cp": budget.fits_cp(WIFI_20MHZ),
+        },
+        "non_causal": {
+            # The buffered baseline achieves the same depth (it sees
+            # strictly more information) but blows the latency budget.
+            "total_cancellation_db": causal_report.total_db,
+            "latency_ns": budget.non_causal_digital(350e-9).total_s() * 1e9,
+            "fits_wifi_cp": budget.non_causal_digital(350e-9).fits_cp(
+                WIFI_20MHZ),
+        },
+    }
+    return out
+
+
+def oversample_ablation(factors=(1, 2, 4, 8), seed=0):
+    """Total cancellation vs the cancellation chain's oversampling."""
+    results = {}
+    for factor in factors:
+        pipe = CancellationPipeline(rng=seed, oversample=int(factor))
+        pipe.tune()
+        results[int(factor)] = pipe.measure().total_db
+    return results
+
+
+def stale_channel_ablation(ages=(0, 1, 2, 4, 8), rho_per_interval=0.97,
+                           num_clients=24, seed=0):
+    """Throughput gain vs channel-state age (in sounding intervals).
+
+    The relay configures its filter from channels aged ``k`` intervals
+    (Gauss-Markov, ``rho_per_interval`` per 50 ms step) while the true
+    channels have moved on; the destination SNR is evaluated on the
+    true channels.  Quantifies why §4.2 re-sounds every 50 ms.
+    """
+    scenarios = paper_scenarios()
+    results = {"ages": np.asarray(ages, dtype=int)}
+    medians = []
+
+    # Pre-draw clients: (true channel objects, extra delay).
+    clients = []
+    for s_idx, scenario in enumerate(scenarios):
+        testbed = Testbed(scenario, seed=seed + s_idx)
+        count = max(1, num_clients // len(scenarios))
+        positions = testbed.client_positions(count, rng=seed + 70 + s_idx)
+        rngs = child_rngs(seed + 80 + s_idx, count)
+        p = testbed.params
+        for client, rng in zip(positions, rngs):
+            draws = child_rngs(rng, 3)
+            chans = [
+                testbed.propagation.siso_channel(
+                    scenario.ap, client, p.sample_period_s, num_taps=4,
+                    rng=draws[0]),
+                testbed.propagation.siso_channel(
+                    scenario.ap, scenario.relay, p.sample_period_s,
+                    num_taps=4, rng=draws[1]),
+                testbed.propagation.siso_channel(
+                    scenario.relay, client, p.sample_period_s, num_taps=4,
+                    rng=draws[2]),
+            ]
+            clients.append((testbed, chans, testbed.extra_path_delay_s(client)))
+
+    mean_snrs = []
+    for age in ages:
+        rates = []
+        snrs = []
+        evo_rng = make_rng(seed + 999)
+        for testbed, chans, delay in clients:
+            p = testbed.params
+            used = p.used_subcarriers()
+            # What the relay *believes*: the channels as sounded `age`
+            # intervals ago; reality has evolved since.
+            stale = chans
+            current = chans
+            for _ in range(int(age)):
+                current = [c.evolve(rho_per_interval, evo_rng)
+                           for c in current]
+            h_stale = [c.frequency_response(used, p.fft_size) for c in stale]
+            h_true = [c.frequency_response(used, p.fft_size) for c in current]
+
+            relay = FastForwardRelay(RelayConfig(params=p))
+            relay.configure_siso_link(*h_stale)
+            # Evaluate the stale filter against the true channels.
+            relay._h_sd, relay._h_sr, relay._h_rd = h_true
+            rates.append(ff_siso_rate(relay, delay))
+            snrs.append(effective_snr_db(relay.destination_snr_db(delay)))
+        medians.append(float(np.mean(np.asarray(rates))))
+        mean_snrs.append(float(np.mean(np.asarray(snrs))))
+    results["mean_rate_mbps"] = np.asarray(medians)
+    results["mean_snr_db"] = np.asarray(mean_snrs)
+    fresh = max(results["mean_rate_mbps"][0], 1e-9)
+    results["relative_to_fresh"] = results["mean_rate_mbps"] / fresh
+    results["snr_loss_db"] = results["mean_snr_db"][0] - results["mean_snr_db"]
+    return results

@@ -1,0 +1,393 @@
+"""One runner per evaluation figure (§5, §6.1).
+
+Every runner returns a plain dict of arrays/statistics so that the
+benchmark layer can print the paper's rows and the test layer can
+assert the qualitative shape (who wins, roughly by how much, where the
+crossovers fall).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import AmplifyForwardRelay, half_duplex_throughput_mbps
+from repro.core.latency import LatencyBudget
+from repro.core.relay import FastForwardRelay, RelayConfig
+from repro.netsim.metrics import median_gain, percentile_gain, relative_gains
+from repro.netsim.testbed import Testbed, paper_scenarios
+from repro.netsim.throughput import (
+    ap_only_mimo_rate,
+    ap_only_siso_rate,
+    ff_mimo_rate,
+    ff_siso_rate,
+)
+from repro.phy.rates import effective_snr_db
+from repro.utils.rng import child_rngs
+from repro.utils.units import power_to_db
+
+
+def _hd_mimo_rate(testbed, client, rng, direct_rate):
+    """AP + half-duplex mesh router rate for one client."""
+    h1, h2 = testbed.hop_mimo_channels(client, rng)
+    r1 = ap_only_mimo_rate(h1)
+    r2 = ap_only_mimo_rate(h2)
+    return half_duplex_throughput_mbps(direct_rate, r1, r2)
+
+
+def _collect_clients(testbed, num_clients, seed):
+    """Client positions plus one child RNG per client."""
+    positions = testbed.client_positions(num_clients, rng=seed)
+    return positions, child_rngs(seed + 1, num_clients)
+
+
+def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
+                             relay_config=None):
+    """Figs. 12/13/15 data: per-client rates for the three schemes (2x2).
+
+    Returns arrays ``ap_only``, ``half_duplex``, ``fastforward`` (Mbps)
+    plus per-client diagnostics (direct effective SNR, usable direct
+    streams) for the Fig. 15 classification.
+    """
+    scenarios = scenarios if scenarios is not None else paper_scenarios()
+    ap_rates, hd_rates, ff_rates = [], [], []
+    direct_snrs, direct_streams = [], []
+    for s_idx, scenario in enumerate(scenarios):
+        testbed = Testbed(scenario, seed=seed + s_idx)
+        count = max(1, num_clients // len(scenarios))
+        positions, rngs = _collect_clients(testbed, count, seed + 100 + s_idx)
+        for client, rng in zip(positions, rngs):
+            m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
+            delay = testbed.extra_path_delay_s(client)
+
+            direct_rate = ap_only_mimo_rate(m_sd)
+            ap_rates.append(direct_rate)
+            hd_rates.append(_hd_mimo_rate(testbed, client, rng, direct_rate))
+
+            cfg = relay_config or RelayConfig(params=testbed.params)
+            relay = FastForwardRelay(cfg)
+            relay.configure_mimo_link(m_sd, m_sr, m_rd)
+            ff_rates.append(ff_mimo_rate(relay, delay))
+
+            # Diagnostics for the Fig. 15 classes.
+            from repro.netsim.throughput import usable_streams
+
+            noise = 10.0 ** (-90.0 / 10.0)
+            n_rx = m_sd.shape[1]
+            cov = np.broadcast_to(noise * np.eye(n_rx),
+                                  (m_sd.shape[0], n_rx, n_rx)).copy()
+            direct_streams.append(usable_streams(m_sd, cov))
+            band_snr = effective_snr_db(power_to_db(np.maximum(
+                np.einsum("sij,sij->s", m_sd, m_sd.conj()).real
+                * 10.0 ** (20.0 / 10.0) / (n_rx * noise), 1e-30)))
+            direct_snrs.append(band_snr)
+
+    out = {
+        "ap_only": np.asarray(ap_rates),
+        "half_duplex": np.asarray(hd_rates),
+        "fastforward": np.asarray(ff_rates),
+        "direct_snr_db": np.asarray(direct_snrs),
+        "direct_streams": np.asarray(direct_streams, dtype=int),
+    }
+    out["ff_gain_vs_hd"] = relative_gains(out["fastforward"], out["half_duplex"])
+    out["ap_gain_vs_hd"] = relative_gains(out["ap_only"], out["half_duplex"])
+    out["median_ff_vs_ap"] = median_gain(out["fastforward"],
+                                         np.maximum(out["ap_only"], 1e-3))
+    out["median_ff_vs_hd"] = median_gain(out["fastforward"], out["half_duplex"])
+    return out
+
+
+def siso_gains_experiment(num_clients=60, seed=0, scenarios=None):
+    """Fig. 14 data: SISO AP/relay/client — pure SNR-gain territory."""
+    scenarios = scenarios if scenarios is not None else paper_scenarios()
+    ap_rates, hd_rates, ff_rates = [], [], []
+    for s_idx, scenario in enumerate(scenarios):
+        testbed = Testbed(scenario, seed=seed + s_idx)
+        count = max(1, num_clients // len(scenarios))
+        positions, rngs = _collect_clients(testbed, count, seed + 200 + s_idx)
+        for client, rng in zip(positions, rngs):
+            h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
+            delay = testbed.extra_path_delay_s(client)
+
+            direct_rate = ap_only_siso_rate(h_sd)
+            ap_rates.append(direct_rate)
+            r1 = ap_only_siso_rate(h_sr)
+            # relay->client hop reuses the rd channel.
+            r2 = ap_only_siso_rate(h_rd)
+            hd_rates.append(half_duplex_throughput_mbps(direct_rate, r1, r2))
+
+            relay = FastForwardRelay(RelayConfig(params=testbed.params))
+            relay.configure_siso_link(h_sd, h_sr, h_rd)
+            ff_rates.append(ff_siso_rate(relay, delay))
+
+    out = {
+        "ap_only": np.asarray(ap_rates),
+        "half_duplex": np.asarray(hd_rates),
+        "fastforward": np.asarray(ff_rates),
+    }
+    out["ff_gain_vs_hd"] = relative_gains(out["fastforward"], out["half_duplex"])
+    out["median_ff_vs_hd"] = median_gain(out["fastforward"], out["half_duplex"])
+    out["tail_ff_vs_hd"] = percentile_gain(out["fastforward"],
+                                           out["half_duplex"], 90)
+    return out
+
+
+def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0):
+    """Uplink (client -> AP) gains — "the relay can be used to improve
+    the link from the client to the AP as well" (§1, footnote 1).
+
+    SISO, with the roles swapped by reciprocity: the source is the
+    client (typically at lower transmit power than the AP), the first
+    hop is the client->relay channel, and the relay's amplification is
+    re-derived for the relay->AP path (the paper's footnote: "the
+    amplification applied is different in both directions").
+    """
+    scenarios = paper_scenarios()
+    ap_rates, ff_rates = [], []
+    for s_idx, scenario in enumerate(scenarios):
+        testbed = Testbed(scenario, seed=seed + s_idx)
+        count = max(1, num_clients // len(scenarios))
+        positions, rngs = _collect_clients(testbed, count, seed + 700 + s_idx)
+        for client, rng in zip(positions, rngs):
+            h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
+            delay = testbed.extra_path_delay_s(client)
+            # Uplink roles: direct is reciprocal; source->relay is the
+            # client->relay channel (= h_rd), relay->dest is relay->AP
+            # (= h_sr by reciprocity).
+            cfg = RelayConfig(params=testbed.params,
+                              tx_power_dbm=client_tx_power_dbm)
+            relay = FastForwardRelay(cfg)
+            relay.configure_siso_link(h_sd, h_rd, h_sr)
+            ff_rates.append(ff_siso_rate(relay, delay))
+            ap_rates.append(ap_only_siso_rate(
+                h_sd, tx_power_dbm=client_tx_power_dbm))
+    out = {
+        "ap_only": np.asarray(ap_rates),
+        "fastforward": np.asarray(ff_rates),
+    }
+    nz = out["ap_only"] > 0
+    out["median_ff_vs_ap"] = float(np.median(
+        out["fastforward"][nz] / out["ap_only"][nz])) if nz.any() else np.inf
+    out["dead_fixed"] = float(np.mean(
+        (out["ap_only"] == 0) & (out["fastforward"] > 0)))
+    return out
+
+
+def scenario_class_experiment(num_clients=90, seed=0):
+    """Fig. 15: gains partitioned by (SNR, rank) client class.
+
+    Classes: a) low SNR + low rank (edge); b) medium/high SNR + low
+    rank (pinhole); c) high SNR + full rank (near AP).
+    """
+    data = overall_gains_experiment(num_clients=num_clients, seed=seed)
+    snr = data["direct_snr_db"]
+    streams = data["direct_streams"]
+    gains = {}
+    masks = {
+        "low_snr_low_rank": (snr < 10.0) & (streams <= 1),
+        "medium_snr_low_rank": (snr >= 10.0) & (streams <= 1),
+        "high_snr_high_rank": (snr >= 18.0) & (streams >= 2),
+    }
+    for name, mask in masks.items():
+        if mask.sum() == 0:
+            gains[name] = np.array([])
+            continue
+        gains[name] = relative_gains(
+            data["fastforward"][mask], data["half_duplex"][mask],
+            drop_zero_baseline=True)
+    gains["counts"] = {name: int(mask.sum()) for name, mask in masks.items()}
+    gains["raw"] = data
+    return gains
+
+
+def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
+                             num_clients=40, seed=0):
+    """Fig. 16: median throughput gain vs relay processing latency.
+
+    Extra buffering is added to the relay's budget; past the CP the
+    relayed copy turns into inter-symbol interference and the gain
+    collapses below 1 (worse than no relay).
+    """
+    scenarios = paper_scenarios()
+    results = {"latency_ns": np.asarray(latencies_ns, dtype=float)}
+    medians = []
+    for extra_ns in latencies_ns:
+        ff_rates, hd_rates = [], []
+        budget = LatencyBudget(adc_dac_s=50e-9, cnf_digital_s=50e-9,
+                               extra_buffering_s=0.0)
+        # The sweep interprets the x-axis as *total* processing latency,
+        # matching the paper ("vary the processing delay at the FF relay
+        # from 100ns to 400ns"): the base budget is ~100 ns.
+        base = budget.total_s()
+        extra = max(extra_ns * 1e-9 - base, 0.0)
+        budget = budget.with_extra_buffering(extra)
+        for s_idx, scenario in enumerate(scenarios):
+            testbed = Testbed(scenario, seed=seed + s_idx)
+            count = max(1, num_clients // len(scenarios))
+            positions, rngs = _collect_clients(testbed, count,
+                                               seed + 300 + s_idx)
+            for client, rng in zip(positions, rngs):
+                m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
+                delay = testbed.extra_path_delay_s(client)
+                direct_rate = ap_only_mimo_rate(m_sd)
+                hd_rates.append(_hd_mimo_rate(testbed, client, rng,
+                                              direct_rate))
+                cfg = RelayConfig(params=testbed.params, latency=budget)
+                relay = FastForwardRelay(cfg)
+                relay.configure_mimo_link(m_sd, m_sr, m_rd)
+                ff_rates.append(ff_mimo_rate(relay, delay))
+        medians.append(median_gain(np.asarray(ff_rates), np.asarray(hd_rates)))
+    results["median_gain"] = np.asarray(medians)
+    return results
+
+
+def no_cnf_experiment(num_clients=60, seed=0):
+    """Fig. 17: the blind amplify-and-forward repeater vs FastForward."""
+    data = overall_gains_experiment(num_clients=num_clients, seed=seed)
+    scenarios = paper_scenarios()
+    af_rates = []
+    for s_idx, scenario in enumerate(scenarios):
+        testbed = Testbed(scenario, seed=seed + s_idx)
+        count = max(1, num_clients // len(scenarios))
+        positions, rngs = _collect_clients(testbed, count, seed + 100 + s_idx)
+        for client, rng in zip(positions, rngs):
+            m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
+            delay = testbed.extra_path_delay_s(client)
+            relay = AmplifyForwardRelay(RelayConfig(params=testbed.params))
+            relay.configure_mimo_link(m_sd, m_sr, m_rd)
+            af_rates.append(ff_mimo_rate(relay, delay))
+    data["amplify_forward"] = np.asarray(af_rates)
+    data["af_gain_vs_hd"] = relative_gains(data["amplify_forward"],
+                                           data["half_duplex"])
+    data["median_af_vs_hd"] = median_gain(data["amplify_forward"],
+                                          data["half_duplex"])
+    return data
+
+
+def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110),
+                                  num_clients=40, seed=0):
+    """Fig. 18: median gain vs the cancellation the relay achieves.
+
+    Cancellation caps amplification (minus the loop margin); dead-spot
+    clients lose the most when the cap drops.
+    """
+    scenarios = paper_scenarios()
+    medians = []
+    tails = []
+    for canc in cancellations_db:
+        ff_rates, hd_rates = [], []
+        for s_idx, scenario in enumerate(scenarios):
+            testbed = Testbed(scenario, seed=seed + s_idx)
+            count = max(1, num_clients // len(scenarios))
+            positions, rngs = _collect_clients(testbed, count,
+                                               seed + 400 + s_idx)
+            for client, rng in zip(positions, rngs):
+                m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
+                delay = testbed.extra_path_delay_s(client)
+                direct_rate = ap_only_mimo_rate(m_sd)
+                hd_rates.append(_hd_mimo_rate(testbed, client, rng,
+                                              direct_rate))
+                cfg = RelayConfig(params=testbed.params,
+                                  cancellation_db=float(canc))
+                relay = FastForwardRelay(cfg)
+                relay.configure_mimo_link(m_sd, m_sr, m_rd)
+                ff_rates.append(ff_mimo_rate(relay, delay))
+        medians.append(median_gain(np.asarray(ff_rates), np.asarray(hd_rates)))
+        tails.append(percentile_gain(np.asarray(ff_rates),
+                                     np.asarray(hd_rates), 80))
+    return {
+        "cancellation_db": np.asarray(cancellations_db, dtype=float),
+        "median_gain": np.asarray(medians),
+        "p80_gain": np.asarray(tails),
+    }
+
+
+def fingerprint_experiment(num_locations=100, num_clients=4,
+                           packets_per_client=50, seed=0,
+                           threshold=None, snr_db=18.0, drift=0.18):
+    """Fig. 21: uplink sender-identification error rates.
+
+    ``num_clients`` clients at ``num_locations`` placements; for each
+    packet the relay measures a noisy STF through the client's channel
+    — which has *drifted* since enrollment (the paper measures over a
+    five-minute window precisely to capture channel fluctuation) — and
+    must name the sender.  Returns per-location false-positive and
+    false-negative rates.
+    """
+    from repro.ident.fingerprint import (
+        AGGRESSIVE_THRESHOLD,
+        ChannelFingerprinter,
+    )
+    from repro.phy.params import WIFI_20MHZ
+
+    if threshold is None:
+        threshold = AGGRESSIVE_THRESHOLD
+    params = WIFI_20MHZ
+    scenario = paper_scenarios()[0]
+    testbed = Testbed(scenario, seed=seed)
+    used = params.used_subcarriers()
+
+    fp_rates, fn_rates = [], []
+    rngs = child_rngs(seed + 500, num_locations)
+    for rng in rngs:
+        clients = testbed.client_positions(num_clients, rng=rng,
+                                           min_ap_distance_m=1.0)
+        finger = ChannelFingerprinter(params, threshold=threshold)
+        channels = []
+        for c_idx, client in enumerate(clients):
+            h = testbed.propagation.siso_channel(
+                client, testbed.scenario.relay, params.sample_period_s,
+                num_taps=4, rng=rng).frequency_response(used, params.fft_size)
+            # Normalise so identification tests geometry, not raw power.
+            h = h / max(np.sqrt(np.mean(np.abs(h) ** 2)), 1e-12)
+            channels.append(h)
+            finger.enroll(c_idx, h, used)
+
+        false_pos = 0
+        false_neg = 0
+        total = 0
+        for c_idx, h in enumerate(channels):
+            expected = finger.expected_measurement(c_idx)
+            rms = np.sqrt(np.mean(np.abs(expected) ** 2))
+            noise_std = rms * 10.0 ** (-snr_db / 20.0)
+            for _ in range(packets_per_client):
+                # Per-tone channel drift over the measurement window plus
+                # receiver noise; global phase is arbitrary per packet.
+                wobble = 1.0 + drift / np.sqrt(2.0) * (
+                    rng.standard_normal(expected.shape)
+                    + 1j * rng.standard_normal(expected.shape))
+                measured = expected * wobble \
+                    * np.exp(1j * rng.uniform(0, 2 * np.pi))
+                measured = measured + noise_std / np.sqrt(2.0) * (
+                    rng.standard_normal(expected.shape)
+                    + 1j * rng.standard_normal(expected.shape))
+                decision = _identify_from_measurement(finger, measured)
+                total += 1
+                if decision is None:
+                    false_neg += 1
+                elif decision != c_idx:
+                    false_pos += 1
+        fp_rates.append(false_pos / total)
+        fn_rates.append(false_neg / total)
+    return {
+        "false_positive": np.asarray(fp_rates),
+        "false_negative": np.asarray(fn_rates),
+        "threshold": threshold,
+    }
+
+
+def _identify_from_measurement(finger, measured):
+    """Identify from a pre-computed tone measurement (test shortcut)."""
+    best_id, best_d = None, np.inf
+    norm_m = np.linalg.norm(measured)
+    for client_id in finger._database:
+        expected = finger.expected_measurement(client_id)
+        norm_e = np.linalg.norm(expected)
+        if norm_m == 0 or norm_e == 0:
+            continue
+        alpha = np.vdot(expected, measured) / (norm_e ** 2)
+        d = np.linalg.norm(measured - alpha * expected) / norm_m
+        if d < best_d:
+            best_id, best_d = client_id, d
+    if best_d > finger.threshold:
+        return None
+    return best_id

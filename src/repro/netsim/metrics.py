@@ -1,0 +1,46 @@
+"""CDFs and gain statistics for the evaluation figures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def empirical_cdf(values):
+    """Sorted values and their empirical CDF ordinates in (0, 1]."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.size == 0:
+        raise ValueError("cannot build a CDF from no data")
+    return v, np.arange(1, v.size + 1) / v.size
+
+
+def relative_gains(scheme_rates, baseline_rates, drop_zero_baseline=True):
+    """Per-location throughput ratios against a baseline scheme.
+
+    The paper uses AP + half-duplex mesh as the baseline "because we
+    have dead spots in [the AP-only] scenario where the throughput is
+    zero and we cannot compute relative gain"; locations where the
+    baseline is itself zero are dropped (or an error raised).
+    """
+    scheme = np.asarray(scheme_rates, dtype=float)
+    base = np.asarray(baseline_rates, dtype=float)
+    if scheme.shape != base.shape:
+        raise ValueError(f"shape mismatch: {scheme.shape} vs {base.shape}")
+    nz = base > 0
+    if not nz.all():
+        if not drop_zero_baseline:
+            raise ValueError("baseline contains zero-rate locations")
+        scheme, base = scheme[nz], base[nz]
+    if scheme.size == 0:
+        raise ValueError("no locations with a usable baseline")
+    return scheme / base
+
+
+def median_gain(scheme_rates, baseline_rates):
+    """Median of the per-location gain ratios."""
+    return float(np.median(relative_gains(scheme_rates, baseline_rates)))
+
+
+def percentile_gain(scheme_rates, baseline_rates, percentile):
+    """A percentile of the per-location gain ratios (e.g. 20 for tail)."""
+    gains = relative_gains(scheme_rates, baseline_rates)
+    return float(np.percentile(gains, percentile))

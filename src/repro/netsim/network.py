@@ -1,0 +1,222 @@
+"""A multi-client network with one FastForward relay — §6 end to end.
+
+The deployment story, at sample level: an AP serves several clients,
+prepending each packet with that client's PN signature; the relay's
+control plane (:class:`repro.ident.RelayController`) watches the
+stream, names the destination before the preamble ends, and arms the
+matching per-client constructive filter; foreign packets (a neighbour's
+AP) go un-relayed.  Clients run the stock receiver on the superposition
+of direct and relayed copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.relay import FastForwardRelay, RelayConfig
+from repro.ident.controller import RelayController
+from repro.ident.pn_signature import SignatureBook
+from repro.netsim.testbed import Testbed
+from repro.phy.transceiver import Receiver, Transmitter, TxConfig
+from repro.utils.rng import child_rngs, make_rng
+from repro.utils.signal_ops import add_signals, awgn_like
+
+
+@dataclass
+class PacketOutcome:
+    """What happened to one packet (either direction)."""
+
+    client_id: object
+    relayed: bool
+    decoded: bool
+    bit_exact: bool
+    controller_reason: str
+
+
+class NetworkSimulation:
+    """One AP + one FF relay + several clients, packet by packet.
+
+    Parameters
+    ----------
+    testbed:
+        Scenario and channel factory.
+    client_positions:
+        Mapping of client id -> (x, y).
+    mcs_index / tx_power_dbm / noise_floor_dbm:
+        Link configuration shared by all packets.
+    """
+
+    def __init__(self, testbed: Testbed, client_positions, seed=0,
+                 mcs_index=1, tx_power_dbm=20.0, noise_floor_dbm=-90.0):
+        self.testbed = testbed
+        self.params = testbed.params
+        self.mcs_index = int(mcs_index)
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.noise_floor_dbm = float(noise_floor_dbm)
+        self.controller = RelayController(book=SignatureBook(seed=seed))
+        self._channels = {}
+        self._relays = {}
+        self._delays = {}
+
+        rng = make_rng(seed)
+        used = self.params.used_subcarriers()
+        n = self.params.fft_size
+        for client_id, position in client_positions.items():
+            draws = child_rngs(rng, 3)
+            sc = testbed.scenario
+            p = testbed.propagation
+            chans = {
+                "sd": p.siso_channel(sc.ap, position,
+                                     self.params.sample_period_s,
+                                     num_taps=3, rng=draws[0]),
+                "sr": p.siso_channel(sc.ap, sc.relay,
+                                     self.params.sample_period_s,
+                                     num_taps=3, rng=draws[1]),
+                "rd": p.siso_channel(sc.relay, position,
+                                     self.params.sample_period_s,
+                                     num_taps=3, rng=draws[2]),
+            }
+            self._channels[client_id] = chans
+            self._delays[client_id] = testbed.extra_path_delay_s(position)
+            # The sounding loop hands the relay its three channels.
+            self.controller.observe_ap_packet(
+                chans["sr"].frequency_response(used, n), now_s=0.0)
+            self.controller.observe_sounding(
+                client_id,
+                chans["sd"].frequency_response(used, n),
+                chans["rd"].frequency_response(used, n), now_s=0.0)
+            relay = FastForwardRelay(RelayConfig(params=self.params))
+            relay.configure_siso_link(
+                chans["sd"].frequency_response(used, n),
+                chans["sr"].frequency_response(used, n),
+                chans["rd"].frequency_response(used, n))
+            self._relays[client_id] = relay
+
+    def clients(self):
+        """Registered client ids."""
+        return sorted(self._channels, key=str)
+
+    def send_downlink(self, client_id, payload_bits, rng, now_s=0.01,
+                      foreign=False):
+        """One downlink packet; returns a :class:`PacketOutcome`.
+
+        ``foreign=True`` transmits with a signature from a different
+        network's book — the relay must leave it alone.
+        """
+        rng = make_rng(rng)
+        payload_bits = np.asarray(payload_bits, dtype=int).ravel()
+        chans = self._channels[client_id]
+        amp = 10.0 ** (self.tx_power_dbm / 20.0)
+
+        if foreign:
+            signature = SignatureBook(seed=987654).prepend_field(client_id)
+        else:
+            signature = self.controller.book.prepend_field(client_id)
+        tx = Transmitter(TxConfig(params=self.params,
+                                  mcs_index=self.mcs_index,
+                                  tx_power_dbm=self.tx_power_dbm))
+        wave = tx.transmit(payload_bits, signature=signature) * amp
+
+        # What the relay hears, and what it decides.
+        at_relay = chans["sr"].apply_trimmed(wave[0])
+        at_relay_noisy = at_relay + awgn_like(
+            at_relay, 10.0 ** (self.noise_floor_dbm / 10.0), rng)
+        decision = self.controller.decide_downlink(at_relay_noisy[:400],
+                                                   now_s=now_s)
+
+        parts = [chans["sd"].apply_trimmed(wave[0])]
+        relayed = bool(decision.relay and decision.client_id == client_id
+                       and not foreign)
+        if relayed:
+            relay = self._relays[decision.client_id]
+            forwarded = relay.process(at_relay)
+            lat = int(round(relay.latency_s() / self.params.sample_period_s))
+            forwarded = np.concatenate(
+                [np.zeros(lat, dtype=complex), forwarded])
+            parts.append(chans["rd"].apply_trimmed(forwarded))
+
+        combined = add_signals(*parts)
+        combined = np.concatenate([np.zeros(60, dtype=complex), combined,
+                                   np.zeros(40, dtype=complex)])
+        noisy = combined + awgn_like(
+            combined, 10.0 ** (self.noise_floor_dbm / 10.0), rng)
+        result = Receiver(self.params, detection_threshold=0.7).receive(noisy)
+        bit_exact = bool(result.success
+                         and result.payload_bits.size == payload_bits.size
+                         and np.array_equal(result.payload_bits,
+                                            payload_bits))
+        return PacketOutcome(client_id=client_id, relayed=relayed,
+                             decoded=bool(result.success),
+                             bit_exact=bit_exact,
+                             controller_reason=decision.reason)
+
+    def send_uplink(self, client_id, payload_bits, rng, now_s=0.01,
+                    tx_power_dbm=None):
+        """One uplink packet: client -> (relay) -> AP.
+
+        The relay names the transmitter from the first STF period via
+        its channel fingerprint and, by reciprocity, reuses the same
+        constructive filter in the reverse direction (§4.2, §6).
+        """
+        rng = make_rng(rng)
+        payload_bits = np.asarray(payload_bits, dtype=int).ravel()
+        chans = self._channels[client_id]
+        power = self.tx_power_dbm if tx_power_dbm is None else tx_power_dbm
+        amp = 10.0 ** (power / 20.0)
+        tx = Transmitter(TxConfig(params=self.params,
+                                  mcs_index=self.mcs_index,
+                                  tx_power_dbm=power))
+        wave = tx.transmit(payload_bits)[0] * amp
+
+        # Reciprocity: client->relay is the same channel as relay->client.
+        at_relay = chans["rd"].apply_trimmed(wave)
+        noise = 10.0 ** (self.noise_floor_dbm / 10.0)
+        at_relay_noisy = at_relay + awgn_like(at_relay, noise, rng)
+        # The relay fingerprints the first STF period (normalised: the
+        # fingerprint matcher removes common gain/phase anyway).
+        stf_period = at_relay_noisy[:self.params.fft_size // 4]
+        decision = self.controller.decide_uplink(stf_period, now_s=now_s)
+
+        parts = [chans["sd"].apply_trimmed(wave)]  # reciprocal direct
+        relayed = bool(decision.relay and decision.client_id == client_id)
+        if relayed:
+            # The same filter serves the uplink; only the channels are
+            # swapped (source=client), which the relay object encodes.
+            used = self.params.used_subcarriers()
+            n = self.params.fft_size
+            relay = FastForwardRelay(RelayConfig(params=self.params))
+            relay.configure_siso_link(
+                chans["sd"].frequency_response(used, n),
+                chans["rd"].frequency_response(used, n),
+                chans["sr"].frequency_response(used, n))
+            forwarded = relay.process(at_relay)
+            lat = int(round(relay.latency_s() / self.params.sample_period_s))
+            forwarded = np.concatenate([np.zeros(lat, dtype=complex),
+                                        forwarded])
+            parts.append(chans["sr"].apply_trimmed(forwarded))
+
+        combined = add_signals(*parts)
+        combined = np.concatenate([np.zeros(60, dtype=complex), combined,
+                                   np.zeros(40, dtype=complex)])
+        noisy = combined + awgn_like(combined, noise, rng)
+        result = Receiver(self.params, detection_threshold=0.7).receive(noisy)
+        bit_exact = bool(result.success
+                         and result.payload_bits.size == payload_bits.size
+                         and np.array_equal(result.payload_bits,
+                                            payload_bits))
+        return PacketOutcome(client_id=client_id, relayed=relayed,
+                             decoded=bool(result.success),
+                             bit_exact=bit_exact,
+                             controller_reason=decision.reason)
+
+    def run_round(self, payload_bits_per_client, rng, now_s=0.01):
+        """One packet to every client; returns {client: PacketOutcome}."""
+        rng = make_rng(rng)
+        outcomes = {}
+        for client_id in self.clients():
+            bits = payload_bits_per_client[client_id]
+            outcomes[client_id] = self.send_downlink(client_id, bits, rng,
+                                                     now_s=now_s)
+        return outcomes

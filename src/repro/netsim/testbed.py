@@ -1,0 +1,194 @@
+"""Testbed scenarios: node placement over floor plans.
+
+§5 evaluates in several indoor settings — "open wide office space,
+L-shaped corridor and a wide room, two large wide rooms and ... the one
+shown in Fig. 1".  Each is modelled as a floor plan with an AP and a
+relay at fixed positions and clients drawn across the interior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.floorplan import FloorPlan, Wall, fig1_home
+from repro.channel.raytrace import PropagationModel
+from repro.phy.params import OfdmParams, WIFI_20MHZ
+from repro.utils.rng import child_rngs, make_rng
+from repro.utils.units import SPEED_OF_LIGHT
+
+
+@dataclass
+class Scenario:
+    """One physical deployment: floor plan + AP + relay positions."""
+
+    name: str
+    floorplan: FloorPlan
+    ap: np.ndarray
+    relay: np.ndarray
+
+    def propagation(self, **kwargs):
+        """A propagation model over this floor plan."""
+        return PropagationModel(self.floorplan, **kwargs)
+
+
+def _open_office():
+    """Open wide office: 13 x 9 m, no interior walls, AP at a corner.
+
+    The relay sits mid-room, ~5 m from the AP — close enough to keep a
+    strong backhaul link, deep enough to rescue the far half.
+    """
+    plan = FloorPlan(13.0, 9.0, walls=(
+        Wall((0, 0), (13, 0), 12.0, "south"),
+        Wall((13, 0), (13, 9), 12.0, "east"),
+        Wall((13, 9), (0, 9), 12.0, "north"),
+        Wall((0, 9), (0, 0), 12.0, "west"),
+    ), name="open-office")
+    return Scenario("open-office", plan, np.array([0.8, 0.8]),
+                    np.array([5.0, 3.5]))
+
+
+def _l_corridor():
+    """An L: corridor feeding a wide room — a deliberate pinhole.
+
+    The AP sits at the corridor's end; the relay inside the corridor
+    near its mouth so it can illuminate the room beyond.
+    """
+    walls = [
+        Wall((0, 0), (12, 0), 12.0, "south"),
+        Wall((12, 0), (12, 9), 12.0, "east"),
+        Wall((12, 9), (0, 9), 12.0, "north"),
+        Wall((0, 9), (0, 0), 12.0, "west"),
+        # Corridor along the south edge (2 m wide, x in [0, 7]); gap at
+        # the corridor mouth (x = 7..8.5) is the pinhole into the room.
+        Wall((0, 2.0), (7.0, 2.0), 8.0, "corridor-inner"),
+        Wall((8.5, 2.0), (12.0, 2.0), 8.0, "corridor-inner-east"),
+    ]
+    plan = FloorPlan(12.0, 9.0, walls,
+                     apertures=((7.75, 2.0, 0.85),), name="l-corridor")
+    return Scenario("l-corridor", plan, np.array([0.7, 1.0]),
+                    np.array([5.7, 1.5]))
+
+
+def _two_rooms():
+    """Two large rooms with a single door between them."""
+    walls = [
+        Wall((0, 0), (12, 0), 12.0, "south"),
+        Wall((12, 0), (12, 9), 12.0, "east"),
+        Wall((12, 9), (0, 9), 12.0, "north"),
+        Wall((0, 9), (0, 0), 12.0, "west"),
+        Wall((6.0, 0.0), (6.0, 3.8), 9.0, "divider-south"),
+        Wall((6.0, 5.0), (6.0, 9.0), 9.0, "divider-north"),
+    ]
+    plan = FloorPlan(12.0, 9.0, walls,
+                     apertures=((6.0, 4.4, 0.7),), name="two-rooms")
+    return Scenario("two-rooms", plan, np.array([0.8, 4.5]),
+                    np.array([5.9, 4.4]))
+
+
+def _home():
+    plan, ap, relay = fig1_home()
+    return Scenario("fig1-home", plan, ap, relay)
+
+
+def paper_scenarios():
+    """The four §5 settings, home first (the Fig. 1 layout)."""
+    return [_home(), _open_office(), _l_corridor(), _two_rooms()]
+
+
+class Testbed:
+    """Channel factory for one scenario.
+
+    Draws consistent channel triples (source->destination, source->
+    relay, relay->destination) per client position, with reproducible
+    child RNG streams, and computes the geometric extra delay of the
+    via-relay route (it consumes CP budget alongside processing
+    latency).
+    """
+
+    __test__ = False  # keep pytest from collecting this by name
+
+    def __init__(self, scenario: Scenario, params: OfdmParams = WIFI_20MHZ,
+                 seed=0, **propagation_kwargs):
+        propagation_kwargs.setdefault("rms_delay_spread_s", 30e-9)
+        self.scenario = scenario
+        self.params = params
+        self.propagation = scenario.propagation(**propagation_kwargs)
+        self._seed = seed
+
+    def client_positions(self, count, rng=None, min_ap_distance_m=1.0):
+        """Draw client positions across the floor plan interior."""
+        rng = make_rng(rng if rng is not None else self._seed)
+        out = []
+        while len(out) < count:
+            pts = self.scenario.floorplan.random_points(count, rng)
+            for pt in pts:
+                if np.linalg.norm(pt - self.scenario.ap) >= min_ap_distance_m:
+                    out.append(pt)
+                if len(out) == count:
+                    break
+        return np.asarray(out)
+
+    def extra_path_delay_s(self, client):
+        """Via-relay geometric delay minus the direct-path delay."""
+        sc = self.scenario
+        d_direct = np.linalg.norm(np.asarray(client) - sc.ap)
+        d_via = (np.linalg.norm(sc.relay - sc.ap)
+                 + np.linalg.norm(np.asarray(client) - sc.relay))
+        return max(d_via - d_direct, 0.0) / SPEED_OF_LIGHT
+
+    def siso_triple(self, client, rng):
+        """Per-subcarrier SISO (h_sd, h_sr, h_rd) for one client."""
+        p = self.params
+        used = p.used_subcarriers()
+        rngs = child_rngs(rng, 3)
+        chans = [
+            self.propagation.siso_channel(self.scenario.ap, client,
+                                          p.sample_period_s, num_taps=4,
+                                          rng=rngs[0]),
+            self.propagation.siso_channel(self.scenario.ap, self.scenario.relay,
+                                          p.sample_period_s, num_taps=4,
+                                          rng=rngs[1]),
+            self.propagation.siso_channel(self.scenario.relay, client,
+                                          p.sample_period_s, num_taps=4,
+                                          rng=rngs[2]),
+        ]
+        return tuple(c.frequency_response(used, p.fft_size) for c in chans)
+
+    def mimo_triple(self, client, rng, num_ap=2, num_relay=2, num_client=2):
+        """Per-subcarrier MIMO (H_sd, H_sr, H_rd) for one client.
+
+        Shapes: H_sd (n_sc, client, ap); H_sr (n_sc, relay, ap);
+        H_rd (n_sc, client, relay).
+        """
+        p = self.params
+        used = p.used_subcarriers()
+        rngs = child_rngs(rng, 3)
+        links = [
+            self.propagation.mimo_link(self.scenario.ap, client,
+                                       p.sample_period_s, num_rx=num_client,
+                                       num_tx=num_ap, num_taps=4, rng=rngs[0]),
+            self.propagation.mimo_link(self.scenario.ap, self.scenario.relay,
+                                       p.sample_period_s, num_rx=num_relay,
+                                       num_tx=num_ap, num_taps=4, rng=rngs[1]),
+            self.propagation.mimo_link(self.scenario.relay, client,
+                                       p.sample_period_s, num_rx=num_client,
+                                       num_tx=num_relay, num_taps=4,
+                                       rng=rngs[2]),
+        ]
+        return tuple(l.frequency_response(used, p.fft_size) for l in links)
+
+    def hop_mimo_channels(self, client, rng, num_antennas=2):
+        """(AP->relay, relay->client) MIMO channels for the HD baseline."""
+        p = self.params
+        used = p.used_subcarriers()
+        rngs = child_rngs(rng, 2)
+        first = self.propagation.mimo_link(
+            self.scenario.ap, self.scenario.relay, p.sample_period_s,
+            num_rx=num_antennas, num_tx=num_antennas, num_taps=4, rng=rngs[0])
+        second = self.propagation.mimo_link(
+            self.scenario.relay, client, p.sample_period_s,
+            num_rx=num_antennas, num_tx=num_antennas, num_taps=4, rng=rngs[1])
+        return (first.frequency_response(used, p.fft_size),
+                second.frequency_response(used, p.fft_size))

@@ -1,0 +1,130 @@
+"""Least-squares channel estimation from LTF symbols.
+
+The relay needs channel knowledge for three links (source->relay,
+relay->destination, source->destination); the first it measures from
+every received preamble with exactly this estimator, the others arrive
+via sounding/snooping (:mod:`repro.ident.sounding`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.params import OfdmParams
+from repro.phy.preamble import Preamble
+from repro.utils.validation import ensure_complex_1d
+
+
+def estimate_channel_ls(received_ltf, params: OfdmParams, average=True):
+    """Per-subcarrier LS channel estimate from a received L-LTF field.
+
+    ``received_ltf`` must contain the full LTF field (double CP plus two
+    bodies).  Returns the complex channel gain on each *used* subcarrier
+    (sorted ascending by signed index).  With ``average`` the two bodies
+    are averaged for a 3 dB noise reduction.
+    """
+    received_ltf = ensure_complex_1d(received_ltf, "received_ltf")
+    pre = Preamble(params)
+    if received_ltf.size < pre.ltf_samples:
+        raise ValueError(
+            f"LTF field needs {pre.ltf_samples} samples, got {received_ltf.size}")
+    ref = pre.ltf_reference_grid()
+    used = params.used_subcarriers()
+    used_bins = np.asarray(used) % params.fft_size
+    bodies = []
+    start = 2 * params.cp_len
+    for body_index in range(2):
+        seg = received_ltf[start + body_index * params.fft_size:
+                           start + (body_index + 1) * params.fft_size]
+        spec = np.fft.fft(seg) / np.sqrt(params.fft_size)
+        bodies.append(spec[used_bins] / ref[used_bins])
+        if not average:
+            break
+    return np.mean(bodies, axis=0)
+
+
+def estimate_mimo_channel(received_ht_ltfs, params: OfdmParams, num_streams):
+    """Per-subcarrier MIMO channel from time-orthogonal HT-LTFs.
+
+    ``received_ht_ltfs`` has shape ``(num_rx, num_streams * symbol_len)``
+    — each receive antenna's samples over the HT-LTF slots.  Because
+    stream ``s`` transmits only in slot ``s``, the (rx, s) channel is a
+    per-slot LS estimate.  Returns shape ``(n_used, num_rx, num_streams)``.
+    """
+    received = np.atleast_2d(np.asarray(received_ht_ltfs, dtype=complex))
+    num_rx = received.shape[0]
+    sym_len = params.symbol_len
+    if received.shape[1] < num_streams * sym_len:
+        raise ValueError(
+            f"need {num_streams * sym_len} samples per rx antenna, "
+            f"got {received.shape[1]}")
+    pre = Preamble(params, num_streams=num_streams)
+    ref = pre.ltf_reference_grid()
+    used_bins = np.asarray(params.used_subcarriers()) % params.fft_size
+    n_used = used_bins.size
+    h = np.empty((n_used, num_rx, num_streams), dtype=complex)
+    for s in range(num_streams):
+        for r in range(num_rx):
+            seg = received[r, s * sym_len : (s + 1) * sym_len]
+            body = seg[params.cp_len:]
+            spec = np.fft.fft(body) / np.sqrt(params.fft_size)
+            h[:, r, s] = spec[used_bins] / ref[used_bins]
+    return h
+
+
+def smooth_channel_estimate(h, window=3):
+    """Moving-average smoothing across subcarriers (odd ``window``).
+
+    Channel responses are correlated across adjacent tones, so light
+    smoothing trades a little bias for noise suppression.
+    """
+    h = np.asarray(h, dtype=complex)
+    if window < 1 or window % 2 == 0:
+        raise ValueError(f"window must be odd and >= 1, got {window}")
+    if window == 1:
+        return h.copy()
+    kernel = np.ones(window) / window
+    pad = window // 2
+    padded = np.concatenate([np.repeat(h[:1], pad, axis=0), h,
+                             np.repeat(h[-1:], pad, axis=0)], axis=0)
+    if h.ndim == 1:
+        return np.convolve(padded, kernel, mode="valid")
+    out = np.empty_like(h)
+    flat = padded.reshape(padded.shape[0], -1)
+    smoothed = np.stack([np.convolve(flat[:, i], kernel, mode="valid")
+                         for i in range(flat.shape[1])], axis=1)
+    return smoothed.reshape(h.shape)
+
+
+def canonicalize_channel_timing(h_used, params=None, used_tones=None):
+    """Remove the estimator's arbitrary timing ramp from a channel.
+
+    A receiver's channel estimate is referenced to *its own* packet
+    timing: a detection offset of ``d`` samples multiplies every tone by
+    ``exp(-j 2 pi k d / N)``.  Harmless for equalisation or per-tone
+    beamforming, fatal for construct-and-forward, which compares phases
+    *across differently-referenced estimates* (the client's fed-back
+    h_sd vs the relay's own h_sr, h_rd).  Canonicalising every estimate
+    to put its impulse-response peak at delay zero gives all parties a
+    common reference (residual: sub-sample offsets, which the relay's
+    slide search absorbs).
+    """
+    from repro.phy.params import WIFI_20MHZ
+
+    params = params or WIFI_20MHZ
+    if used_tones is None:
+        used_tones = params.used_subcarriers()
+    h = np.asarray(h_used, dtype=complex)
+    used = list(used_tones)
+    if h.size != len(used):
+        raise ValueError(f"channel has {h.size} entries for "
+                         f"{len(used)} tones")
+    n = params.fft_size
+    grid = np.zeros(n, dtype=complex)
+    for value, tone in zip(h, used):
+        grid[tone % n] = value
+    impulse = np.fft.ifft(grid)
+    peak = int(np.argmax(np.abs(impulse)))
+    idx = np.asarray(used, dtype=float)
+    ramp = np.exp(2j * np.pi * idx * peak / n)
+    return h * ramp

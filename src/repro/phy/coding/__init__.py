@@ -1,0 +1,30 @@
+"""Channel coding chain for the WiFi-style PHY.
+
+Scrambler -> K=7 convolutional encoder -> puncturing -> interleaver on
+the transmit side; the reverse plus Viterbi decoding on receive.
+"""
+
+from repro.phy.coding.scrambler import Scrambler, scramble, descramble
+from repro.phy.coding.convolutional import ConvolutionalEncoder, GEN_POLYS
+from repro.phy.coding.viterbi import ViterbiDecoder
+from repro.phy.coding.puncturing import (
+    PUNCTURE_PATTERNS,
+    puncture,
+    depuncture,
+    coded_length,
+)
+from repro.phy.coding.interleaver import BlockInterleaver
+
+__all__ = [
+    "Scrambler",
+    "scramble",
+    "descramble",
+    "ConvolutionalEncoder",
+    "GEN_POLYS",
+    "ViterbiDecoder",
+    "PUNCTURE_PATTERNS",
+    "puncture",
+    "depuncture",
+    "coded_length",
+    "BlockInterleaver",
+]

@@ -1,0 +1,80 @@
+"""The 802.11 rate-1/2, constraint-length-7 convolutional encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Industry-standard generator polynomials (octal 133, 171), K = 7.
+GEN_POLYS = (0o133, 0o171)
+
+CONSTRAINT_LENGTH = 7
+
+
+def _poly_taps(poly, constraint_length):
+    """Bit mask of a generator polynomial as a tap array (MSB first)."""
+    return np.array([(poly >> (constraint_length - 1 - i)) & 1
+                     for i in range(constraint_length)], dtype=int)
+
+
+class ConvolutionalEncoder:
+    """Rate-1/2 convolutional encoder, zero-terminated by the caller.
+
+    Output interleaves the two generator streams: for each input bit,
+    the encoder emits ``(g0, g1)``.
+    """
+
+    def __init__(self, polys=GEN_POLYS, constraint_length=CONSTRAINT_LENGTH):
+        if len(polys) != 2:
+            raise ValueError("exactly two generator polynomials expected")
+        self.constraint_length = constraint_length
+        self.taps = [_poly_taps(p, constraint_length) for p in polys]
+
+    @property
+    def num_tail_bits(self):
+        """Zero bits needed to flush the encoder back to state 0."""
+        return self.constraint_length - 1
+
+    def encode(self, bits, terminate=True):
+        """Encode ``bits``; append flush zeros when ``terminate``.
+
+        Returns an array of ``2 * (len(bits) + tail)`` coded bits.
+        """
+        bits = np.asarray(bits, dtype=int).ravel()
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ValueError("bits must be 0/1")
+        if terminate:
+            bits = np.concatenate([bits, np.zeros(self.num_tail_bits, dtype=int)])
+        k = self.constraint_length
+        # Sliding window over [newest ... oldest] = [b[n], b[n-1], ...].
+        padded = np.concatenate([np.zeros(k - 1, dtype=int), bits])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, k)[:, ::-1]
+        out = np.empty(2 * bits.size, dtype=int)
+        out[0::2] = (windows @ self.taps[0]) % 2
+        out[1::2] = (windows @ self.taps[1]) % 2
+        return out
+
+    def transitions(self):
+        """State-transition tables for the Viterbi decoder.
+
+        Returns ``(next_state, output_bits)`` arrays of shape
+        ``(num_states, 2)`` indexed by ``[state, input_bit]``; outputs
+        pack the two coded bits as ``2*g0 + g1``.
+        """
+        k = self.constraint_length
+        num_states = 1 << (k - 1)
+        next_state = np.empty((num_states, 2), dtype=int)
+        outputs = np.empty((num_states, 2), dtype=int)
+        # State bit i holds input bit b[n-1-i] (bit 0 is the newest).
+        for state in range(num_states):
+            recent = [(state >> i) & 1 for i in range(k - 1)]
+            for bit in range(2):
+                window = np.array([bit] + recent, dtype=int)
+                g0 = int(window @ self.taps[0]) % 2
+                g1 = int(window @ self.taps[1]) % 2
+                outputs[state, bit] = 2 * g0 + g1
+                new_recent = [bit] + recent[:-1]
+                ns = 0
+                for i, b in enumerate(new_recent):
+                    ns |= b << i
+                next_state[state, bit] = ns
+        return next_state, outputs

@@ -1,0 +1,73 @@
+"""The two-permutation 802.11 block interleaver.
+
+Operates on one OFDM symbol's worth of coded bits (``n_cbps`` bits) and
+spreads adjacent coded bits across subcarriers and constellation bit
+positions so burst errors from a faded subcarrier are dispersed before
+Viterbi decoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BlockInterleaver:
+    """802.11-style interleaver for ``n_cbps`` coded bits per symbol.
+
+    ``n_bpsc`` is the number of coded bits per subcarrier (1 for BPSK,
+    up to 8 for 256-QAM).  The two standard permutations are combined
+    into a single index table at construction.
+    """
+
+    def __init__(self, n_cbps, n_bpsc, num_columns=16):
+        if n_cbps <= 0 or n_bpsc <= 0:
+            raise ValueError("n_cbps and n_bpsc must be positive")
+        if n_cbps % num_columns:
+            raise ValueError(f"n_cbps={n_cbps} not divisible by {num_columns} columns")
+        self.n_cbps = n_cbps
+        self.n_bpsc = n_bpsc
+        s = max(n_bpsc // 2, 1)
+        k = np.arange(n_cbps)
+        # First permutation: write row-wise, read column-wise.
+        i = (n_cbps // num_columns) * (k % num_columns) + k // num_columns
+        # Second permutation: rotate bits within each subcarrier group.
+        j = s * (i // s) + (i + n_cbps - (num_columns * i // n_cbps)) % s
+        self._forward = j
+        self._inverse = np.empty_like(j)
+        self._inverse[j] = k
+
+    def interleave(self, bits):
+        """Permute one symbol of coded bits (length ``n_cbps``)."""
+        bits = np.asarray(bits).ravel()
+        if bits.size != self.n_cbps:
+            raise ValueError(f"expected {self.n_cbps} bits, got {bits.size}")
+        out = np.empty_like(bits)
+        out[self._forward] = bits
+        return out
+
+    def deinterleave(self, values):
+        """Invert :meth:`interleave`; works on bits or LLRs."""
+        values = np.asarray(values).ravel()
+        if values.size != self.n_cbps:
+            raise ValueError(f"expected {self.n_cbps} values, got {values.size}")
+        out = np.empty_like(values)
+        out[self._inverse] = values
+        return out
+
+    def interleave_stream(self, bits):
+        """Interleave a multi-symbol stream (length multiple of n_cbps)."""
+        bits = np.asarray(bits).ravel()
+        if bits.size % self.n_cbps:
+            raise ValueError(
+                f"stream length {bits.size} not a multiple of {self.n_cbps}")
+        blocks = bits.reshape(-1, self.n_cbps)
+        return np.concatenate([self.interleave(b) for b in blocks])
+
+    def deinterleave_stream(self, values):
+        """Invert :meth:`interleave_stream`."""
+        values = np.asarray(values).ravel()
+        if values.size % self.n_cbps:
+            raise ValueError(
+                f"stream length {values.size} not a multiple of {self.n_cbps}")
+        blocks = values.reshape(-1, self.n_cbps)
+        return np.concatenate([self.deinterleave(b) for b in blocks])

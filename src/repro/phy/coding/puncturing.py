@@ -1,0 +1,70 @@
+"""Puncturing patterns for the 802.11 code rates.
+
+Starting from the mother rate-1/2 code, bits are deleted according to a
+repeating pattern to reach rates 2/3, 3/4 and 5/6.  On receive, deleted
+positions are re-inserted as zero-LLR erasures for the Viterbi decoder.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+#: rate -> keep-mask over the interleaved (g0, g1) coded stream.
+PUNCTURE_PATTERNS = {
+    Fraction(1, 2): np.array([1, 1], dtype=bool),
+    Fraction(2, 3): np.array([1, 1, 1, 0], dtype=bool),
+    Fraction(3, 4): np.array([1, 1, 1, 0, 0, 1], dtype=bool),
+    Fraction(5, 6): np.array([1, 1, 1, 0, 0, 1, 1, 0, 0, 1], dtype=bool),
+}
+
+
+def _pattern_for(rate):
+    rate = Fraction(rate).limit_denominator(12)
+    try:
+        return PUNCTURE_PATTERNS[rate]
+    except KeyError:
+        raise ValueError(
+            f"unsupported code rate {rate}; choose from "
+            f"{sorted(str(r) for r in PUNCTURE_PATTERNS)}") from None
+
+
+def puncture(coded_bits, rate):
+    """Delete coded bits according to the pattern for ``rate``."""
+    coded_bits = np.asarray(coded_bits).ravel()
+    pattern = _pattern_for(rate)
+    mask = np.resize(pattern, coded_bits.size)
+    return coded_bits[mask]
+
+
+def depuncture(values, rate, original_length):
+    """Re-insert erasures (0.0) at punctured positions.
+
+    ``original_length`` is the coded length before puncturing; ``values``
+    are LLRs of the punctured stream.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    pattern = _pattern_for(rate)
+    mask = np.resize(pattern, original_length)
+    expected = int(mask.sum())
+    if values.size != expected:
+        raise ValueError(
+            f"expected {expected} punctured values for length "
+            f"{original_length} at rate {rate}, got {values.size}")
+    out = np.zeros(original_length, dtype=float)
+    out[mask] = values
+    return out
+
+
+def coded_length(info_bits, rate, tail_bits=6):
+    """Punctured coded length for ``info_bits`` information bits.
+
+    The mother code doubles ``info_bits + tail_bits``; puncturing keeps
+    a ``rate``-dependent fraction.  Raises when the pattern does not
+    divide evenly (callers pad the payload instead).
+    """
+    mother = 2 * (int(info_bits) + tail_bits)
+    pattern = _pattern_for(rate)
+    mask = np.resize(pattern, mother)
+    return int(mask.sum())

@@ -1,0 +1,43 @@
+"""The 802.11 frame-synchronous scrambler (x^7 + x^4 + 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Scrambler:
+    """Additive LFSR scrambler with polynomial x^7 + x^4 + 1.
+
+    The same object (same seed) both scrambles and descrambles, since
+    the operation is XOR with the LFSR output stream.
+    """
+
+    def __init__(self, seed=0x5D):
+        if not 1 <= seed <= 0x7F:
+            raise ValueError(f"seed must be a non-zero 7-bit value, got {seed:#x}")
+        self._seed = seed
+
+    def sequence(self, length):
+        """Generate ``length`` bits of the scrambling sequence."""
+        state = self._seed
+        out = np.empty(length, dtype=int)
+        for i in range(length):
+            bit = ((state >> 6) ^ (state >> 3)) & 1
+            state = ((state << 1) | bit) & 0x7F
+            out[i] = bit
+        return out
+
+    def process(self, bits):
+        """XOR ``bits`` with the scrambling sequence (involution)."""
+        bits = np.asarray(bits, dtype=int).ravel()
+        return bits ^ self.sequence(bits.size)
+
+
+def scramble(bits, seed=0x5D):
+    """Scramble a bit array with the 802.11 LFSR."""
+    return Scrambler(seed).process(bits)
+
+
+def descramble(bits, seed=0x5D):
+    """Descramble — identical to scrambling (XOR stream cipher)."""
+    return Scrambler(seed).process(bits)

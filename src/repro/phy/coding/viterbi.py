@@ -1,0 +1,90 @@
+"""Soft-decision Viterbi decoder for the K=7 convolutional code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.coding.convolutional import ConvolutionalEncoder
+
+
+class ViterbiDecoder:
+    """Maximum-likelihood sequence decoder (soft or hard input).
+
+    Input metrics are per-coded-bit LLR-like values where *positive*
+    favours bit 0 (matching :meth:`Modulation.demodulate_llr`).  Hard
+    bits can be decoded by mapping ``bit -> (1 - 2*bit)``.
+    """
+
+    def __init__(self, encoder=None):
+        self.encoder = encoder or ConvolutionalEncoder()
+        self._next_state, self._outputs = self.encoder.transitions()
+        self.num_states = self._next_state.shape[0]
+        # Precompute the two coded bits for each (state, input).
+        self._out_g0 = (self._outputs >> 1) & 1
+        self._out_g1 = self._outputs & 1
+
+    def decode(self, llrs, terminated=True):
+        """Decode coded-bit LLRs back to information bits.
+
+        ``llrs`` has even length (pairs of g0, g1 metrics; use 0.0 for
+        punctured positions).  When ``terminated``, the trellis is
+        forced to end in state 0 and the tail bits are stripped.
+        """
+        llrs = np.asarray(llrs, dtype=float).ravel()
+        if llrs.size % 2:
+            raise ValueError(f"LLR count must be even, got {llrs.size}")
+        num_steps = llrs.size // 2
+        if num_steps == 0:
+            return np.array([], dtype=int)
+
+        ns = self._next_state
+        g0 = self._out_g0
+        g1 = self._out_g1
+
+        # Branch metric: correlation of expected bits with LLRs.  A
+        # coded bit of 0 earns +llr/2, of 1 earns -llr/2; constant
+        # offsets cancel so we use (1-2b)*llr.
+        path = np.full(self.num_states, -np.inf)
+        path[0] = 0.0
+        decisions = np.empty((num_steps, self.num_states), dtype=np.int8)
+        prev_state = np.empty((num_steps, self.num_states), dtype=np.int32)
+
+        states = np.arange(self.num_states)
+        for t in range(num_steps):
+            l0, l1 = llrs[2 * t], llrs[2 * t + 1]
+            new_path = np.full(self.num_states, -np.inf)
+            new_prev = np.zeros(self.num_states, dtype=np.int32)
+            new_dec = np.zeros(self.num_states, dtype=np.int8)
+            for bit in (0, 1):
+                metric = path + (1 - 2 * g0[:, bit]) * (l0 / 2.0) \
+                              + (1 - 2 * g1[:, bit]) * (l1 / 2.0)
+                targets = ns[:, bit]
+                # Scatter-max: sort ascending so that with duplicate
+                # targets numpy's last-write-wins keeps the best metric.
+                order = np.argsort(metric)
+                tgt = targets[order]
+                better = metric[order] > new_path[tgt]
+                upd = tgt[better]
+                new_path[upd] = metric[order][better]
+                new_prev[upd] = states[order][better]
+                new_dec[upd] = bit
+            path = new_path
+            prev_state[t] = new_prev
+            decisions[t] = new_dec
+
+        end_state = 0 if terminated else int(np.argmax(path))
+        bits = np.empty(num_steps, dtype=int)
+        state = end_state
+        for t in range(num_steps - 1, -1, -1):
+            bits[t] = decisions[t, state]
+            state = prev_state[t, state]
+        if terminated:
+            tail = self.encoder.num_tail_bits
+            if num_steps > tail:
+                bits = bits[:-tail]
+        return bits
+
+    def decode_hard(self, coded_bits, terminated=True):
+        """Decode hard coded bits by mapping them onto +-1 metrics."""
+        coded_bits = np.asarray(coded_bits, dtype=int).ravel()
+        return self.decode(1.0 - 2.0 * coded_bits, terminated=terminated)

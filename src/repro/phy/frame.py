@@ -1,0 +1,226 @@
+"""PPDU framing: PHY header construction, payload padding, CRC.
+
+Frame layout (per spatial stream unless noted):
+
+====================  =====================================================
+field                 contents
+====================  =====================================================
+(optional signature)  per-client PN sequence, prepended by the AP for the
+                      relay's downlink identification (paper §6, Fig. 19);
+                      ignored by clients, handled in :mod:`repro.ident`
+preamble              L-STF + L-LTF (+ per-stream HT-LTFs)
+PHY header            2 BPSK rate-1/2 OFDM symbols: MCS, length, streams,
+                      scrambler seed, CRC-8
+payload               scrambled, convolutionally coded, punctured,
+                      interleaved, QAM-mapped OFDM symbols; ends with a
+                      CRC-32 so receivers can declare success
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.coding import (
+    ConvolutionalEncoder,
+    BlockInterleaver,
+    puncture,
+    coded_length,
+    scramble,
+)
+from repro.phy.modulation import modulation_by_name
+from repro.phy.ofdm import OfdmModulator
+from repro.phy.params import OfdmParams
+from repro.phy.rates import MCS_TABLE
+
+#: HT interleavers use 13 columns (52 data tones / 4 rows).
+INTERLEAVER_COLUMNS = 13
+
+
+def interleaver_columns(n_data_subcarriers):
+    """Interleaver column count for a tone plan.
+
+    13 for the 802.11 HT plans (52 data tones); other numerologies get
+    the largest divisor of the data-tone count up to 20, so the same
+    framing runs on e.g. the LTE-like grid.
+    """
+    n = int(n_data_subcarriers)
+    if n % INTERLEAVER_COLUMNS == 0:
+        return INTERLEAVER_COLUMNS
+    for cols in range(20, 1, -1):
+        if n % cols == 0:
+            return cols
+    return 1
+
+HEADER_INFO_BITS = 46
+HEADER_SYMBOLS = 2  # 2 * 52 coded bits = 2*(46+6) at rate 1/2
+
+
+def crc8(bits):
+    """CRC-8 (poly 0x07) over a bit array, returned as 8 bits MSB first."""
+    reg = 0
+    for b in np.asarray(bits, dtype=int).ravel():
+        reg ^= (int(b) & 1) << 7
+        for _ in range(1):
+            if reg & 0x80:
+                reg = ((reg << 1) ^ 0x07) & 0xFF
+            else:
+                reg = (reg << 1) & 0xFF
+    return np.array([(reg >> (7 - i)) & 1 for i in range(8)], dtype=int)
+
+
+def crc32(bits):
+    """CRC-32 (IEEE 802.3) over a bit array, returned as 32 bits MSB first."""
+    reg = 0xFFFFFFFF
+    for b in np.asarray(bits, dtype=int).ravel():
+        reg ^= (int(b) & 1) << 31
+        if reg & 0x80000000:
+            reg = ((reg << 1) ^ 0x04C11DB7) & 0xFFFFFFFF
+        else:
+            reg = (reg << 1) & 0xFFFFFFFF
+    reg ^= 0xFFFFFFFF
+    return np.array([(reg >> (31 - i)) & 1 for i in range(32)], dtype=int)
+
+
+def _int_to_bits(value, width):
+    """Unsigned integer to MSB-first bit array of the given width."""
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=int)
+
+
+def _bits_to_int(bits):
+    """MSB-first bit array to unsigned integer."""
+    out = 0
+    for b in np.asarray(bits, dtype=int).ravel():
+        out = (out << 1) | (int(b) & 1)
+    return out
+
+
+@dataclass(frozen=True)
+class PhyFrame:
+    """Decoded PHY header contents."""
+
+    mcs_index: int
+    length_bits: int
+    num_streams: int
+    scrambler_seed: int
+
+    @property
+    def mcs(self):
+        """The :class:`~repro.phy.rates.McsEntry` for this frame."""
+        return MCS_TABLE[self.mcs_index]
+
+
+def build_header_bits(mcs_index, length_bits, num_streams, scrambler_seed):
+    """Assemble the 46-bit PHY header (with CRC-8)."""
+    if not 0 <= mcs_index < len(MCS_TABLE):
+        raise ValueError(f"mcs_index out of range: {mcs_index}")
+    if not 1 <= num_streams <= 4:
+        raise ValueError(f"num_streams must be 1..4, got {num_streams}")
+    fields = np.concatenate([
+        _int_to_bits(mcs_index, 4),
+        _int_to_bits(length_bits, 20),
+        _int_to_bits(num_streams - 1, 2),
+        _int_to_bits(scrambler_seed, 7),
+        np.zeros(5, dtype=int),  # reserved
+    ])
+    return np.concatenate([fields, crc8(fields)])
+
+
+def parse_ppdu_header(header_bits):
+    """Parse and CRC-check decoded header bits -> :class:`PhyFrame` or None."""
+    bits = np.asarray(header_bits, dtype=int).ravel()
+    if bits.size != HEADER_INFO_BITS:
+        raise ValueError(f"header must be {HEADER_INFO_BITS} bits, got {bits.size}")
+    fields, check = bits[:-8], bits[-8:]
+    if not np.array_equal(crc8(fields), check):
+        return None
+    mcs_index = _bits_to_int(fields[0:4])
+    length_bits = _bits_to_int(fields[4:24])
+    num_streams = _bits_to_int(fields[24:26]) + 1
+    seed = _bits_to_int(fields[26:33])
+    if mcs_index >= len(MCS_TABLE) or seed == 0:
+        return None
+    return PhyFrame(mcs_index=mcs_index, length_bits=length_bits,
+                    num_streams=num_streams, scrambler_seed=seed)
+
+
+def payload_padding(length_bits, mcs_index, n_cbps):
+    """Zero-padding needed so the coded payload fills whole OFDM symbols.
+
+    Both transmitter and receiver derive this deterministically from the
+    header fields.  The padded block includes the 32 CRC bits.
+    """
+    entry = MCS_TABLE[mcs_index]
+    info = length_bits + 32  # payload + CRC-32
+    pad = 0
+    while True:
+        total = coded_length(info + pad, entry.code_rate)
+        if total % n_cbps == 0:
+            return pad
+        pad += 1
+        if pad > 64 * n_cbps:
+            raise RuntimeError("padding search failed to terminate")
+
+
+def encode_payload(payload_bits, mcs_index, scrambler_seed, n_cbps):
+    """Scramble -> encode -> puncture -> interleave the payload.
+
+    Returns the interleaved coded bit stream (a multiple of ``n_cbps``).
+    """
+    entry = MCS_TABLE[mcs_index]
+    payload_bits = np.asarray(payload_bits, dtype=int).ravel()
+    with_crc = np.concatenate([payload_bits, crc32(payload_bits)])
+    pad = payload_padding(payload_bits.size, mcs_index, n_cbps)
+    info = np.concatenate([with_crc, np.zeros(pad, dtype=int)])
+    scrambled = scramble(info, seed=scrambler_seed)
+    encoder = ConvolutionalEncoder()
+    coded = encoder.encode(scrambled, terminate=True)
+    punctured = puncture(coded, entry.code_rate)
+    interleaver = BlockInterleaver(n_cbps, entry.bits_per_symbol,
+                                   num_columns=interleaver_columns(
+                                       n_cbps // entry.bits_per_symbol))
+    return interleaver.interleave_stream(punctured)
+
+
+def build_ppdu(payload_bits, params: OfdmParams, mcs_index,
+               scrambler_seed=0x5D, modulator=None):
+    """Assemble header + payload OFDM symbols (single stream).
+
+    Returns ``(waveform, num_payload_symbols)`` where the waveform is
+    the concatenation of the two BPSK header symbols and the payload
+    symbols — the preamble is added by the transmitter, which also owns
+    MIMO stream mapping.
+    """
+    payload_bits = np.asarray(payload_bits, dtype=int).ravel()
+    mod = modulator or OfdmModulator(params)
+    entry = MCS_TABLE[mcs_index]
+    n_data = params.num_data_subcarriers
+    n_cbps = n_data * entry.bits_per_symbol
+
+    header_bits = build_header_bits(mcs_index, payload_bits.size, 1, scrambler_seed)
+    header_coded = ConvolutionalEncoder().encode(header_bits, terminate=True)
+    # Tone plans wider than HT-20 carry the 104 header bits in the same
+    # two BPSK symbols, zero-filled (zeros map to the +1 BPSK point and
+    # are discarded by the receiver after deinterleaving).
+    target = HEADER_SYMBOLS * n_data
+    if header_coded.size < target:
+        header_coded = np.concatenate(
+            [header_coded, np.zeros(target - header_coded.size, dtype=int)])
+    columns = interleaver_columns(n_data)
+    hdr_interleaver = BlockInterleaver(n_data, 1, num_columns=columns)
+    header_coded = hdr_interleaver.interleave_stream(header_coded)
+    bpsk = modulation_by_name("bpsk")
+    header_syms = bpsk.modulate(header_coded)
+
+    coded = encode_payload(payload_bits, mcs_index, scrambler_seed, n_cbps)
+    modulation = modulation_by_name(entry.modulation_name)
+    payload_syms = modulation.modulate(coded)
+
+    all_syms = np.concatenate([header_syms, payload_syms])
+    waveform = mod.modulate(all_syms)
+    num_payload_symbols = payload_syms.size // n_data
+    return waveform, num_payload_symbols

@@ -1,0 +1,129 @@
+"""Gray-mapped QAM constellations with hard and soft (LLR) demapping.
+
+Supports the modulations the paper sweeps across (§5.2): BPSK for edge
+clients up through 256-QAM, which needs roughly 28 dB of SNR — the
+number §3.3 uses to argue the injected tuning noise is harmless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _gray_code(n_bits):
+    """Gray-code sequence of length 2**n_bits."""
+    count = 1 << n_bits
+    return np.array([i ^ (i >> 1) for i in range(count)], dtype=int)
+
+
+def _square_qam_points(bits_per_axis):
+    """PAM levels for one axis of a square QAM, gray-ordered."""
+    m = 1 << bits_per_axis
+    levels = 2 * np.arange(m) - (m - 1)
+    # Map gray code g -> level index so adjacent levels differ in one bit.
+    gray = _gray_code(bits_per_axis)
+    ordered = np.empty(m, dtype=float)
+    ordered[gray] = levels
+    return ordered
+
+
+@dataclass(frozen=True)
+class Modulation:
+    """A unit-average-power gray-mapped constellation.
+
+    ``points[i]`` is the symbol for the bit pattern ``i`` (MSB first).
+    """
+
+    name: str
+    bits_per_symbol: int
+    points: np.ndarray
+    #: Minimum SNR (dB) at which this modulation is usable with rate-1/2
+    #: coding; refined per-MCS in :mod:`repro.phy.rates`.
+    min_snr_db: float
+
+    def modulate(self, bits):
+        """Map a bit array (multiple of bits_per_symbol) to symbols."""
+        bits = np.asarray(bits, dtype=int).ravel()
+        if bits.size % self.bits_per_symbol:
+            raise ValueError(
+                f"bit count {bits.size} not a multiple of {self.bits_per_symbol}")
+        if bits.size and (bits.min() < 0 or bits.max() > 1):
+            raise ValueError("bits must be 0/1")
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        indices = groups @ weights
+        return self.points[indices]
+
+    def demodulate_hard(self, symbols):
+        """Nearest-point hard decision back to bits (MSB first)."""
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        dists = np.abs(symbols[:, None] - self.points[None, :])
+        indices = np.argmin(dists, axis=1)
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1)
+        bits = (indices[:, None] >> shifts[None, :]) & 1
+        return bits.ravel()
+
+    def demodulate_llr(self, symbols, noise_var):
+        """Max-log LLRs for each bit; positive favours bit 0.
+
+        LLR(b) = (min over s with b=1 of |y-s|^2 - min over s with b=0
+        of |y-s|^2) / noise_var — the standard max-log approximation.
+        """
+        if noise_var <= 0:
+            raise ValueError(f"noise_var must be positive, got {noise_var}")
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        d2 = np.abs(symbols[:, None] - self.points[None, :]) ** 2
+        n_bits = self.bits_per_symbol
+        llrs = np.empty((symbols.size, n_bits), dtype=float)
+        idx = np.arange(self.points.size)
+        for b in range(n_bits):
+            bit_of_point = (idx >> (n_bits - 1 - b)) & 1
+            d0 = d2[:, bit_of_point == 0].min(axis=1)
+            d1 = d2[:, bit_of_point == 1].min(axis=1)
+            llrs[:, b] = (d1 - d0) / noise_var
+        return llrs.ravel()
+
+    def min_distance(self):
+        """Minimum Euclidean distance between constellation points."""
+        d = np.abs(self.points[:, None] - self.points[None, :])
+        d[d == 0] = np.inf
+        return float(d.min())
+
+
+def _make_bpsk():
+    points = np.array([1.0 + 0j, -1.0 + 0j])
+    return Modulation("bpsk", 1, points, min_snr_db=2.0)
+
+
+def _make_square_qam(name, bits_per_symbol, min_snr_db):
+    half = bits_per_symbol // 2
+    axis = _square_qam_points(half)
+    m = 1 << half
+    # MSB-half of the bits select I, LSB-half select Q.
+    i_idx, q_idx = np.divmod(np.arange(1 << bits_per_symbol), m)
+    points = axis[i_idx] + 1j * axis[q_idx]
+    points = points / np.sqrt(np.mean(np.abs(points) ** 2))
+    return Modulation(name, bits_per_symbol, points, min_snr_db)
+
+
+BPSK = _make_bpsk()
+QPSK = _make_square_qam("qpsk", 2, min_snr_db=5.0)
+QAM16 = _make_square_qam("16qam", 4, min_snr_db=11.0)
+QAM64 = _make_square_qam("64qam", 6, min_snr_db=17.0)
+QAM256 = _make_square_qam("256qam", 8, min_snr_db=24.0)
+
+#: All supported modulations, in increasing order.
+MODULATIONS = (BPSK, QPSK, QAM16, QAM64, QAM256)
+
+_BY_NAME = {m.name: m for m in MODULATIONS}
+
+
+def modulation_by_name(name):
+    """Look up a modulation by its canonical name (e.g. ``"64qam"``)."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown modulation {name!r}; choose from {sorted(_BY_NAME)}") from None

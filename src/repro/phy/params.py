@@ -1,0 +1,155 @@
+"""OFDM numerology: subcarrier layout, CP lengths, timing.
+
+The paper's prototype runs "a standard 20 MHz OFDM PHY based on the WiFi
+PHY ... 56 subcarriers and a 400 ns cyclic prefix" (§4.3) — i.e. the
+802.11n HT-20 tone plan with the *short* guard interval.  LTE numerology
+is included because the paper repeatedly contrasts the two CP budgets
+(400 ns vs 4.69 us, §1/§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OfdmParams:
+    """Immutable description of one OFDM numerology.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    bandwidth_hz:
+        Channel bandwidth; also the complex sample rate at baseband.
+    fft_size:
+        Number of OFDM subcarrier slots.
+    cp_len:
+        Cyclic-prefix length in samples.
+    data_subcarriers / pilot_subcarriers:
+        Signed subcarrier indices (DC = 0) carrying data and pilots.
+    carrier_hz:
+        RF centre frequency (used by analog models).
+    """
+
+    name: str
+    bandwidth_hz: float
+    fft_size: int
+    cp_len: int
+    data_subcarriers: tuple = field(repr=False)
+    pilot_subcarriers: tuple = field(repr=False)
+    carrier_hz: float = 2.45e9
+
+    def __post_init__(self):
+        if self.fft_size < 2:
+            raise ValueError(f"fft_size must be >= 2, got {self.fft_size}")
+        if not 0 <= self.cp_len < self.fft_size:
+            raise ValueError(
+                f"cp_len must be in [0, fft_size), got {self.cp_len}")
+        used = set(self.data_subcarriers) | set(self.pilot_subcarriers)
+        if set(self.data_subcarriers) & set(self.pilot_subcarriers):
+            raise ValueError("data and pilot subcarriers overlap")
+        half = self.fft_size // 2
+        for k in used:
+            if not -half <= k < half:
+                raise ValueError(f"subcarrier index {k} out of range for "
+                                 f"fft_size {self.fft_size}")
+
+    @property
+    def sample_period_s(self):
+        """Duration of one baseband sample in seconds."""
+        return 1.0 / self.bandwidth_hz
+
+    @property
+    def cp_duration_s(self):
+        """Cyclic-prefix duration in seconds — the relay's delay budget."""
+        return self.cp_len * self.sample_period_s
+
+    @property
+    def symbol_len(self):
+        """Samples per OFDM symbol including the CP."""
+        return self.fft_size + self.cp_len
+
+    @property
+    def symbol_duration_s(self):
+        """OFDM symbol duration including CP, in seconds."""
+        return self.symbol_len * self.sample_period_s
+
+    @property
+    def num_data_subcarriers(self):
+        """Number of data-bearing subcarriers."""
+        return len(self.data_subcarriers)
+
+    @property
+    def num_used_subcarriers(self):
+        """Data plus pilot subcarriers."""
+        return len(self.data_subcarriers) + len(self.pilot_subcarriers)
+
+    @property
+    def subcarrier_spacing_hz(self):
+        """Subcarrier spacing in Hz."""
+        return self.bandwidth_hz / self.fft_size
+
+    def used_subcarriers(self):
+        """All occupied subcarrier indices, sorted ascending."""
+        return tuple(sorted(set(self.data_subcarriers) | set(self.pilot_subcarriers)))
+
+    def subcarrier_freqs_hz(self, indices=None):
+        """Baseband frequency (Hz) of each subcarrier index."""
+        if indices is None:
+            indices = self.used_subcarriers()
+        return np.asarray(indices, dtype=float) * self.subcarrier_spacing_hz
+
+
+def _ht20_tone_plan():
+    """The 802.11n HT-20 layout: 56 used tones, 4 pilots, DC null."""
+    pilots = (-21, -7, 7, 21)
+    data = tuple(k for k in range(-28, 29)
+                 if k != 0 and k not in pilots)
+    return data, pilots
+
+
+_HT20_DATA, _HT20_PILOTS = _ht20_tone_plan()
+
+#: The paper's PHY: HT-20 tone plan with the 400 ns short guard interval.
+WIFI_20MHZ = OfdmParams(
+    name="wifi-20mhz-sgi",
+    bandwidth_hz=20e6,
+    fft_size=64,
+    cp_len=8,                      # 8 samples @ 20 Msps = 400 ns
+    data_subcarriers=_HT20_DATA,
+    pilot_subcarriers=_HT20_PILOTS,
+)
+
+#: Same tone plan with the 800 ns long guard interval.
+WIFI_20MHZ_LONG_CP = OfdmParams(
+    name="wifi-20mhz-lgi",
+    bandwidth_hz=20e6,
+    fft_size=64,
+    cp_len=16,                     # 16 samples @ 20 Msps = 800 ns
+    data_subcarriers=_HT20_DATA,
+    pilot_subcarriers=_HT20_PILOTS,
+)
+
+
+def _lte10_tone_plan():
+    """A 10 MHz LTE-like layout: 600 used tones around DC."""
+    data = tuple(k for k in range(-300, 301) if k != 0 and k % 100 != 50)
+    pilots = tuple(k for k in range(-300, 301) if k != 0 and k % 100 == 50)
+    return data, pilots
+
+
+_LTE10_DATA, _LTE10_PILOTS = _lte10_tone_plan()
+
+#: LTE-like numerology: 15 kHz spacing, 4.69 us normal CP.
+LTE_10MHZ = OfdmParams(
+    name="lte-10mhz",
+    bandwidth_hz=15.36e6,
+    fft_size=1024,
+    cp_len=72,                     # 72 samples @ 15.36 Msps = 4.69 us
+    data_subcarriers=_LTE10_DATA,
+    pilot_subcarriers=_LTE10_PILOTS,
+    carrier_hz=1.9e9,
+)

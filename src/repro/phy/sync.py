@@ -1,0 +1,139 @@
+"""Packet detection, timing synchronisation and CFO handling.
+
+CFO matters twice in the paper: the receiver's CFO tracking must not be
+confused by the relayed copy, so the relay corrects the source CFO,
+processes, then *restores* it before retransmission (§4.1) — the restore
+half lives in :mod:`repro.core.cfo_restore`.  The estimators here are
+the standard Schmidl–Cox-style autocorrelation over the repeating STF
+(coarse) and the repeated LTF bodies (fine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.params import OfdmParams
+from repro.phy.preamble import Preamble
+from repro.utils.validation import ensure_complex_1d
+
+
+def apply_cfo(x, cfo_hz, sample_rate_hz, initial_phase=0.0):
+    """Rotate a signal by a carrier frequency offset of ``cfo_hz``."""
+    x = ensure_complex_1d(x, "x")
+    n = np.arange(x.size)
+    return x * np.exp(1j * (2.0 * np.pi * cfo_hz * n / sample_rate_hz + initial_phase))
+
+
+def estimate_cfo(x, repeat_len, sample_rate_hz, num_repeats=2):
+    """CFO estimate from a periodic training field.
+
+    Autocorrelates ``x`` with itself at lag ``repeat_len``; the angle of
+    the accumulated product divided by the lag duration is the CFO.  The
+    unambiguous range is ``+-fs / (2 * repeat_len)`` — short STF periods
+    give coarse-but-wide estimates, long LTF bodies fine-but-narrow.
+    """
+    x = ensure_complex_1d(x, "x")
+    needed = repeat_len * num_repeats
+    if x.size < needed:
+        raise ValueError(f"need at least {needed} samples, got {x.size}")
+    acc = 0.0 + 0.0j
+    for r in range(num_repeats - 1):
+        a = x[r * repeat_len : (r + 1) * repeat_len]
+        b = x[(r + 1) * repeat_len : (r + 2) * repeat_len]
+        acc += np.vdot(a, b)  # sum conj(a) * b
+    angle = np.angle(acc)
+    return angle * sample_rate_hz / (2.0 * np.pi * repeat_len)
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of packet detection.
+
+    ``start`` indexes the first STF sample; ``coarse_cfo_hz`` comes from
+    the STF periodicity and ``metric`` is the plateau correlation value.
+    """
+
+    start: int
+    coarse_cfo_hz: float
+    metric: float
+
+
+class PacketDetector:
+    """STF-based double-sliding-window packet detector.
+
+    Computes the classic normalised autocorrelation ``|P(d)|/R(d)`` at
+    lag one STF period; a run of values above threshold marks the STF
+    plateau and its first crossing gives packet start.
+    """
+
+    def __init__(self, params: OfdmParams, threshold=0.8, min_plateau=None):
+        self.params = params
+        self.threshold = float(threshold)
+        self.period = params.fft_size // 4
+        # Require most of the STF plateau before declaring a packet.
+        self.min_plateau = min_plateau if min_plateau is not None else 4 * self.period
+
+    def metric(self, x):
+        """The normalised autocorrelation metric for every lag."""
+        x = ensure_complex_1d(x, "x")
+        lag = self.period
+        if x.size < 2 * lag + 1:
+            return np.zeros(0, dtype=float)
+        prod = x[lag:] * np.conj(x[:-lag])
+        energy = np.abs(x[lag:]) ** 2
+        window = lag
+        kernel = np.ones(window)
+        p = np.convolve(prod, kernel, mode="valid")
+        r = np.convolve(energy, kernel, mode="valid")
+        out = np.zeros_like(r, dtype=float)
+        nz = r > 1e-12
+        out[nz] = np.abs(p[nz]) / r[nz]
+        return np.minimum(out, 1.0)
+
+    def detect(self, x):
+        """Detect the first packet in ``x``; returns ``DetectionResult`` or None."""
+        m = self.metric(x)
+        if m.size == 0:
+            return None
+        above = m >= self.threshold
+        # Find the first run of `min_plateau` consecutive True values.
+        run = 0
+        start = None
+        for i, flag in enumerate(above):
+            run = run + 1 if flag else 0
+            if run >= self.min_plateau:
+                start = i - run + 1
+                break
+        if start is None:
+            return None
+        x = ensure_complex_1d(x, "x")
+        seg = x[start : start + 8 * self.period]
+        if seg.size < 2 * self.period:
+            return None
+        cfo = estimate_cfo(seg, self.period, self.params.bandwidth_hz,
+                           num_repeats=min(8, seg.size // self.period))
+        return DetectionResult(start=start, coarse_cfo_hz=float(cfo),
+                               metric=float(m[start : start + run].mean()))
+
+
+def fine_cfo_from_ltf(x, params: OfdmParams, ltf_start):
+    """Fine CFO from the two repeated LTF bodies.
+
+    ``ltf_start`` indexes the first sample of the L-LTF field (its
+    double CP); the two fft_size-long bodies follow.
+    """
+    x = ensure_complex_1d(x, "x")
+    body_start = ltf_start + 2 * params.cp_len
+    needed = body_start + 2 * params.fft_size
+    if x.size < needed:
+        raise ValueError(f"need {needed} samples for the LTF, got {x.size}")
+    seg = x[body_start : body_start + 2 * params.fft_size]
+    return estimate_cfo(seg, params.fft_size, params.bandwidth_hz)
+
+
+def locate_ltf(params: OfdmParams, packet_start):
+    """Sample index of the L-LTF field given the packet (STF) start."""
+    stf_len = (params.fft_size // 4) * Preamble.STF_REPEATS
+    return packet_start + stf_len

@@ -1,0 +1,90 @@
+"""Unit conversions and physical constants used throughout the library.
+
+Two dB conventions coexist in RF work:
+
+* *amplitude* (voltage) ratios: ``dB = 20 log10(ratio)``
+* *power* ratios: ``dB = 10 log10(ratio)``
+
+To avoid the classic factor-of-two bug, this module exposes explicitly
+named pairs: :func:`db_to_linear` / :func:`linear_to_db` operate on
+**amplitude** ratios, while :func:`db_to_power` / :func:`power_to_db`
+operate on **power** ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Speed of light in vacuum, metres/second.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Boltzmann constant, joules/kelvin.
+BOLTZMANN = 1.380_649e-23
+
+#: Reference temperature for thermal-noise computations, kelvin.
+ROOM_TEMPERATURE_K = 290.0
+
+
+def db_to_linear(db):
+    """Convert an amplitude (voltage) gain in dB to a linear ratio.
+
+    ``db_to_linear(20.0) == 10.0`` — a 20 dB amplitude gain multiplies
+    the signal's amplitude by 10 (and its power by 100).
+    """
+    return 10.0 ** (np.asarray(db, dtype=float) / 20.0)
+
+
+def linear_to_db(ratio):
+    """Convert a linear amplitude (voltage) ratio to dB.
+
+    Inverse of :func:`db_to_linear`.  Zero or negative ratios map to
+    ``-inf`` rather than raising, matching numpy's log conventions.
+    """
+    ratio = np.asarray(ratio, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 20.0 * np.log10(ratio)
+
+
+def db_to_power(db):
+    """Convert a power gain in dB to a linear power ratio.
+
+    ``db_to_power(30.0) == 1000.0``.
+    """
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0)
+
+
+def power_to_db(ratio):
+    """Convert a linear power ratio to dB.  Inverse of :func:`db_to_power`."""
+    ratio = np.asarray(ratio, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(ratio)
+
+
+def dbm_to_watts(dbm):
+    """Convert a power level in dBm to watts (0 dBm == 1 mW)."""
+    return 1e-3 * db_to_power(dbm)
+
+
+def watts_to_dbm(watts):
+    """Convert a power level in watts to dBm."""
+    return power_to_db(np.asarray(watts, dtype=float) / 1e-3)
+
+
+def thermal_noise_dbm(bandwidth_hz, noise_figure_db=0.0,
+                      temperature_k=ROOM_TEMPERATURE_K):
+    """Thermal noise power in dBm for a given bandwidth.
+
+    ``kTB`` noise plus an optional receiver noise figure.  For a 20 MHz
+    WiFi channel at 290 K this is about -101 dBm; the paper's quoted
+    -90 dBm noise floor corresponds to an ~11 dB noise figure, which is
+    typical of commodity WiFi front ends.
+    """
+    noise_w = BOLTZMANN * temperature_k * float(bandwidth_hz)
+    return watts_to_dbm(noise_w) + float(noise_figure_db)
+
+
+def wavelength(frequency_hz):
+    """Free-space wavelength in metres for a carrier frequency in Hz."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT / float(frequency_hz)

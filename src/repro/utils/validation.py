@@ -1,0 +1,35 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_complex_1d(x, name="signal"):
+    """Return ``x`` as a 1-D complex array, raising on higher dimensions."""
+    arr = np.asarray(x, dtype=complex)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def ensure_positive(value, name="value"):
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def ensure_in_range(value, low, high, name="value"):
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def ensure_shape(array, shape, name="array"):
+    """Raise ``ValueError`` unless ``array.shape == shape``."""
+    arr = np.asarray(array)
+    if arr.shape != tuple(shape):
+        raise ValueError(f"{name} must have shape {tuple(shape)}, got {arr.shape}")
+    return arr

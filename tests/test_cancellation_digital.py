@@ -1,0 +1,132 @@
+"""Digital cancellation: causal vs non-causal, estimators."""
+
+import numpy as np
+import pytest
+
+from repro.cancellation import (
+    CausalDigitalCanceller,
+    NonCausalDigitalCanceller,
+    estimate_si_taps_ls,
+)
+from repro.cancellation.digital import fit_causal_taps
+from repro.dsp.fir import fir_frequency_response
+from repro.utils import make_rng
+
+
+def _bandlimited(n, rng, frac=0.1, power=1.0):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    spec = np.fft.fft(x)
+    f = np.fft.fftfreq(n)
+    spec[np.abs(f) > frac / 2] = 0
+    x = np.fft.ifft(spec)
+    return x * np.sqrt(power / np.mean(np.abs(x) ** 2))
+
+
+class TestLatencyContract:
+    def test_causal_has_zero_latency(self):
+        assert CausalDigitalCanceller().latency_s == 0.0
+
+    def test_non_causal_buffers(self):
+        # The prior-work baseline: look-ahead forces buffering (§3.3).
+        nc = NonCausalDigitalCanceller(num_taps=16, num_precursor=16,
+                                       sample_rate_hz=20e6)
+        assert nc.latency_s == pytest.approx(16 / 20e6 + 50e-9)
+
+    def test_paper_default_tap_count(self):
+        assert CausalDigitalCanceller().num_taps == 120
+
+
+class TestTimeDomainLs:
+    def test_recovers_exact_fir_channel(self):
+        rng = make_rng(0)
+        true_taps = np.array([0.5, -0.2 + 0.1j, 0.05])
+        tx = rng.standard_normal(2000) + 1j * rng.standard_normal(2000)
+        rx = np.convolve(tx, true_taps)[:2000]
+        est = estimate_si_taps_ls(tx, rx, num_taps=3)
+        assert np.allclose(est, true_taps, atol=1e-10)
+
+    def test_precursor_taps_capture_anticausal(self):
+        rng = make_rng(1)
+        tx = rng.standard_normal(2000) + 1j * rng.standard_normal(2000)
+        # rx depends on a FUTURE tx sample.
+        rx = np.concatenate([tx[1:], [0.0]]) * 0.3
+        causal = estimate_si_taps_ls(tx, rx, num_taps=4)
+        both = estimate_si_taps_ls(tx, rx, num_taps=4, num_precursor=2)
+        res_causal = rx - np.convolve(tx, causal)[:2000]
+        pred_both = np.convolve(tx, both)[2 : 2 + 2000]
+        res_both = rx - pred_both
+        assert np.mean(np.abs(res_both[5:-5]) ** 2) < \
+            0.01 * np.mean(np.abs(res_causal[5:-5]) ** 2)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_si_taps_ls(np.ones(10, complex), np.ones(9, complex), 2)
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            estimate_si_taps_ls(np.ones(10, complex), np.ones(10, complex), 8)
+
+
+class TestFitCausalTaps:
+    def test_norm_stays_bounded(self):
+        f = np.linspace(-0.05, 0.05, 201)
+        target = np.exp(-2j * np.pi * f * 8.65)  # fractional delay
+        taps = fit_causal_taps(f, target, 120, ridge=1e-9)
+        assert np.abs(taps).max() < 20.0
+
+    def test_in_band_accuracy(self):
+        f = np.linspace(-0.05, 0.05, 201)
+        target = 0.1 * np.exp(-2j * np.pi * f * 8.65)
+        taps = fit_causal_taps(f, target, 120, ridge=1e-12)
+        realised = fir_frequency_response(taps, f)
+        err = np.mean(np.abs(realised - target) ** 2) / np.mean(
+            np.abs(target) ** 2)
+        assert 10 * np.log10(err) < -50.0
+
+
+class TestCausalCanceller:
+    def _setup(self, rng, delay=8.3, gain=0.15):
+        n = 32768
+        tx = _bandlimited(n, rng, power=100.0)
+        spec = np.fft.fft(tx, 2 * n)
+        f = np.fft.fftfreq(2 * n)
+        rx = np.fft.ifft(spec * gain * np.exp(-2j * np.pi * f * delay))[:n]
+        return tx, rx
+
+    def test_train_and_cancel_deeply(self):
+        rng = make_rng(2)
+        tx, rx = self._setup(rng)
+        canc = CausalDigitalCanceller()
+        canc.train(tx, rx)
+        assert canc.cancellation_db(rx, tx) > 45.0
+
+    def test_streaming_matches_block(self):
+        rng = make_rng(3)
+        tx, rx = self._setup(rng)
+        canc = CausalDigitalCanceller(num_taps=24)
+        canc.train(tx, rx)
+        block = canc.cancel(rx[:200], tx[:200])
+        stream = np.array([canc.cancel_streaming(r, t)
+                           for r, t in zip(rx[:200], tx[:200])])
+        assert np.allclose(stream, block)
+
+    def test_set_taps_validates_length(self):
+        canc = CausalDigitalCanceller(num_taps=8)
+        with pytest.raises(ValueError):
+            canc.set_taps(np.ones(7, dtype=complex))
+
+    def test_untrained_predicts_zero(self):
+        canc = CausalDigitalCanceller(num_taps=8)
+        assert np.allclose(canc.predict(np.ones(16, dtype=complex)), 0.0)
+
+
+class TestNonCausalCanceller:
+    def test_cancels_with_lookahead(self):
+        rng = make_rng(4)
+        n = 16384
+        tx = _bandlimited(n, rng, power=100.0)
+        # Anticausal leakage: rx[n] depends on tx[n+2].
+        rx = 0.1 * np.concatenate([tx[2:], np.zeros(2, dtype=complex)])
+        nc = NonCausalDigitalCanceller(num_taps=8, num_precursor=8)
+        nc.train(tx, rx)
+        assert nc.cancellation_db(rx, tx) > 40.0

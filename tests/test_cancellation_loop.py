@@ -1,0 +1,76 @@
+"""The positive-feedback relay loop (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.cancellation import RelayLoop, loop_is_stable
+from repro.utils import make_rng
+
+
+def _source(rng, n=3000, power_dbm=-80.0):
+    amp = np.sqrt(10.0 ** (power_dbm / 10.0) / 2.0)
+    return amp * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+
+
+class TestAnalyticCondition:
+    def test_below_isolation_stable(self):
+        assert loop_is_stable(100.0, 110.0)
+
+    def test_above_isolation_unstable(self):
+        assert not loop_is_stable(111.0, 110.0)
+
+    def test_margin_shifts_boundary(self):
+        assert loop_is_stable(105.0, 110.0)
+        assert not loop_is_stable(105.0, 110.0, margin_db=6.0)
+
+
+class TestSimulatedLoop:
+    def test_stable_with_margin(self):
+        rng = make_rng(0)
+        res = RelayLoop(100.0, 110.0).run(_source(rng))
+        assert res.stable
+
+    def test_unstable_when_gain_exceeds_isolation(self):
+        rng = make_rng(1)
+        res = RelayLoop(113.0, 110.0).run(_source(rng))
+        assert not res.stable
+
+    def test_unstable_loop_saturates(self):
+        rng = make_rng(2)
+        res = RelayLoop(120.0, 110.0).run(_source(rng), saturation_dbm=30.0)
+        assert res.peak_output_power_dbm == pytest.approx(30.0, abs=0.5)
+
+    def test_output_level_matches_amplification(self):
+        rng = make_rng(3)
+        res = RelayLoop(100.0, 110.0).run(_source(rng, power_dbm=-80.0))
+        out_dbm = 10 * np.log10(np.mean(np.abs(res.output) ** 2))
+        # -80 dBm + 100 dB, plus a ~0.5 dB wideband residual build-up.
+        assert out_dbm == pytest.approx(20.5, abs=1.5)
+
+    def test_loop_gain_reported(self):
+        assert RelayLoop(97.0, 110.0).loop_gain_db == pytest.approx(-13.0)
+
+    def test_delay_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RelayLoop(90.0, 110.0, delay_samples=0)
+
+
+class TestSteadyState:
+    def test_converges_for_stable(self):
+        loop = RelayLoop(104.0, 110.0)
+        # Power ratio 10^(-6/10) ~ 0.25: power build-up ~1/(1-0.25).
+        assert loop.steady_state_residual_gain() == pytest.approx(4.0 / 3.0,
+                                                                  rel=0.02)
+
+    def test_infinite_for_unstable(self):
+        assert RelayLoop(111.0, 110.0).steady_state_residual_gain() == np.inf
+
+    def test_simulation_matches_formula(self):
+        rng = make_rng(4)
+        loop = RelayLoop(104.0, 110.0)
+        res = loop.run(_source(rng, power_dbm=-85.0))
+        out_power = np.mean(np.abs(res.output[500:]) ** 2)
+        expected = 10.0 ** ((-85.0 + 104.0) / 10.0) \
+            * loop.steady_state_residual_gain()
+        assert 10 * np.log10(out_power) == pytest.approx(
+            10 * np.log10(expected), abs=1.5)

@@ -1,0 +1,82 @@
+"""The full cancellation chain: the §3.3 108-110 dB result."""
+
+import numpy as np
+import pytest
+
+from repro.cancellation import CancellationPipeline
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def tuned_pipeline():
+    pipe = CancellationPipeline(rng=1)
+    pipe.tune()
+    return pipe
+
+
+class TestMeasurement:
+    def test_total_cancellation_matches_paper(self, tuned_pipeline):
+        # §3.3: "consistently achieves between 108-110dB of cancellation".
+        report = tuned_pipeline.measure()
+        assert 106.0 <= report.total_db <= 111.0
+
+    def test_residual_at_noise_floor(self, tuned_pipeline):
+        report = tuned_pipeline.measure()
+        assert report.residual_power_dbm == pytest.approx(-90.0, abs=3.0)
+
+    def test_both_stages_contribute(self, tuned_pipeline):
+        report = tuned_pipeline.measure()
+        assert report.analog_db > 25.0
+        assert report.digital_db > 30.0
+
+    def test_report_renders(self, tuned_pipeline):
+        text = str(tuned_pipeline.measure())
+        assert "dB total" in text
+
+    def test_across_seeds(self):
+        totals = []
+        for seed in (2, 3, 4):
+            pipe = CancellationPipeline(rng=seed)
+            pipe.tune()
+            totals.append(pipe.measure().total_db)
+        assert min(totals) > 104.0
+
+
+class TestOnlineTuning:
+    def test_online_converges_like_offline(self):
+        pipe = CancellationPipeline(rng=7)
+        pipe.tune(online=True, iterations=6)
+        report = pipe.measure()
+        assert report.total_db > 104.0
+
+
+class TestCancelApi:
+    def test_requires_tuning(self):
+        pipe = CancellationPipeline(rng=5)
+        with pytest.raises(RuntimeError):
+            pipe.cancel(np.ones(256, dtype=complex), np.ones(256, dtype=complex))
+
+    def test_external_signal_survives_cancellation(self, tuned_pipeline):
+        # The point of the exercise: after removing the SI, the incoming
+        # source signal is left intact.
+        pipe = tuned_pipeline
+        rng = make_rng(9)
+        n = 32768
+        tx = pipe.make_traffic(n, 20.0, rng=rng)
+        external = pipe.make_traffic(n, -60.0, rng=rng)
+        rx = pipe.rx_with_si(tx, external_signal=external, rng=rng)
+        cleaned = pipe.cancel(rx, tx)
+        skip = pipe.digital.num_taps
+        out_power = np.mean(np.abs(cleaned[skip:]) ** 2)
+        ext_power = np.mean(np.abs(external[skip:]) ** 2)
+        # Residual = external signal + noise floor (+ small leftovers).
+        assert 10 * np.log10(out_power) == pytest.approx(
+            10 * np.log10(ext_power), abs=2.0)
+
+    def test_oversampling_validated(self):
+        with pytest.raises(ValueError):
+            CancellationPipeline(oversample=0)
+
+    def test_converter_delay_samples(self, tuned_pipeline):
+        # 50 ns at 160 Msps = 8 samples.
+        assert tuned_pipeline.converter_delay_samples == 8

@@ -1,0 +1,73 @@
+"""Self-interference channel model."""
+
+import numpy as np
+import pytest
+
+from repro.cancellation import SelfInterferenceChannel
+from repro.utils import make_rng, signal_power
+
+
+class TestConstruction:
+    def test_shapes_must_match(self):
+        with pytest.raises(ValueError):
+            SelfInterferenceChannel([1e-9, 2e-9], [1.0])
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SelfInterferenceChannel([-1e-9], [1.0])
+
+
+class TestTypical:
+    def test_leakage_dominates(self):
+        si = SelfInterferenceChannel.typical(rng=make_rng(0))
+        mags = np.abs(si.gains)
+        assert np.argmax(mags) == 0  # circulator path strongest
+
+    def test_isolation_near_circulator_spec(self):
+        iso = [SelfInterferenceChannel.typical(
+            circulator_isolation_db=15.0, rng=make_rng(s)).isolation_db()
+            for s in range(20)]
+        assert 10.0 < np.median(iso) < 20.0
+
+    def test_delay_scales(self):
+        si = SelfInterferenceChannel.typical(rng=make_rng(1))
+        assert si.delays_s.min() >= 100e-12
+        assert si.delays_s.max() <= 40e-9
+
+
+class TestResponse:
+    def test_single_path_magnitude_flat(self):
+        si = SelfInterferenceChannel([1e-9], [0.2])
+        freqs = np.linspace(-10e6, 10e6, 21)
+        h = si.frequency_response(freqs)
+        assert np.allclose(np.abs(h), 0.2)
+
+    def test_two_paths_create_ripple(self):
+        si = SelfInterferenceChannel([0.0, 25e-9], [0.2, 0.1])
+        freqs = np.linspace(-10e6, 10e6, 101)
+        mags = np.abs(si.frequency_response(freqs))
+        assert mags.max() - mags.min() > 0.05
+
+    def test_apply_attenuates_by_isolation(self):
+        rng = make_rng(2)
+        si = SelfInterferenceChannel([200e-12], [10 ** (-15 / 20)])
+        x = rng.standard_normal(4096) + 1j * rng.standard_normal(4096)
+        spec = np.fft.fft(x)
+        f = np.fft.fftfreq(4096)
+        spec[np.abs(f) > 0.2] = 0
+        x = np.fft.ifft(spec)
+        y = si.apply(x, 20e6)
+        ratio_db = 10 * np.log10(signal_power(y) / signal_power(x))
+        assert ratio_db == pytest.approx(-15.0, abs=0.5)
+
+    def test_discrete_taps_reproduce_response(self):
+        si = SelfInterferenceChannel.typical(rng=make_rng(3))
+        fs = 160e6
+        taps = si.discrete_taps(fs, num_taps=12)
+        freqs = np.linspace(-0.1, 0.1, 31) * fs
+        from repro.dsp.fir import fir_frequency_response
+
+        fitted = fir_frequency_response(taps, freqs / fs)
+        truth = si.frequency_response(freqs)
+        err = np.mean(np.abs(fitted - truth) ** 2) / np.mean(np.abs(truth) ** 2)
+        assert 10 * np.log10(err) < -30.0

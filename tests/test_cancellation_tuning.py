@@ -1,0 +1,97 @@
+"""The noise-injection tuning algorithm and the correlation trap (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.cancellation import (
+    NoiseInjectionTuner,
+    naive_si_estimate,
+    probe_si_estimate,
+)
+from repro.cancellation.tuning import probe_si_taps_ls
+from repro.utils import make_rng
+
+
+def _relay_scene(rng, n=16384, si_gain=0.2, relay_delay=2, amp=1.0):
+    """A relay mid-operation: TX is a delayed, amplified copy of the
+    incoming source signal; RX = source + SI(TX)."""
+    source = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    tx = amp * np.roll(source, relay_delay)
+    tx[:relay_delay] = 0.0
+    rx = source + si_gain * tx
+    return source, tx, rx
+
+
+class TestCorrelationTrap:
+    def test_naive_estimator_absorbs_source(self):
+        # §3.3: correlating RX against TX learns alpha(f) + H(f); the
+        # estimated "channel" magnitude is far above the true SI gain.
+        rng = make_rng(0)
+        _, tx, rx = _relay_scene(rng, si_gain=0.2, amp=1.0)
+        est = naive_si_estimate(tx, rx, nfft=64)
+        assert np.mean(np.abs(est)) > 0.5  # true channel is 0.2
+
+    def test_naive_cancellation_kills_desired_signal(self):
+        rng = make_rng(1)
+        source, tx, rx = _relay_scene(rng, si_gain=0.2)
+        est = naive_si_estimate(tx, rx, nfft=64)
+        # Apply per-bin cancellation with the naive estimate.
+        n = tx.size
+        residual = np.empty_like(rx)
+        for s in range(n // 64):
+            sl = slice(s * 64, (s + 1) * 64)
+            y = np.fft.fft(rx[sl])
+            t = np.fft.fft(tx[sl])
+            residual[sl] = np.fft.ifft(y - est * t)
+        kept = np.mean(np.abs(residual) ** 2) / np.mean(np.abs(source) ** 2)
+        assert kept < 0.5  # much of the *source* is cancelled too
+
+    def test_probe_estimator_is_immune(self):
+        rng = make_rng(2)
+        source, tx, rx = _relay_scene(rng, n=65536, si_gain=0.2)
+        probe = 0.3 * (rng.standard_normal(tx.size)
+                       + 1j * rng.standard_normal(tx.size))
+        rx_with_probe = rx + 0.2 * probe
+        est = probe_si_estimate(probe, rx_with_probe, nfft=64)
+        # The estimate sees only the probe's channel (0.2), not the
+        # alpha + H mixture the naive estimator converges to.
+        assert np.median(np.abs(est)) == pytest.approx(0.2, abs=0.08)
+
+
+class TestProbeTapsLs:
+    def test_estimates_through_loud_traffic(self):
+        rng = make_rng(3)
+        n = 65536
+        traffic = 10.0 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+        probe = 0.3 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+        h = np.array([0.2, 0.05 - 0.02j])
+        rx = np.convolve(traffic + probe, h)[:n]
+        taps = probe_si_taps_ls(probe, rx, num_taps=2)
+        # Traffic is 30 dB above the probe but uncorrelated with it.
+        assert np.allclose(taps, h, atol=0.05)
+
+
+class TestNoiseInjectionTuner:
+    def test_probe_power_is_backed_off(self):
+        tuner = NoiseInjectionTuner(probe_backoff_db=30.0)
+        rng = make_rng(4)
+        probe = tuner.make_probe(100000, tx_power_dbm=20.0, rng=rng)
+        power_dbm = 10 * np.log10(np.mean(np.abs(probe) ** 2))
+        assert power_dbm == pytest.approx(-10.0, abs=0.2)
+
+    def test_estimate_roundtrip(self):
+        rng = make_rng(5)
+        tuner = NoiseInjectionTuner(sample_rate_hz=20e6, nfft=64)
+        probe = tuner.make_probe(32768, 20.0, rng=rng)
+        rx = 0.1j * probe
+        result = tuner.estimate(probe, rx)
+        assert np.allclose(result.si_response, 0.1j, atol=1e-2)
+
+    def test_response_interpolation(self):
+        rng = make_rng(6)
+        tuner = NoiseInjectionTuner(sample_rate_hz=20e6, nfft=64)
+        probe = tuner.make_probe(32768, 20.0, rng=rng)
+        result = tuner.estimate(probe, 0.25 * probe)
+        grid = np.linspace(-8e6, 8e6, 11)
+        on_grid = tuner.response_on_grid(result, grid)
+        assert np.allclose(on_grid, 0.25, atol=1e-2)

@@ -1,0 +1,77 @@
+"""CFO impairment and channel reciprocity."""
+
+import numpy as np
+import pytest
+
+from repro.channel import CfoImpairment, MimoLink, MultipathChannel, reciprocal_channel
+from repro.channel.multipath import exponential_pdp
+from repro.phy.sync import estimate_cfo
+from repro.utils import make_rng
+
+
+class TestCfoImpairment:
+    def test_phase_continuity_across_chunks(self):
+        imp = CfoImpairment(50e3, 20e6)
+        x = np.ones(200, dtype=complex)
+        whole = CfoImpairment(50e3, 20e6).apply(x)
+        part = np.concatenate([imp.apply(x[:77]), imp.apply(x[77:])])
+        assert np.allclose(whole, part)
+
+    def test_estimator_recovers_impairment(self):
+        imp = CfoImpairment(42e3, 20e6)
+        n = np.arange(512)
+        periodic = np.exp(2j * np.pi * (n % 16) / 16.0)
+        rotated = imp.apply(periodic)
+        est = estimate_cfo(rotated, 16, 20e6, num_repeats=16)
+        assert est == pytest.approx(42e3, rel=1e-3)
+
+    def test_random_within_ppm(self):
+        rng = make_rng(0)
+        for _ in range(50):
+            imp = CfoImpairment.random(20e6, carrier_hz=2.45e9, ppm=20.0,
+                                       rng=rng)
+            assert abs(imp.cfo_hz) <= 2.45e9 * 20e-6
+
+    def test_reset(self):
+        imp = CfoImpairment(100e3, 20e6)
+        first = imp.apply(np.ones(64, dtype=complex))
+        imp.reset()
+        again = imp.apply(np.ones(64, dtype=complex))
+        assert np.allclose(first, again)
+
+
+class TestReciprocity:
+    def test_siso_identical(self):
+        chan = MultipathChannel(np.array([1.0, 0.3j]), extra_delay_samples=2)
+        rev = reciprocal_channel(chan)
+        assert np.allclose(rev.taps, chan.taps)
+        assert rev.extra_delay_samples == 2
+
+    def test_mimo_transposed(self):
+        rng = make_rng(1)
+        pdp = exponential_pdp(3, 30e-9, 50e-9)
+        link = MimoLink.draw(2, 2, pdp, rng=rng)
+        rev = reciprocal_channel(link)
+        assert np.allclose(rev.taps, np.transpose(link.taps, (0, 2, 1)))
+
+    def test_reverse_frequency_response_is_transpose(self):
+        rng = make_rng(2)
+        pdp = exponential_pdp(3, 30e-9, 50e-9)
+        link = MimoLink.draw(2, 3, pdp, rng=rng)
+        rev = reciprocal_channel(link)
+        fwd = link.frequency_response([5], 64)[0]
+        back = rev.frequency_response([5], 64)[0]
+        assert np.allclose(back, fwd.T)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            reciprocal_channel("not a channel")
+
+    def test_cnf_filter_commutes_siso(self):
+        # §4.2: per-subcarrier, h_sr * F * h_rd == h_rd * F * h_sr — the
+        # same filter serves both directions.
+        rng = make_rng(3)
+        h_sr = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        h_rd = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        f = np.exp(2j * np.pi * rng.random(8))
+        assert np.allclose(h_sr * f * h_rd, h_rd * f * h_sr)

@@ -1,0 +1,87 @@
+"""Floor-plan geometry and the Fig. 1 home."""
+
+import numpy as np
+import pytest
+
+from repro.channel import FloorPlan, Wall, fig1_home
+
+
+class TestWall:
+    def test_crossing_detected(self):
+        wall = Wall((0, 1), (2, 1), 6.0)
+        assert wall.intersects((1, 0), (1, 2))
+
+    def test_parallel_miss(self):
+        wall = Wall((0, 1), (2, 1), 6.0)
+        assert not wall.intersects((0, 0), (2, 0))
+
+    def test_collinear_touch_counts(self):
+        wall = Wall((0, 1), (2, 1), 6.0)
+        assert wall.intersects((1, 1), (1, 3))
+
+    def test_short_segment_miss(self):
+        wall = Wall((0, 1), (2, 1), 6.0)
+        assert not wall.intersects((1, 2), (1, 3))
+
+
+class TestFloorPlan:
+    def test_wall_loss_accumulates(self):
+        plan = FloorPlan(10, 10, walls=(
+            Wall((0, 3), (10, 3), 5.0),
+            Wall((0, 6), (10, 6), 7.0),
+        ))
+        assert plan.wall_losses_db((5, 1), (5, 9)) == pytest.approx(12.0)
+        assert plan.walls_crossed((5, 1), (5, 9)) == 2
+
+    def test_no_walls_no_loss(self):
+        plan = FloorPlan(10, 10)
+        assert plan.wall_losses_db((1, 1), (9, 9)) == 0.0
+
+    def test_contains(self):
+        plan = FloorPlan(10, 5)
+        assert plan.contains((5, 2.5))
+        assert not plan.contains((11, 2))
+
+    def test_grid_covers_interior(self):
+        plan = FloorPlan(4, 3)
+        grid = plan.grid(spacing_m=1.0, margin_m=0.5)
+        assert grid.shape[1] == 2
+        assert grid[:, 0].min() >= 0.5
+        assert grid[:, 0].max() <= 3.5
+        assert len(grid) == 4 * 3
+
+    def test_random_points_inside(self):
+        plan = FloorPlan(6, 4)
+        pts = plan.random_points(50, np.random.default_rng(0))
+        assert np.all(pts[:, 0] >= 0) and np.all(pts[:, 0] <= 6)
+        assert np.all(pts[:, 1] >= 0) and np.all(pts[:, 1] <= 4)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            FloorPlan(0, 5)
+
+
+class TestFig1Home:
+    def test_dimensions_match_figure(self):
+        plan, ap, relay = fig1_home()
+        assert plan.width_m == 9.0  # the figure's 9 m annotation
+
+    def test_ap_in_living_room_corner(self):
+        plan, ap, relay = fig1_home()
+        assert ap[0] < 2.0 and ap[1] < 2.0
+
+    def test_relay_mid_home(self):
+        plan, ap, relay = fig1_home()
+        assert 2.0 < relay[0] < 7.0
+        assert 1.5 < relay[1] < 4.5
+
+    def test_bedroom_ray_crosses_walls(self):
+        plan, ap, relay = fig1_home()
+        # AP to the top-left bedroom crosses the divider (and possibly
+        # the bathroom wall).
+        assert plan.walls_crossed(ap, (1.5, 6.0)) >= 1
+
+    def test_corridor_gap_is_wall_free(self):
+        plan, ap, relay = fig1_home()
+        # Straight shot through the corridor gap crosses nothing.
+        assert plan.walls_crossed((4.6, 3.0), (4.6, 4.0)) == 0

@@ -1,0 +1,110 @@
+"""MIMO channel generators: pinhole physics and the MimoLink container."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    MimoLink,
+    correlated_mimo,
+    iid_rayleigh_mimo,
+    pinhole_mimo,
+)
+from repro.channel.multipath import exponential_pdp
+from repro.phy.mimo import condition_number_db, effective_rank
+from repro.utils import make_rng
+
+
+class TestGenerators:
+    def test_iid_unit_power_entries(self):
+        rng = make_rng(0)
+        h = np.stack([iid_rayleigh_mimo(2, 2, rng) for _ in range(3000)])
+        assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_pure_pinhole_is_rank_one(self):
+        rng = make_rng(1)
+        for _ in range(20):
+            h = pinhole_mimo(2, 2, leakage=0.0, rng=rng)
+            sv = np.linalg.svd(h, compute_uv=False)
+            assert sv[1] < 1e-10 * sv[0]
+
+    def test_leakage_restores_rank_slowly(self):
+        rng = make_rng(2)
+        weak = np.mean([condition_number_db(pinhole_mimo(2, 2, 0.02, rng))
+                        for _ in range(50)])
+        strong = np.mean([condition_number_db(pinhole_mimo(2, 2, 0.5, rng))
+                          for _ in range(50)])
+        assert weak > strong
+
+    def test_leakage_range_checked(self):
+        with pytest.raises(ValueError):
+            pinhole_mimo(2, 2, leakage=1.5)
+
+    def test_correlated_reduces_rank(self):
+        rng = make_rng(3)
+        low = np.mean([effective_rank(correlated_mimo(2, 2, 0.0, 0.0, rng))
+                       for _ in range(100)])
+        high = np.mean([effective_rank(correlated_mimo(2, 2, 0.95, 0.95, rng))
+                        for _ in range(100)])
+        assert high < low
+
+    def test_correlation_bounds(self):
+        with pytest.raises(ValueError):
+            correlated_mimo(2, 2, 1.0, 0.5)
+
+
+class TestMimoLink:
+    def _link(self, rng, kind="rayleigh"):
+        pdp = exponential_pdp(4, 30e-9, 50e-9)
+        return MimoLink.draw(2, 2, pdp, kind=kind, rng=rng)
+
+    def test_shapes(self):
+        rng = make_rng(4)
+        link = self._link(rng)
+        assert link.num_rx == 2 and link.num_tx == 2
+        h = link.frequency_response([-5, 0, 5], 64)
+        assert h.shape == (3, 2, 2)
+
+    def test_apply_matches_frequency_response_for_tone(self):
+        rng = make_rng(5)
+        link = self._link(rng)
+        n = np.arange(256)
+        k = 7  # subcarrier index in a 64-FFT
+        tone = np.exp(2j * np.pi * k * n / 64)
+        x = np.stack([tone, np.zeros_like(tone)])
+        y = link.apply(x)
+        h = link.frequency_response([k], 64)[0]
+        # Steady-state (skip transient): output on rx0 = h[0,0] * tone.
+        ratio = y[0, 100:200] / tone[100:200]
+        assert np.allclose(ratio, h[0, 0], atol=1e-6)
+
+    def test_pinhole_link_shares_keyhole_across_taps(self):
+        rng = make_rng(6)
+        link = self._link(rng, kind="pinhole")
+        agg = link.narrowband()
+        assert effective_rank(agg, threshold_db=12.0) == 1
+
+    def test_extra_delay_shifts_output(self):
+        rng = make_rng(7)
+        pdp = np.array([1.0])
+        base = MimoLink.draw(2, 2, pdp, rng=make_rng(7))
+        delayed = MimoLink(base.taps, extra_delay_samples=4)
+        x = np.zeros((2, 10), dtype=complex)
+        x[:, 0] = 1.0
+        out = delayed.apply(x)
+        assert np.allclose(out[:, :4], 0.0)
+        assert not np.allclose(out[:, 4], 0.0)
+
+    def test_scaled(self):
+        rng = make_rng(8)
+        link = self._link(rng)
+        assert np.allclose(link.scaled(0.5).taps, 0.5 * link.taps)
+
+    def test_wrong_stream_count_rejected(self):
+        rng = make_rng(9)
+        link = self._link(rng)
+        with pytest.raises(ValueError):
+            link.apply(np.zeros((3, 10), dtype=complex))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            MimoLink.draw(2, 2, np.array([1.0]), kind="tunnel")

@@ -1,0 +1,104 @@
+"""Tapped-delay-line multipath channels."""
+
+import numpy as np
+import pytest
+
+from repro.channel import MultipathChannel, exponential_pdp, rayleigh_taps, rician_taps
+from repro.utils import make_rng, signal_power
+
+
+class TestPdp:
+    def test_normalised(self):
+        pdp = exponential_pdp(6, 50e-9, 50e-9)
+        assert pdp.sum() == pytest.approx(1.0)
+
+    def test_decaying(self):
+        pdp = exponential_pdp(6, 50e-9, 50e-9)
+        assert all(a > b for a, b in zip(pdp, pdp[1:]))
+
+    def test_zero_spread_is_single_tap(self):
+        pdp = exponential_pdp(4, 0.0, 50e-9)
+        assert np.allclose(pdp, [1, 0, 0, 0])
+
+    def test_needs_a_tap(self):
+        with pytest.raises(ValueError):
+            exponential_pdp(0, 50e-9, 50e-9)
+
+
+class TestTapDraws:
+    def test_rayleigh_mean_power_follows_pdp(self):
+        rng = make_rng(0)
+        pdp = exponential_pdp(4, 50e-9, 50e-9)
+        powers = np.mean([np.abs(rayleigh_taps(pdp, rng)) ** 2
+                          for _ in range(4000)], axis=0)
+        assert np.allclose(powers, pdp, rtol=0.1)
+
+    def test_rician_k_factor_stabilises_first_tap(self):
+        rng = make_rng(1)
+        pdp = np.array([1.0])
+        ray = np.array([abs(rayleigh_taps(pdp, rng)[0]) for _ in range(2000)])
+        ric = np.array([abs(rician_taps(pdp, 10.0, rng)[0]) for _ in range(2000)])
+        assert ric.std() / ric.mean() < ray.std() / ray.mean()
+
+    def test_negative_pdp_rejected(self):
+        with pytest.raises(ValueError):
+            rayleigh_taps(np.array([-0.1, 1.0]), make_rng(2))
+
+
+class TestMultipathChannel:
+    def test_flat_channel_scales(self):
+        chan = MultipathChannel.flat(0.5j)
+        x = np.ones(8, dtype=complex)
+        assert np.allclose(chan.apply_trimmed(x), 0.5j)
+
+    def test_extra_delay_shifts(self):
+        chan = MultipathChannel(np.array([1.0]), extra_delay_samples=3)
+        x = np.arange(1, 6, dtype=complex)
+        out = chan.apply_trimmed(x)
+        assert np.allclose(out[:3], 0.0)
+        assert np.allclose(out[3:], x[:2])
+
+    def test_frequency_response_matches_fft(self):
+        rng = make_rng(3)
+        taps = rng.standard_normal(4) + 1j * rng.standard_normal(4)
+        chan = MultipathChannel(taps)
+        indices = range(-28, 29)
+        h = chan.frequency_response(list(indices), 64)
+        full = np.fft.fft(np.concatenate([taps, np.zeros(60, complex)]))
+        expected = np.array([full[k % 64] for k in indices])
+        assert np.allclose(h, expected)
+
+    def test_compose_is_convolution(self):
+        a = MultipathChannel(np.array([1.0, 0.5]))
+        b = MultipathChannel(np.array([1.0, -0.25]), extra_delay_samples=2)
+        c = a.compose(b)
+        assert c.extra_delay_samples == 2
+        assert np.allclose(c.taps, np.convolve([1.0, 0.5], [1.0, -0.25]))
+
+    def test_compose_frequency_response_multiplies(self):
+        rng = make_rng(4)
+        a = MultipathChannel(rng.standard_normal(3).astype(complex))
+        b = MultipathChannel(rng.standard_normal(2).astype(complex))
+        idx = [-5, 0, 7]
+        got = a.compose(b).frequency_response(idx, 64)
+        expected = (a.frequency_response(idx, 64)
+                    * b.frequency_response(idx, 64))
+        assert np.allclose(got, expected)
+
+    def test_scaled(self):
+        chan = MultipathChannel(np.array([1.0, 0.5]))
+        assert np.allclose(chan.scaled(2.0).taps, [2.0, 1.0])
+
+    def test_delay_span(self):
+        chan = MultipathChannel(np.array([1.0, 0.0, 0.0, 0.01]),
+                                extra_delay_samples=2)
+        assert chan.delay_span_samples() == 5
+
+    def test_rayleigh_factory_mean_gain(self):
+        rng = make_rng(5)
+        powers = []
+        for _ in range(500):
+            c = MultipathChannel.rayleigh(4, 50e-9, 50e-9, gain_db=-20.0,
+                                          rng=rng)
+            powers.append(np.sum(np.abs(c.taps) ** 2))
+        assert 10 * np.log10(np.mean(powers)) == pytest.approx(-20.0, abs=1.0)

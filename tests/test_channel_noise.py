@@ -1,0 +1,54 @@
+"""Noise models and the -90 dBm floor convention."""
+
+import numpy as np
+import pytest
+
+from repro.channel import DEFAULT_NOISE_FLOOR_DBM, NoiseModel, awgn
+from repro.utils import make_rng, signal_power
+
+
+class TestAwgn:
+    def test_power_matches_dbm(self):
+        rng = make_rng(0)
+        noise = awgn(100000, -90.0, rng=rng)
+        assert signal_power(noise) == pytest.approx(1e-9, rel=0.05)
+
+    def test_zero_dbm_unit_power(self):
+        rng = make_rng(1)
+        noise = awgn(100000, 0.0, rng=rng)
+        assert signal_power(noise) == pytest.approx(1.0, rel=0.05)
+
+    def test_complex_circular(self):
+        rng = make_rng(2)
+        noise = awgn(100000, 0.0, rng=rng)
+        # I and Q carry equal power; correlation is negligible.
+        assert np.mean(noise.real ** 2) == pytest.approx(0.5, rel=0.05)
+        assert abs(np.mean(noise.real * noise.imag)) < 0.01
+
+    def test_shape_passthrough(self):
+        rng = make_rng(3)
+        assert awgn((4, 8), -10.0, rng=rng).shape == (4, 8)
+
+
+class TestNoiseModel:
+    def test_default_is_paper_floor(self):
+        assert NoiseModel().noise_floor_dbm == DEFAULT_NOISE_FLOOR_DBM == -90.0
+
+    def test_derive_from_bandwidth(self):
+        model = NoiseModel(noise_floor_dbm=None, bandwidth_hz=20e6,
+                           noise_figure_db=11.0)
+        assert model.noise_floor_dbm == pytest.approx(-90.0, abs=1.0)
+
+    def test_requires_bandwidth_when_deriving(self):
+        with pytest.raises(ValueError):
+            NoiseModel(noise_floor_dbm=None)
+
+    def test_snr_accounting(self):
+        model = NoiseModel()
+        assert model.snr_db(-70.0) == pytest.approx(20.0)
+
+    def test_sample_power(self):
+        model = NoiseModel(-90.0)
+        rng = make_rng(4)
+        samples = model.sample(50000, rng=rng)
+        assert signal_power(samples) == pytest.approx(1e-9, rel=0.1)

@@ -1,0 +1,74 @@
+"""Path-loss models."""
+
+import numpy as np
+import pytest
+
+from repro.channel import (
+    PathLossModel,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+)
+from repro.utils import make_rng
+
+
+class TestFreeSpace:
+    def test_known_value_2_4ghz_1m(self):
+        # FSPL at 2.45 GHz, 1 m is ~40.2 dB.
+        assert free_space_path_loss_db(1.0, 2.45e9) == pytest.approx(40.2,
+                                                                     abs=0.3)
+
+    def test_inverse_square(self):
+        l1 = free_space_path_loss_db(1.0, 2.45e9)
+        l2 = free_space_path_loss_db(2.0, 2.45e9)
+        assert l2 - l1 == pytest.approx(6.02, abs=0.05)
+
+    def test_rejects_zero_distance(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0, 2.45e9)
+
+
+class TestLogDistance:
+    def test_matches_fspl_at_reference(self):
+        assert log_distance_path_loss_db(1.0, 2.45e9) == pytest.approx(
+            free_space_path_loss_db(1.0, 2.45e9))
+
+    def test_exponent_controls_slope(self):
+        slope_db = (log_distance_path_loss_db(10.0, 2.45e9, exponent=3.0)
+                    - log_distance_path_loss_db(1.0, 2.45e9, exponent=3.0))
+        assert slope_db == pytest.approx(30.0, abs=0.01)
+
+    def test_clamps_below_reference(self):
+        near = log_distance_path_loss_db(0.2, 2.45e9)
+        ref = log_distance_path_loss_db(1.0, 2.45e9)
+        assert near == ref
+
+    def test_shadowing_adds(self):
+        base = log_distance_path_loss_db(5.0, 2.45e9)
+        shadowed = log_distance_path_loss_db(5.0, 2.45e9, shadowing_db=4.0)
+        assert shadowed == pytest.approx(base + 4.0)
+
+
+class TestPathLossModel:
+    def test_deterministic_without_shadowing(self):
+        model = PathLossModel(exponent=3.0)
+        assert model.loss_db(5.0) == model.loss_db(5.0)
+
+    def test_shadowing_requires_rng(self):
+        model = PathLossModel(shadowing_sigma_db=4.0)
+        with pytest.raises(ValueError):
+            model.loss_db(5.0)
+
+    def test_shadowing_statistics(self):
+        model = PathLossModel(shadowing_sigma_db=4.0)
+        rng = make_rng(0)
+        draws = np.array([model.loss_db(5.0, rng=rng) for _ in range(2000)])
+        assert draws.std() == pytest.approx(4.0, rel=0.1)
+
+    def test_received_power(self):
+        model = PathLossModel(exponent=3.0)
+        rx = model.received_power_dbm(20.0, 5.0)
+        assert rx == pytest.approx(20.0 - model.loss_db(5.0))
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            PathLossModel(shadowing_sigma_db=-1.0)

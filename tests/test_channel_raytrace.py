@@ -1,0 +1,105 @@
+"""Wall-aware propagation: the Fig. 1 SNR field calibration."""
+
+import numpy as np
+import pytest
+
+from repro.channel import PropagationModel, fig1_home
+from repro.phy.params import WIFI_20MHZ
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def home():
+    plan, ap, relay = fig1_home()
+    return PropagationModel(plan), ap, relay, plan
+
+
+class TestLinkBudget:
+    def test_loss_grows_with_distance(self, home):
+        pm, ap, relay, plan = home
+        near = pm.link_budget(ap, ap + np.array([1.0, 0.0]))
+        far = pm.link_budget(ap, ap + np.array([6.0, 0.0]))
+        assert far.total_loss_db > near.total_loss_db + 15.0
+
+    def test_walls_add_loss(self, home):
+        pm, ap, relay, plan = home
+        through_wall = pm.link_budget(ap, (1.5, 6.0))
+        open_path = pm.link_budget(ap, (1.5, 3.0))
+        per_m = (through_wall.path_loss_db - open_path.path_loss_db)
+        assert through_wall.wall_loss_db > 0
+        assert open_path.wall_loss_db == 0
+
+    def test_propagation_delay(self, home):
+        pm, ap, relay, plan = home
+        budget = pm.link_budget(ap, ap + np.array([3.0, 0.0]))
+        assert budget.propagation_delay_s == pytest.approx(1e-8, rel=0.01)
+
+    def test_snr_definition(self, home):
+        pm, ap, relay, plan = home
+        budget = pm.link_budget(ap, relay)
+        assert budget.snr_db(20.0) == pytest.approx(
+            20.0 - budget.total_loss_db + 90.0)
+
+
+class TestFig1Calibration:
+    """The SNR field must match the paper's Fig. 1 description."""
+
+    def test_mid_home_snr_10_to_20(self, home):
+        pm, ap, relay, plan = home
+        grid = plan.grid(spacing_m=0.5)
+        d = np.linalg.norm(grid - ap, axis=1)
+        mid = [pm.link_budget(ap, g).snr_db(20.0)
+               for g in grid[(d > 3.5) & (d < 5.5)]]
+        assert 8.0 < np.median(mid) < 20.0
+
+    def test_edge_snr_near_zero(self, home):
+        pm, ap, relay, plan = home
+        grid = plan.grid(spacing_m=0.5)
+        d = np.linalg.norm(grid - ap, axis=1)
+        edge = [pm.link_budget(ap, g).snr_db(20.0) for g in grid[d > 7.0]]
+        assert -10.0 < np.median(edge) < 8.0
+
+    def test_relay_has_usable_backhaul(self, home):
+        pm, ap, relay, plan = home
+        assert pm.link_budget(ap, relay).snr_db(20.0) > 15.0
+
+
+class TestChannelDraws:
+    def test_siso_gain_tracks_budget(self, home):
+        pm, ap, relay, plan = home
+        rng = make_rng(0)
+        budget = pm.link_budget(ap, relay)
+        gains = []
+        for _ in range(300):
+            chan = pm.siso_channel(ap, relay, WIFI_20MHZ.sample_period_s,
+                                   rng=rng)
+            gains.append(np.sum(np.abs(chan.taps) ** 2))
+        mean_db = 10 * np.log10(np.mean(gains))
+        assert mean_db == pytest.approx(-budget.total_loss_db, abs=2.0)
+
+    def test_mimo_link_kind_follows_geometry(self, home):
+        pm, ap, relay, plan = home
+        # A through-wall link is pinhole; a same-room link is not.
+        assert pm.is_pinhole(ap, (1.5, 6.0))
+        assert not pm.is_pinhole(ap, (3.0, 1.5))
+
+    def test_mimo_link_shapes(self, home):
+        pm, ap, relay, plan = home
+        rng = make_rng(1)
+        link = pm.mimo_link(ap, relay, WIFI_20MHZ.sample_period_s,
+                            num_rx=2, num_tx=2, rng=rng)
+        h = link.frequency_response(WIFI_20MHZ.used_subcarriers(), 64)
+        assert h.shape == (56, 2, 2)
+
+    def test_pinhole_links_rank_deficient(self, home):
+        from repro.phy.mimo import effective_rank
+
+        pm, ap, relay, plan = home
+        rng = make_rng(2)
+        target = (1.5, 6.0)  # through-wall
+        ranks = []
+        for _ in range(30):
+            link = pm.mimo_link(ap, target, WIFI_20MHZ.sample_period_s,
+                                rng=rng)
+            ranks.append(effective_rank(link.narrowband()))
+        assert np.mean(ranks) < 1.5

@@ -1,0 +1,46 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        parser = build_parser()
+        for argv in (["coverage"], ["cancellation"], ["gains"],
+                     ["latency"], ["fingerprint"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "gains"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_cancellation_runs(self, capsys):
+        assert main(["cancellation", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dB total" in out
+
+    def test_fingerprint_runs(self, capsys):
+        assert main(["fingerprint", "--locations", "4",
+                     "--packets", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "false positives" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["coverage", "--scenario", "nonexistent"])
+
+    def test_latency_prints_sweep(self, capsys):
+        assert main(["latency", "--clients", "4",
+                     "--latencies", "100", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "median gain" in out
+        assert "100 ns" in out and "500 ns" in out

@@ -1,0 +1,48 @@
+"""Amplification control: the two ceilings of §3.3/§3.5."""
+
+import pytest
+
+from repro.core import (
+    cancellation_cap_db,
+    noise_safe_cap_db,
+    select_amplification_db,
+)
+
+
+class TestCaps:
+    def test_cancellation_cap(self):
+        assert cancellation_cap_db(110.0, loop_margin_db=3.0) == 107.0
+
+    def test_noise_cap_paper_example(self):
+        # §3.5's worked example: 80 dB attenuation -> 77 dB amplification.
+        assert noise_safe_cap_db(80.0) == 77.0
+
+    def test_negative_margins_rejected(self):
+        with pytest.raises(ValueError):
+            cancellation_cap_db(110.0, loop_margin_db=-1.0)
+        with pytest.raises(ValueError):
+            noise_safe_cap_db(80.0, noise_margin_db=-1.0)
+
+
+class TestSelection:
+    def test_noise_rule_binds_for_near_clients(self):
+        # Close destination: small attenuation caps A first.
+        assert select_amplification_db(110.0, 60.0) == 57.0
+
+    def test_cancellation_binds_for_far_clients(self):
+        # Deep dead spot: cancellation is the binding ceiling.
+        assert select_amplification_db(100.0, 115.0) == 97.0
+
+    def test_blind_repeater_ignores_noise_rule(self):
+        # §5.5: amplify "as much as the amount of cancellation".
+        assert select_amplification_db(110.0, 60.0, noise_safe=False) == 107.0
+
+    def test_never_negative(self):
+        assert select_amplification_db(2.0, 1.0) == 0.0
+
+    def test_paper_noise_example_end_to_end(self):
+        # §3.5: with a = 80 dB and A = 77 dB, relayed noise lands at
+        # -93 dBm, below the -90 dBm destination floor.
+        a = select_amplification_db(110.0, 80.0)
+        relay_noise_at_dest = -90.0 + a - 80.0
+        assert relay_noise_at_dest <= -90.0

@@ -1,0 +1,95 @@
+"""The §3.4 digital/analog CNF filter split."""
+
+import numpy as np
+import pytest
+
+from repro.core import decompose_cnf_filter
+from repro.phy.params import WIFI_20MHZ
+from repro.utils import make_rng
+
+
+@pytest.fixture
+def freqs():
+    return WIFI_20MHZ.subcarrier_freqs_hz()
+
+
+class TestStructure:
+    def test_prototype_dimensions(self, freqs):
+        target = np.exp(1j * 0.3) * np.ones_like(freqs, dtype=complex)
+        d = decompose_cnf_filter(freqs, target)
+        assert d.digital_taps.size == 4
+        assert d.analog_line.num_taps == 4
+        assert d.digital_rate_hz == 80e6
+
+    def test_latency_budget_respected(self, freqs):
+        target = np.exp(-2j * np.pi * freqs * 10e-9)
+        d = decompose_cnf_filter(freqs, target)
+        # 4 taps at 80 Msps: worst-case 37.5 ns, within the 50 ns budget.
+        assert d.worst_case_digital_delay_s() <= 50e-9
+        assert d.digital_group_delay_s() <= d.worst_case_digital_delay_s()
+
+    def test_analog_spacing_100ps(self, freqs):
+        target = np.ones_like(freqs, dtype=complex)
+        d = decompose_cnf_filter(freqs, target)
+        assert np.allclose(np.diff(d.analog_line.tap_delays_s), 100e-12)
+
+
+class TestFitQuality:
+    def test_constant_rotation_fits_exactly(self, freqs):
+        # The analog stage alone realises a common rotation.
+        for phase in (0.3, -1.2, 2.9):
+            target = np.exp(1j * phase) * np.ones_like(freqs, dtype=complex)
+            d = decompose_cnf_filter(freqs, target)
+            assert d.fit_error_db < -25.0
+
+    def test_smooth_ramp_fits_well(self, freqs):
+        target = np.exp(-2j * np.pi * freqs * 20e-9)
+        d = decompose_cnf_filter(freqs, target)
+        assert d.fit_error_db < -15.0
+
+    def test_response_evaluates_cascade(self, freqs):
+        rng = make_rng(0)
+        target = np.exp(2j * np.pi * rng.random(freqs.size))
+        d = decompose_cnf_filter(freqs, target)
+        cascade = d.digital_response(freqs) * d.analog_response(freqs)
+        assert np.allclose(d.response(freqs), cascade)
+
+    def test_quantisation_costs_little(self, freqs):
+        target = np.exp(-2j * np.pi * freqs * 15e-9 + 0.4j)
+        ideal = decompose_cnf_filter(freqs, target, quantize=False)
+        quant = decompose_cnf_filter(freqs, target, quantize=True)
+        assert quant.fit_error_db <= ideal.fit_error_db + 6.0
+
+    def test_weights_prioritise_subcarriers(self, freqs):
+        # A 150 ns ramp is far beyond the filter's span, so it cannot be
+        # matched everywhere; heavy weights on the first quarter of the
+        # band must pull the fit there.
+        target = np.exp(-2j * np.pi * freqs * 150e-9)
+        quarter = freqs.size // 4
+        weights = np.ones(freqs.size)
+        weights[:quarter] = 1000.0
+        d = decompose_cnf_filter(freqs, target, weights=weights)
+        resp = d.response(freqs)
+        err_weighted = np.abs(resp[:quarter] - target[:quarter]).mean()
+        err_rest = np.abs(resp[quarter:] - target[quarter:]).mean()
+        assert err_weighted < err_rest
+
+
+class TestValidation:
+    def test_shape_mismatch(self, freqs):
+        with pytest.raises(ValueError):
+            decompose_cnf_filter(freqs, np.ones(3, dtype=complex))
+
+    def test_needs_taps(self, freqs):
+        with pytest.raises(ValueError):
+            decompose_cnf_filter(freqs, np.ones_like(freqs, dtype=complex),
+                                 digital_taps=0)
+
+    def test_delay_slack_slides_target(self, freqs):
+        base = np.exp(-2j * np.pi * freqs * 5e-9)
+        plain = decompose_cnf_filter(freqs, base)
+        slid = decompose_cnf_filter(freqs, base, delay_slack_s=10e-9)
+        # The slid decomposition approximates a different (more delayed)
+        # response; both should fit their own targets decently.
+        assert plain.fit_error_db < -10.0
+        assert slid.fit_error_db < -10.0

@@ -1,0 +1,86 @@
+"""The closed full-duplex loop (Fig. 3 + Fig. 7, live)."""
+
+import numpy as np
+import pytest
+
+from repro.cancellation import CancellationPipeline
+from repro.cancellation.pipeline import bandlimited_gaussian
+from repro.core import FullDuplexRelaySession
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def tuned_pipe():
+    pipe = CancellationPipeline(rng=1)
+    pipe.tune()
+    return pipe
+
+
+@pytest.fixture(scope="module")
+def session(tuned_pipe):
+    return FullDuplexRelaySession(tuned_pipe, amplification_db=78.0, rng=2)
+
+
+def _source(pipe, rng, n=10000, power_dbm=-60.0):
+    return bandlimited_gaussian(n, power_dbm, pipe.occupied_fraction, rng)
+
+
+class TestClosedLoop:
+    def test_requires_tuned_pipeline(self):
+        pipe = CancellationPipeline(rng=9)
+        with pytest.raises(ValueError):
+            FullDuplexRelaySession(pipe, amplification_db=70.0)
+
+    def test_isolation_measured(self, session):
+        iso = session.measured_isolation_db(rng=3)
+        assert iso > 85.0
+
+    def test_stable_below_isolation(self, session, tuned_pipe):
+        rng = make_rng(4)
+        res = session.run(_source(tuned_pipe, rng), rng=rng)
+        assert res.stable
+        assert res.peak_tx_dbm < 29.0
+
+    def test_source_heard_while_transmitting(self, session, tuned_pipe):
+        # The whole point of full duplex: the cleaned receive stream IS
+        # the source, while the relay simultaneously transmits an
+        # amplified copy of it.
+        rng = make_rng(5)
+        src = _source(tuned_pipe, rng)
+        res = session.run(src, rng=rng)
+        tail = slice(2000, None)
+        corr = abs(np.vdot(res.cleaned[tail], src[tail])) / (
+            np.linalg.norm(res.cleaned[tail]) * np.linalg.norm(src[tail]))
+        assert corr > 0.98
+        # And the transmitted stream really is at amplified power.
+        tx_dbm = 10 * np.log10(np.mean(np.abs(res.transmitted[tail]) ** 2))
+        assert tx_dbm == pytest.approx(-60.0 + 78.0, abs=3.0)
+
+    def test_residual_si_near_floor(self, session, tuned_pipe):
+        rng = make_rng(6)
+        res = session.run(_source(tuned_pipe, rng), rng=rng)
+        assert res.residual_si_dbm < -70.0
+
+    def test_rings_beyond_isolation(self, session, tuned_pipe):
+        rng = make_rng(7)
+        session_hot = FullDuplexRelaySession(tuned_pipe,
+                                             amplification_db=105.0, rng=2)
+        res = session_hot.run(_source(tuned_pipe, rng), rng=rng)
+        assert not res.stable
+        assert res.peak_tx_dbm == pytest.approx(30.0, abs=0.5)
+
+    def test_forward_filter_taps_applied(self, tuned_pipe):
+        # A forward gain of 0.5 shows up as -6 dB on the output.
+        rng = make_rng(8)
+        base = FullDuplexRelaySession(tuned_pipe, amplification_db=70.0,
+                                      rng=2)
+        halved = FullDuplexRelaySession(tuned_pipe, amplification_db=70.0,
+                                        forward_filter_taps=[0.5], rng=2)
+        src = _source(tuned_pipe, rng, n=6000)
+        out_base = base.run(src, rng=make_rng(9))
+        out_half = halved.run(src, rng=make_rng(9))
+        tail = slice(2000, None)
+        ratio = 10 * np.log10(
+            np.mean(np.abs(out_half.transmitted[tail]) ** 2)
+            / np.mean(np.abs(out_base.transmitted[tail]) ** 2))
+        assert ratio == pytest.approx(-6.0, abs=1.0)

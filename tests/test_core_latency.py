@@ -1,0 +1,91 @@
+"""Latency budget and ISI penalty (§3.2, §5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LatencyBudget, isi_effective_snr, isi_useful_fraction
+from repro.phy.params import LTE_10MHZ, WIFI_20MHZ
+
+
+class TestBudget:
+    def test_prototype_total_under_125ns(self):
+        # §4.3: "overall extra delay introduced by baseband process is
+        # less than 100ns" plus small analog terms.
+        budget = LatencyBudget()
+        assert budget.total_s() <= 125e-9
+
+    def test_causal_digital_cancellation_is_free(self):
+        assert LatencyBudget().digital_cancellation_s == 0.0
+
+    def test_fits_wifi_cp(self):
+        assert LatencyBudget().fits_cp(WIFI_20MHZ)
+
+    def test_non_causal_baseline_blows_wifi_cp(self):
+        # Prior work's ~350 ns buffered cancellation cannot fit within
+        # 400 ns once anything else is added (§3.3).
+        buffered = LatencyBudget().non_causal_digital(350e-9)
+        assert not buffered.fits_cp(WIFI_20MHZ)
+
+    def test_non_causal_fits_lte_cp(self):
+        # LTE's 4.69 us CP is forgiving — the motivation for saying the
+        # techniques "will work for LTE too".
+        buffered = LatencyBudget().non_causal_digital(350e-9)
+        assert buffered.fits_cp(LTE_10MHZ)
+
+    def test_extra_buffering_knob(self):
+        base = LatencyBudget()
+        slower = base.with_extra_buffering(300e-9)
+        assert slower.total_s() == pytest.approx(base.total_s() + 300e-9)
+        assert not slower.fits_cp(WIFI_20MHZ)
+
+    def test_propagation_slack_consumes_budget(self):
+        budget = LatencyBudget()
+        slack = WIFI_20MHZ.cp_duration_s - budget.total_s()
+        assert budget.fits_cp(WIFI_20MHZ, propagation_slack_s=slack * 0.9)
+        assert not budget.fits_cp(WIFI_20MHZ, propagation_slack_s=slack * 1.1)
+
+
+class TestUsefulFraction:
+    def test_inside_cp_is_lossless(self):
+        assert isi_useful_fraction(0.0) == 1.0
+        assert isi_useful_fraction(-5e-9) == 1.0
+
+    def test_full_window_excess_loses_all(self):
+        excess = WIFI_20MHZ.fft_size * WIFI_20MHZ.sample_period_s
+        assert isi_useful_fraction(excess) == 0.0
+
+    def test_monotone_decreasing(self):
+        fractions = [isi_useful_fraction(e * 1e-9) for e in (0, 50, 150, 400)]
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_small_excess_small_loss(self):
+        # 50 ns excess = 1 sample of 64: ~3% power loss.
+        rho = isi_useful_fraction(50e-9)
+        assert rho == pytest.approx(((64 - 1) / 64) ** 2)
+
+
+class TestEffectiveSnr:
+    def test_no_excess_coherent_combining(self):
+        snr = isi_effective_snr(1.0, 1.0, 0.01, 0.0, coherent=True)
+        assert snr == pytest.approx(400.0)  # (1+1)^2 / 0.01
+
+    def test_late_copy_becomes_interference(self):
+        early = isi_effective_snr(1.0, 10.0, 0.01, 0.0)
+        late = isi_effective_snr(1.0, 10.0, 0.01, 200e-9)
+        assert late < early / 3.0
+
+    def test_interference_limited_ceiling(self):
+        # With a huge relayed signal past the CP, SINR is set by the
+        # useful/interference ratio, independent of power.
+        a = isi_effective_snr(0.0, 1e3, 1e-9, 150e-9)
+        b = isi_effective_snr(0.0, 1e6, 1e-9, 150e-9)
+        assert a == pytest.approx(b, rel=0.01)
+
+    def test_coherence_lost_past_cp(self):
+        coh = isi_effective_snr(1.0, 1.0, 1e-3, 100e-9, coherent=True)
+        non = isi_effective_snr(1.0, 1.0, 1e-3, 100e-9, coherent=False)
+        assert coh == pytest.approx(non)
+
+    def test_noise_must_be_positive(self):
+        with pytest.raises(ValueError):
+            isi_effective_snr(1.0, 1.0, 0.0, 0.0)

@@ -1,0 +1,72 @@
+"""Eq. 2's structural claim: "Since a K antenna relay has only K
+dimensions, it can increase the MIMO rank at the destination at most by
+K" (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FastForwardRelay, RelayConfig
+from repro.netsim.throughput import usable_streams
+from repro.utils import make_rng
+
+
+def _flat(n_sc, matrix):
+    return np.broadcast_to(matrix, (n_sc, *matrix.shape)).copy()
+
+
+def _cn(rng, *shape, scale=1e-2):
+    return scale * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+
+
+class TestRankLimits:
+    def test_single_antenna_relay_adds_one_stream(self):
+        # Dead 2x2 direct channel + K=1 relay: exactly one usable stream.
+        rng = make_rng(0)
+        n_sc = 8
+        h_sd = _flat(n_sc, np.zeros((2, 2), dtype=complex))
+        h_sr = _flat(n_sc, _cn(rng, 1, 2))     # relay has 1 antenna
+        h_rd = _flat(n_sc, _cn(rng, 2, 1))
+        relay = FastForwardRelay(RelayConfig())
+        relay.configure_mimo_link(h_sd, h_sr, h_rd)
+        h_eff, cov = relay.mimo_effective_channels()
+        assert usable_streams(h_eff, cov) == 1
+
+    def test_single_antenna_relay_completes_pinhole(self):
+        # Rank-1 direct + K=1 relay: the second stream opens (1 + 1).
+        rng = make_rng(1)
+        n_sc = 8
+        keyhole = np.outer(
+            rng.standard_normal(2) + 1j * rng.standard_normal(2),
+            rng.standard_normal(2) + 1j * rng.standard_normal(2))
+        h_sd = _flat(n_sc, 3e-3 * keyhole / np.abs(keyhole).max())
+        h_sr = _flat(n_sc, _cn(rng, 1, 2))
+        h_rd = _flat(n_sc, _cn(rng, 2, 1))
+        relay = FastForwardRelay(RelayConfig())
+        relay.configure_mimo_link(h_sd, h_sr, h_rd)
+        h_eff, cov = relay.mimo_effective_channels()
+        direct_cov = np.broadcast_to(1e-9 * np.eye(2),
+                                     (n_sc, 2, 2)).copy()
+        assert usable_streams(h_sd, direct_cov) == 1
+        assert usable_streams(h_eff, cov) == 2
+
+    def test_two_antenna_relay_cannot_exceed_client_antennas(self):
+        # 2 rx antennas bound the stream count at 2 no matter what.
+        rng = make_rng(2)
+        n_sc = 8
+        h_sd = _flat(n_sc, _cn(rng, 2, 2))
+        h_sr = _flat(n_sc, _cn(rng, 2, 2))
+        h_rd = _flat(n_sc, _cn(rng, 2, 2))
+        relay = FastForwardRelay(RelayConfig())
+        relay.configure_mimo_link(h_sd, h_sr, h_rd)
+        h_eff, cov = relay.mimo_effective_channels()
+        assert usable_streams(h_eff, cov) <= 2
+
+    def test_relay_path_rank_bounded_by_k(self):
+        # The relay's own contribution H_rd F A H_sr has rank <= K.
+        rng = make_rng(3)
+        h_sr = _cn(rng, 1, 2)
+        h_rd = _cn(rng, 2, 1)
+        f = np.array([[np.exp(0.3j)]])
+        relay_term = h_rd @ f @ h_sr
+        sv = np.linalg.svd(relay_term, compute_uv=False)
+        assert sv[1] < 1e-12 * sv[0]

@@ -1,0 +1,68 @@
+"""Correlation peak detection."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import detect_sequence, find_correlation_peaks
+from repro.utils import make_rng
+
+
+class TestFindPeaks:
+    def test_single_peak(self):
+        corr = np.array([0.1, 0.2, 0.9, 0.2, 0.1])
+        assert list(find_correlation_peaks(corr, 0.5)) == [2]
+
+    def test_threshold_filters(self):
+        corr = np.array([0.1, 0.4, 0.1])
+        assert find_correlation_peaks(corr, 0.5).size == 0
+
+    def test_min_separation_keeps_strongest(self):
+        corr = np.zeros(20)
+        corr[5] = 0.8
+        corr[7] = 0.9
+        peaks = find_correlation_peaks(corr, 0.5, min_separation=5)
+        assert list(peaks) == [7]
+
+    def test_separated_peaks_both_kept(self):
+        corr = np.zeros(30)
+        corr[5] = 0.8
+        corr[20] = 0.9
+        peaks = find_correlation_peaks(corr, 0.5, min_separation=5)
+        assert list(peaks) == [5, 20]
+
+    def test_plateau_edge_peak(self):
+        corr = np.array([0.9, 0.8, 0.1])
+        assert 0 in find_correlation_peaks(corr, 0.5)
+
+    def test_invalid_separation(self):
+        with pytest.raises(ValueError):
+            find_correlation_peaks(np.ones(4), 0.5, min_separation=0)
+
+
+class TestDetectSequence:
+    def test_finds_embedded_template(self):
+        rng = make_rng(0)
+        template = np.exp(2j * np.pi * rng.random(48))
+        x = np.concatenate([
+            0.01 * (rng.standard_normal(100) + 1j * rng.standard_normal(100)),
+            template,
+            0.01 * (rng.standard_normal(60) + 1j * rng.standard_normal(60)),
+        ])
+        idx, scores = detect_sequence(x, template)
+        assert 100 in idx
+        assert scores[list(idx).index(100)] > 0.9
+
+    def test_finds_repeats(self):
+        rng = make_rng(1)
+        template = np.exp(2j * np.pi * rng.random(32))
+        x = np.concatenate([template, template,
+                            0.01 * rng.standard_normal(32).astype(complex)])
+        idx, _ = detect_sequence(x, template, threshold=0.8)
+        assert 0 in idx and 32 in idx
+
+    def test_no_detection_in_noise(self):
+        rng = make_rng(2)
+        template = np.exp(2j * np.pi * rng.random(64))
+        noise = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        idx, _ = detect_sequence(noise, template, threshold=0.8)
+        assert idx.size == 0

@@ -1,0 +1,120 @@
+"""FIR filters: block vs streaming equivalence, causality, LS design."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import FirFilter, StreamingFir, design_ls_fir, fir_frequency_response
+from repro.utils import make_rng
+
+
+class TestFirFilter:
+    def test_identity(self):
+        f = FirFilter([1.0])
+        x = np.arange(8, dtype=complex)
+        assert np.allclose(f.apply(x), x)
+
+    def test_pure_delay(self):
+        f = FirFilter([0.0, 0.0, 1.0])
+        x = np.arange(6, dtype=complex)
+        out = f.apply(x)
+        assert np.allclose(out[2:], x[:-2])
+        assert np.allclose(out[:2], 0.0)
+
+    def test_output_length_trimmed(self):
+        f = FirFilter(np.ones(5))
+        assert f.apply(np.ones(16)).size == 16
+
+    def test_apply_full_length(self):
+        f = FirFilter(np.ones(5))
+        assert f.apply_full(np.ones(16)).size == 20
+
+    def test_order(self):
+        assert FirFilter(np.ones(7)).order == 6
+
+    def test_rejects_empty_taps(self):
+        with pytest.raises(ValueError):
+            FirFilter([])
+
+    def test_group_delay_of_delay_line(self):
+        f = FirFilter([0.0, 0.0, 0.0, 1.0])
+        assert f.group_delay_samples() == pytest.approx(3.0)
+
+    def test_frequency_response_of_delay(self):
+        f = FirFilter([0.0, 1.0])
+        h = f.frequency_response([0.25])
+        assert h[0] == pytest.approx(np.exp(-2j * np.pi * 0.25))
+
+
+class TestStreamingFir:
+    def test_matches_block_filter(self):
+        rng = make_rng(0)
+        taps = rng.standard_normal(9) + 1j * rng.standard_normal(9)
+        x = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        block = FirFilter(taps).apply(x)
+        stream = StreamingFir(taps)
+        out = np.array([stream.push(s) for s in x])
+        assert np.allclose(out, block)
+
+    def test_chunked_process_matches_block(self):
+        rng = make_rng(1)
+        taps = rng.standard_normal(6) + 1j * rng.standard_normal(6)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        block = FirFilter(taps).apply(x)
+        stream = StreamingFir(taps)
+        out = np.concatenate([stream.process(x[:10]), stream.process(x[10:13]),
+                              stream.process(x[13:50]), stream.process(x[50:])])
+        assert np.allclose(out, block)
+
+    def test_state_persists_across_chunks(self):
+        stream = StreamingFir([0.0, 1.0])  # one-sample delay
+        first = stream.process(np.array([1.0, 2.0], dtype=complex))
+        second = stream.process(np.array([3.0], dtype=complex))
+        assert np.allclose(first, [0.0, 1.0])
+        assert np.allclose(second, [2.0])
+
+    def test_reset_clears_history(self):
+        stream = StreamingFir([0.0, 1.0])
+        stream.push(5.0)
+        stream.reset()
+        assert stream.push(1.0) == 0.0
+
+    def test_causality(self):
+        # An impulse later in the stream cannot affect earlier outputs.
+        taps = np.array([0.5, 0.25, 0.125], dtype=complex)
+        stream = StreamingFir(taps)
+        out_before = [stream.push(0.0) for _ in range(5)]
+        assert np.allclose(out_before, 0.0)
+        assert stream.push(1.0) == pytest.approx(0.5)
+
+    def test_empty_chunk(self):
+        stream = StreamingFir([1.0])
+        assert stream.process(np.array([], dtype=complex)).size == 0
+
+
+class TestLsDesign:
+    def test_fits_exact_fir(self):
+        rng = make_rng(2)
+        true_taps = rng.standard_normal(5) + 1j * rng.standard_normal(5)
+        freqs = np.linspace(-0.45, 0.45, 101)
+        desired = fir_frequency_response(true_taps, freqs)
+        fitted = design_ls_fir(freqs, desired, num_taps=5)
+        assert np.allclose(fitted, true_taps, atol=1e-8)
+
+    def test_weighted_fit_prioritises_band(self):
+        freqs = np.linspace(-0.5, 0.5, 201, endpoint=False)
+        desired = np.where(np.abs(freqs) < 0.2,
+                           np.exp(-2j * np.pi * freqs * 1.5), 0.0)
+        weight = np.where(np.abs(freqs) < 0.2, 1.0, 1e-6)
+        taps = design_ls_fir(freqs, desired, num_taps=9, weight=weight)
+        inband = np.abs(freqs) < 0.2
+        err = np.abs(fir_frequency_response(taps, freqs[inband])
+                     - desired[inband])
+        assert err.max() < 0.05
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            design_ls_fir(np.ones(4), np.ones(5), 3)
+
+    def test_invalid_tap_count(self):
+        with pytest.raises(ValueError):
+            design_ls_fir(np.ones(4), np.ones(4), 0)

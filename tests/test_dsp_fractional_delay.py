@@ -1,0 +1,95 @@
+"""Fractional-delay filters: accuracy vs taps (the §3.4 motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    apply_fractional_delay,
+    lagrange_fractional_delay_taps,
+    sinc_fractional_delay_taps,
+)
+from repro.dsp.fir import fir_frequency_response
+from repro.utils import make_rng, signal_power
+
+
+def _bandlimited(n, rng, frac=0.6):
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    spec = np.fft.fft(x)
+    f = np.fft.fftfreq(n)
+    spec[np.abs(f) > frac / 2] = 0
+    return np.fft.ifft(spec)
+
+
+class TestSincDesign:
+    def test_integer_delay_is_exact(self):
+        taps = sinc_fractional_delay_taps(4.0, 9, window=None)
+        expected = np.zeros(9)
+        expected[4] = 1.0
+        assert np.allclose(taps, expected, atol=1e-12)
+
+    def test_group_delay_matches_target(self):
+        taps = sinc_fractional_delay_taps(8.3, 17)
+        freqs = np.linspace(-0.2, 0.2, 51)
+        h = fir_frequency_response(taps, freqs)
+        phase_slope = np.polyfit(freqs, np.unwrap(np.angle(h)), 1)[0]
+        delay = -phase_slope / (2 * np.pi)
+        assert delay == pytest.approx(8.3, abs=0.05)
+
+    def test_more_taps_more_accuracy(self):
+        freqs = np.linspace(-0.3, 0.3, 101)
+        target = np.exp(-2j * np.pi * freqs * 0.5)
+        errors = []
+        for n in (5, 11, 31):
+            taps = sinc_fractional_delay_taps(n // 2 + 0.5, n)
+            h = fir_frequency_response(taps, freqs)
+            # Compensate the integer centring delay.
+            h = h * np.exp(2j * np.pi * freqs * (n // 2))
+            errors.append(np.abs(h - target).max())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ValueError):
+            sinc_fractional_delay_taps(1.5, 9, window="kaiser-nope")
+
+
+class TestLagrangeDesign:
+    def test_taps_sum_to_one(self):
+        taps = lagrange_fractional_delay_taps(1.3, 3)
+        assert taps.sum() == pytest.approx(1.0)
+
+    def test_first_order_is_linear_interp(self):
+        taps = lagrange_fractional_delay_taps(0.25, 1)
+        assert np.allclose(taps, [0.75, 0.25])
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            lagrange_fractional_delay_taps(0.5, 0)
+
+
+class TestApplyFractionalDelay:
+    def test_delays_bandlimited_signal(self):
+        rng = make_rng(0)
+        x = _bandlimited(256, rng)
+        y = apply_fractional_delay(x, 5.0)
+        # Compare interior, away from filter edges.
+        assert np.allclose(y[40:200], x[35:195], atol=1e-3)
+
+    def test_energy_approximately_preserved(self):
+        rng = make_rng(1)
+        x = _bandlimited(512, rng)
+        y = apply_fractional_delay(x, 2.5)
+        assert signal_power(y[50:450]) == pytest.approx(
+            signal_power(x[50:450]), rel=0.05)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            apply_fractional_delay(np.ones(8, dtype=complex), -1.0)
+
+    def test_half_sample_delay_phase(self):
+        # A delayed tone must be rotated by exp(-j pi f) at tone freq.
+        n = np.arange(512)
+        f0 = 0.1
+        x = np.exp(2j * np.pi * f0 * n)
+        y = apply_fractional_delay(x, 0.5, num_taps=65)
+        ratio = y[100] / x[100]
+        assert np.angle(ratio) == pytest.approx(-2 * np.pi * f0 * 0.5, abs=0.02)

@@ -1,0 +1,79 @@
+"""Low-latency IIR sections and the Goertzel bank."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import GoertzelBank, OnePoleIir
+from repro.utils import make_rng
+
+
+class TestOnePoleIir:
+    def test_dc_gain_is_unity(self):
+        f = OnePoleIir(0.9)
+        out = f.process(np.ones(500, dtype=complex))
+        assert abs(out[-1] - 1.0) < 1e-3
+
+    def test_step_response_monotone(self):
+        f = OnePoleIir(0.8)
+        out = f.process(np.ones(50, dtype=complex))
+        assert np.all(np.diff(np.abs(out)) > -1e-12)
+
+    def test_push_matches_process(self):
+        rng = make_rng(0)
+        x = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        a = OnePoleIir(0.7, 0.1)
+        b = OnePoleIir(0.7, 0.1)
+        pushed = np.array([a.push(s) for s in x])
+        assert np.allclose(pushed, b.process(x))
+
+    def test_resonator_tracks_tone(self):
+        f0 = 0.15
+        n = np.arange(400)
+        tone = np.exp(2j * np.pi * f0 * n)
+        res = OnePoleIir(0.95, f0)
+        out = res.process(tone)
+        # Converged magnitude near 1 (unit-gain at resonance).
+        assert abs(abs(out[-1]) - 1.0) < 0.05
+
+    def test_rejects_unstable_pole(self):
+        with pytest.raises(ValueError):
+            OnePoleIir(1.2)
+
+    def test_reset(self):
+        f = OnePoleIir(0.9)
+        f.push(1.0)
+        f.reset()
+        assert f.push(0.0) == 0.0
+
+
+class TestGoertzelBank:
+    def test_measures_single_tone(self):
+        n = np.arange(64)
+        freqs = [4 / 64, 8 / 64]
+        bank = GoertzelBank(freqs)
+        x = 2.0 * np.exp(2j * np.pi * (4 / 64) * n)
+        amps = bank.measure(x)
+        assert abs(amps[0]) == pytest.approx(2.0, rel=1e-9)
+        assert abs(amps[1]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_linear_in_amplitude(self):
+        n = np.arange(128)
+        bank = GoertzelBank([0.1])
+        x = np.exp(2j * np.pi * 0.1 * n)
+        a1 = bank.measure(x)[0]
+        a3 = bank.measure(3.0 * x)[0]
+        assert a3 == pytest.approx(3.0 * a1)
+
+    def test_phase_preserved(self):
+        n = np.arange(64)
+        bank = GoertzelBank([8 / 64])
+        x = np.exp(1j * (2 * np.pi * (8 / 64) * n + 0.7))
+        assert np.angle(bank.measure(x)[0]) == pytest.approx(0.7, abs=1e-9)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            GoertzelBank([0.1]).measure(np.array([], dtype=complex))
+
+    def test_needs_frequencies(self):
+        with pytest.raises(ValueError):
+            GoertzelBank([])

@@ -1,0 +1,108 @@
+"""PSD and the windowed linear-convolution frequency-response applier."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import band_power, occupied_bandwidth, psd
+from repro.dsp.spectrum import apply_frequency_response
+from repro.utils import make_rng, signal_power
+
+
+class TestPsd:
+    def test_total_power_parseval(self):
+        rng = make_rng(0)
+        x = rng.standard_normal(4096) + 1j * rng.standard_normal(4096)
+        freqs, density = psd(x, 1e6)
+        total = np.sum(density) * (freqs[1] - freqs[0])
+        assert total == pytest.approx(signal_power(x), rel=0.05)
+
+    def test_tone_lands_in_right_bin(self):
+        fs, f0 = 1e6, 125e3
+        n = np.arange(4096)
+        x = np.exp(2j * np.pi * f0 / fs * n)
+        freqs, density = psd(x, fs, nfft=512)
+        assert abs(freqs[np.argmax(density)] - f0) < fs / 512
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            psd(np.array([], dtype=complex), 1e6)
+
+
+class TestBandPower:
+    def test_tone_power_in_band(self):
+        fs = 1e6
+        n = np.arange(8192)
+        x = np.exp(2j * np.pi * 0.1 * n)  # 100 kHz
+        inband = band_power(x, fs, 50e3, 150e3)
+        assert inband == pytest.approx(1.0, rel=0.05)
+
+    def test_out_of_band_is_small(self):
+        fs = 1e6
+        n = np.arange(8192)
+        x = np.exp(2j * np.pi * 0.1 * n)
+        assert band_power(x, fs, 200e3, 400e3) < 0.01
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            band_power(np.ones(64, dtype=complex), 1e6, 2e5, 1e5)
+
+
+class TestOccupiedBandwidth:
+    def test_narrowband_tone(self):
+        fs = 1e6
+        n = np.arange(4096)
+        x = np.exp(2j * np.pi * 0.25 * n)
+        assert occupied_bandwidth(x, fs) < 50e3
+
+    def test_wideband_noise(self):
+        rng = make_rng(1)
+        x = rng.standard_normal(8192) + 1j * rng.standard_normal(8192)
+        assert occupied_bandwidth(x, 1e6) > 0.9e6
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            occupied_bandwidth(np.ones(64, dtype=complex), 1e6, fraction=1.5)
+
+
+class TestApplyFrequencyResponse:
+    def test_flat_response_is_identity_in_band(self):
+        # Interior comparison: zero-padding a circularly band-limited
+        # block leaks at the edges (rectangular-window truncation), but
+        # the interior must pass through untouched.
+        rng = make_rng(2)
+        x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+        spec = np.fft.fft(x)
+        f = np.fft.fftfreq(1024)
+        spec[np.abs(f) > 0.2] = 0
+        x = np.fft.ifft(spec)
+        y = apply_frequency_response(x, lambda freqs: np.ones_like(freqs,
+                                                                   dtype=complex), 1e6)
+        assert np.allclose(y[64:-64], x[64:-64], atol=1e-3)
+
+    def test_delay_response_shifts(self):
+        rng = make_rng(3)
+        x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+        spec = np.fft.fft(x)
+        f = np.fft.fftfreq(1024)
+        spec[np.abs(f) > 0.2] = 0
+        x = np.fft.ifft(spec)
+        fs = 1e6
+        delay = 3.0 / fs
+        y = apply_frequency_response(
+            x, lambda freqs: np.exp(-2j * np.pi * freqs * delay), fs)
+        assert np.allclose(y[64:-64], x[61:-67], atol=1e-3)
+
+    def test_no_circular_wraparound(self):
+        # Content at the end of the block must not leak to the start.
+        x = np.zeros(512, dtype=complex)
+        x[500] = 1.0
+        fs = 1e6
+        y = apply_frequency_response(
+            x, lambda freqs: np.exp(-2j * np.pi * freqs * 5 / fs), fs)
+        assert np.abs(y[:100]).max() < 1e-6
+
+    def test_invalid_rolloff(self):
+        with pytest.raises(ValueError):
+            apply_frequency_response(np.ones(8, dtype=complex),
+                                     lambda f: np.ones_like(f, dtype=complex),
+                                     1e6, flat_fraction=0.5, stop_fraction=0.4)

@@ -1,0 +1,100 @@
+"""The analog tap-delay-line model (cancellation board / CNF filter)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import AnalogTapDelayLine
+from repro.utils import make_rng
+
+
+def _line(num_taps=4, spacing=100e-12):
+    return AnalogTapDelayLine(np.arange(num_taps) * spacing, carrier_hz=2.45e9)
+
+
+class TestConstruction:
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ValueError):
+            AnalogTapDelayLine([-1e-12])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AnalogTapDelayLine([])
+
+    def test_gains_start_at_zero(self):
+        line = _line()
+        assert np.allclose(line.gains, 0.0)
+
+    def test_carrier_phase_quarter_wave(self):
+        # 100 ps at 2.45 GHz rotates by ~88 degrees (0.245 cycles).
+        line = _line()
+        phases = line.carrier_phases()
+        assert phases[1] == pytest.approx(-2 * np.pi * 0.245, rel=1e-6)
+
+
+class TestGainProgramming:
+    def test_set_gains_shape_check(self):
+        with pytest.raises(ValueError):
+            _line().set_gains([1.0, 2.0])
+
+    def test_attenuator_quantisation(self):
+        line = _line()
+        programmed = line.set_attenuations_db([0.13, 10.12, 31.9, 50.0])
+        assert np.allclose(programmed, [0.25, 10.0, 31.75, 31.75])
+
+    def test_quantize_gains_limits_magnitude(self):
+        line = _line()
+        q = line.quantize_gains(np.array([2.0, 0.5, 1e-9, 0.0]))
+        assert np.abs(q).max() <= 1.0
+        assert q[3] == 0.0
+
+    def test_quantize_preserves_phase(self):
+        line = _line()
+        g = 0.5 * np.exp(1j * 0.9) * np.ones(4)
+        q = line.quantize_gains(g)
+        assert np.allclose(np.angle(q), 0.9)
+
+    def test_quantisation_error_small(self):
+        line = _line()
+        g = np.array([0.3, 0.7, 0.05, 0.9], dtype=complex)
+        q = line.quantize_gains(g)
+        # 0.25 dB steps: worst-case magnitude error ~1.5%.
+        assert np.abs(np.abs(q) - np.abs(g)).max() < 0.02
+
+
+class TestResponse:
+    def test_single_tap_rotation(self):
+        line = _line(1)
+        line.set_gains([1.0])
+        h = line.frequency_response(np.array([0.0]))
+        assert h[0] == pytest.approx(1.0)  # zero delay tap
+
+    def test_full_circle_coverage(self):
+        # With 4 taps spanning ~360 degrees, any phase is reachable.
+        line = _line()
+        for target_phase in np.linspace(-np.pi, np.pi, 8, endpoint=False):
+            target = np.exp(1j * target_phase) * np.ones(5) * 0.5
+            freqs = np.linspace(-10e6, 10e6, 5)
+            gains = line.solve_gains_for_response(freqs, target, max_gain=1.0)
+            line.set_gains(gains)
+            realised = line.frequency_response(freqs)
+            assert np.abs(realised - target).max() < 0.05
+
+    def test_apply_matches_response_for_tone(self):
+        rng = make_rng(0)
+        line = _line()
+        line.set_gains(rng.standard_normal(4) * 0.3)
+        fs = 20e6
+        f0 = 2.5e6
+        n = np.arange(1024)
+        x = np.exp(2j * np.pi * f0 / fs * n)
+        y = line.apply(x, fs)
+        h = line.frequency_response(np.array([f0]))[0]
+        # Interior samples follow x * H(f0).
+        assert np.allclose(y[200:800], h * x[200:800], atol=1e-3)
+
+    def test_max_gain_constraint_respected(self):
+        line = _line(8, 200e-12)
+        freqs = np.linspace(-10e6, 10e6, 33)
+        target = 3.0 * np.exp(-2j * np.pi * freqs * 1e-9)
+        gains = line.solve_gains_for_response(freqs, target, max_gain=1.0)
+        assert np.abs(gains).max() <= 1.0 + 1e-6

@@ -1,0 +1,116 @@
+"""The per-packet relay control plane (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.ident import RelayController, SignatureBook
+from repro.phy.params import WIFI_20MHZ
+from repro.phy.preamble import stf_time_symbol, stf_tone_indices
+from repro.utils import awgn_like, make_rng
+
+
+def _h(rng, n=56):
+    h = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    return h / np.sqrt(np.mean(np.abs(h) ** 2))
+
+
+def _stf_through(h_used):
+    params = WIFI_20MHZ
+    stf = stf_time_symbol(params)
+    used = list(params.used_subcarriers())
+    grid = np.fft.fft(np.tile(stf, 4))
+    h_full = np.ones(params.fft_size, dtype=complex)
+    for tone in stf_tone_indices(params):
+        h_full[tone % params.fft_size] = h_used[used.index(tone)]
+    return np.fft.ifft(grid * h_full)[:16]
+
+
+@pytest.fixture
+def controller():
+    rng = make_rng(0)
+    ctl = RelayController(book=SignatureBook(seed=9))
+    ctl.observe_ap_packet(_h(rng), now_s=0.0)
+    channels = {}
+    for cid in ("alice", "bob"):
+        direct = _h(rng)
+        to_relay = _h(rng)
+        ctl.observe_sounding(cid, direct, to_relay, now_s=0.0)
+        channels[cid] = (direct, to_relay)
+    return ctl, channels
+
+
+def _downlink_stream(ctl, client, rng, prefix=60):
+    field = ctl.book.prepend_field(client)
+    stream = np.concatenate([np.zeros(prefix, dtype=complex), field,
+                             np.zeros(150, dtype=complex)])
+    return stream + awgn_like(stream, 1e-3, rng)
+
+
+class TestDownlinkDecisions:
+    def test_own_packet_relayed_with_right_filter(self, controller):
+        ctl, channels = controller
+        rng = make_rng(1)
+        decision = ctl.decide_downlink(_downlink_stream(ctl, "bob", rng),
+                                       now_s=0.01)
+        assert decision.relay
+        assert decision.client_id == "bob"
+        assert decision.direction == "downlink"
+        h_sd, h_sr, h_rd = decision.channels
+        assert np.allclose(h_sd, channels["bob"][0])
+        assert np.allclose(h_rd, channels["bob"][1])
+
+    def test_foreign_packet_ignored(self, controller):
+        ctl, _ = controller
+        rng = make_rng(2)
+        # A neighbour AP's packet: a signature from a different book.
+        foreign = SignatureBook(seed=77)
+        stream = np.concatenate([
+            np.zeros(60, dtype=complex), foreign.prepend_field("eve"),
+            np.zeros(150, dtype=complex)])
+        stream += awgn_like(stream, 1e-3, rng)
+        decision = ctl.decide_downlink(stream, now_s=0.01)
+        assert not decision.relay
+        assert "no signature" in decision.reason
+
+    def test_stale_channels_block_relaying(self, controller):
+        ctl, _ = controller
+        rng = make_rng(3)
+        decision = ctl.decide_downlink(_downlink_stream(ctl, "alice", rng),
+                                       now_s=10.0)  # >> 3 intervals
+        assert not decision.relay
+        assert decision.client_id == "alice"
+        assert "stale" in decision.reason
+
+    def test_noise_only_ignored(self, controller):
+        ctl, _ = controller
+        rng = make_rng(4)
+        decision = ctl.decide_downlink(
+            awgn_like(np.zeros(400), 1.0, rng), now_s=0.01)
+        assert not decision.relay
+
+
+class TestUplinkDecisions:
+    def test_known_client_relayed(self, controller):
+        ctl, channels = controller
+        stf = _stf_through(channels["alice"][1])
+        decision = ctl.decide_uplink(stf, now_s=0.01)
+        assert decision.relay
+        assert decision.client_id == "alice"
+        assert decision.direction == "uplink"
+        # Uplink triple: (direct, client->relay, relay->AP).
+        h_sd, h_sr, h_rd = decision.channels
+        assert np.allclose(h_sd, channels["alice"][0])
+        assert np.allclose(h_sr, channels["alice"][1])
+
+    def test_unknown_transmitter_passed(self, controller):
+        ctl, _ = controller
+        rng = make_rng(5)
+        stranger = _h(rng)
+        decision = ctl.decide_uplink(_stf_through(stranger), now_s=0.01)
+        assert not decision.relay
+        assert "threshold" in decision.reason
+
+    def test_no_clients_registered(self):
+        ctl = RelayController()
+        decision = ctl.decide_uplink(np.zeros(16, dtype=complex), now_s=0.0)
+        assert not decision.relay

@@ -1,0 +1,69 @@
+"""Quantised channel feedback (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.ident import (
+    encode_channel_feedback,
+    feedback_quantization_ablation,
+    quantize_channel,
+)
+from repro.utils import make_rng
+
+
+def _h(rng, n=56):
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestEncodeDecode:
+    def test_phase_error_bounded_by_bits(self):
+        rng = make_rng(0)
+        h = _h(rng)
+        for bits in (2, 4, 6):
+            q = quantize_channel(h, phase_bits=bits)
+            err = np.angle(q * np.conj(h))
+            assert np.abs(err).max() <= np.pi / (2 ** bits) + 1e-9
+
+    def test_magnitude_within_step(self):
+        rng = make_rng(1)
+        h = _h(rng)
+        q = quantize_channel(h, phase_bits=8, magnitude_bits=5)
+        ratio_db = 20 * np.log10(np.abs(q) / np.abs(h))
+        step = 30.0 / 2 ** 5
+        # Tones inside the 30 dB window reconstruct within one step.
+        inside = 20 * np.log10(np.abs(h) / np.abs(h).max()) > -29.0
+        assert np.abs(ratio_db[inside]).max() <= step + 1e-6
+
+    def test_total_bits_accounting(self):
+        rng = make_rng(2)
+        report = encode_channel_feedback(_h(rng), phase_bits=4,
+                                         magnitude_bits=3)
+        assert report.total_bits == 56 * 7
+
+    def test_more_bits_better(self):
+        rng = make_rng(3)
+        h = _h(rng)
+        coarse = np.mean(np.abs(quantize_channel(h, phase_bits=1) - h) ** 2)
+        fine = np.mean(np.abs(quantize_channel(h, phase_bits=6) - h) ** 2)
+        assert fine < coarse
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            encode_channel_feedback(np.ones(4, dtype=complex), phase_bits=0)
+
+    def test_zero_channel_safe(self):
+        q = quantize_channel(np.zeros(8, dtype=complex))
+        assert np.all(np.isfinite(q))
+
+
+class TestAblation:
+    def test_gain_monotone_in_bits(self):
+        data = feedback_quantization_ablation(phase_bits_sweep=(1, 4),
+                                              num_clients=8, seed=4)
+        assert data[1] <= data[4] + 0.2
+        assert data[4] <= data["unquantized"] + 0.3
+
+    def test_four_bits_nearly_lossless(self):
+        data = feedback_quantization_ablation(phase_bits_sweep=(4,),
+                                              num_clients=8, seed=4)
+        assert abs(data[4] - data["unquantized"]) < 0.5

@@ -1,0 +1,100 @@
+"""Downlink PN-signature identification (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.ident import DEFAULT_SIGNATURE_LENGTH, SignatureBook, SignatureDetector
+from repro.utils import awgn_like, make_rng
+
+
+@pytest.fixture
+def book():
+    return SignatureBook(seed=7)
+
+
+class TestSignatureBook:
+    def test_length_is_4us_at_20msps(self, book):
+        assert DEFAULT_SIGNATURE_LENGTH == 80
+        assert book.signature("alice").size == 80
+
+    def test_deterministic_per_client(self, book):
+        assert np.allclose(book.signature("alice"), book.signature("alice"))
+
+    def test_distinct_across_clients(self, book):
+        a = book.signature("alice")
+        b = book.signature("bob")
+        corr = abs(np.vdot(a, b)) / (np.linalg.norm(a) * np.linalg.norm(b))
+        assert corr < 0.3
+
+    def test_unit_envelope(self, book):
+        assert np.allclose(np.abs(book.signature("alice")), 1.0)
+
+    def test_prepend_field_repeats(self, book):
+        field = book.prepend_field("alice")
+        assert field.size == 160
+        assert np.allclose(field[:80], field[80:])
+
+    def test_same_seed_same_book(self):
+        a = SignatureBook(seed=3).signature("x")
+        b = SignatureBook(seed=3).signature("x")
+        assert np.allclose(a, b)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            SignatureBook(length=4)
+
+
+class TestDetector:
+    def _stream_with_signature(self, book, client, rng, snr_db=15.0,
+                               prefix=120):
+        field = book.prepend_field(client)
+        stream = np.concatenate([
+            np.zeros(prefix, dtype=complex), field,
+            np.zeros(200, dtype=complex)])
+        noise = awgn_like(stream, 10.0 ** (-snr_db / 10.0), rng)
+        return stream + noise
+
+    def test_identifies_correct_client(self, book):
+        rng = make_rng(0)
+        detector = SignatureDetector(book)
+        clients = ["alice", "bob", "carol"]
+        for c in clients:
+            book.signature(c)
+        stream = self._stream_with_signature(book, "bob", rng)
+        result = detector.identify(stream, clients)
+        assert result is not None
+        client, start, score = result
+        assert client == "bob"
+        assert abs(start - 120) <= 2
+        assert score > 0.7
+
+    def test_requires_the_repeat(self, book):
+        # A single copy (no repetition) must not fire the detector.
+        rng = make_rng(1)
+        detector = SignatureDetector(book, threshold=0.5)
+        single = np.concatenate([
+            np.zeros(100, dtype=complex), book.signature("alice"),
+            np.zeros(300, dtype=complex)])
+        single += awgn_like(single, 0.01, rng)
+        assert detector.identify(single, ["alice"]) is None
+
+    def test_no_detection_in_noise(self, book):
+        rng = make_rng(2)
+        detector = SignatureDetector(book)
+        noise = awgn_like(np.zeros(800), 1.0, rng)
+        assert detector.identify(noise, ["alice", "bob"]) is None
+
+    def test_works_through_flat_channel(self, book):
+        rng = make_rng(3)
+        detector = SignatureDetector(book)
+        stream = self._stream_with_signature(book, "alice", rng)
+        rotated = stream * 0.05 * np.exp(1j * 1.1)
+        result = detector.identify(rotated, ["alice", "bob"])
+        assert result is not None and result[0] == "alice"
+
+    def test_low_snr_still_detects(self, book):
+        rng = make_rng(4)
+        detector = SignatureDetector(book, threshold=0.4)
+        stream = self._stream_with_signature(book, "carol", rng, snr_db=3.0)
+        result = detector.identify(stream, ["alice", "bob", "carol"])
+        assert result is not None and result[0] == "carol"

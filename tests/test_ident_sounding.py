@@ -1,0 +1,92 @@
+"""The channel-sounding protocol (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.ident import SoundingProtocol
+from repro.utils import make_rng
+
+
+def _h(rng, n=8):
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+@pytest.fixture
+def proto():
+    return SoundingProtocol()
+
+
+class TestBookkeeping:
+    def test_needs_all_three_channels(self, proto):
+        rng = make_rng(0)
+        assert proto.channels_for("c1", now_s=0.0) is None
+        proto.record_ap_packet(_h(rng), now_s=0.0)
+        assert proto.channels_for("c1", now_s=0.0) is None
+        proto.record_poll_reply("c1", _h(rng), _h(rng), now_s=0.01)
+        assert proto.channels_for("c1", now_s=0.02) is not None
+
+    def test_downlink_triple_order(self, proto):
+        rng = make_rng(1)
+        ap_relay = _h(rng)
+        ap_client = _h(rng)
+        client_relay = _h(rng)
+        proto.record_ap_packet(ap_relay, now_s=0.0)
+        proto.record_poll_reply("c1", ap_client, client_relay, now_s=0.0)
+        h_sd, h_sr, h_rd = proto.channels_for("c1", now_s=0.0)
+        assert np.allclose(h_sd, ap_client)
+        assert np.allclose(h_sr, ap_relay)
+        assert np.allclose(h_rd, client_relay)  # reciprocity
+
+    def test_uplink_uses_reciprocity(self, proto):
+        rng = make_rng(2)
+        ap_relay = _h(rng)
+        ap_client = _h(rng)
+        client_relay = _h(rng)
+        proto.record_ap_packet(ap_relay, now_s=0.0)
+        proto.record_poll_reply("c1", ap_client, client_relay, now_s=0.0)
+        h_sd, h_sr, h_rd = proto.channels_for("c1", now_s=0.0,
+                                              direction="uplink")
+        assert np.allclose(h_sd, ap_client)   # reciprocal direct channel
+        assert np.allclose(h_sr, client_relay)
+        assert np.allclose(h_rd, ap_relay)
+
+    def test_unknown_direction(self, proto):
+        rng = make_rng(3)
+        proto.record_ap_packet(_h(rng), 0.0)
+        proto.record_poll_reply("c1", _h(rng), _h(rng), 0.0)
+        with pytest.raises(ValueError):
+            proto.channels_for("c1", 0.0, direction="sideways")
+
+
+class TestStaleness:
+    def test_stale_reports_expire(self, proto):
+        rng = make_rng(4)
+        proto.record_ap_packet(_h(rng), now_s=0.0)
+        proto.record_poll_reply("c1", _h(rng), _h(rng), now_s=0.0)
+        # Fresh within 3 sounding intervals (150 ms), stale after.
+        assert proto.channels_for("c1", now_s=0.10) is not None
+        assert proto.channels_for("c1", now_s=0.20) is None
+
+    def test_refresh_resets_clock(self, proto):
+        rng = make_rng(5)
+        proto.record_ap_packet(_h(rng), now_s=0.0)
+        proto.record_poll_reply("c1", _h(rng), _h(rng), now_s=0.0)
+        proto.record_ap_packet(_h(rng), now_s=0.2)
+        proto.record_poll_reply("c1", _h(rng), _h(rng), now_s=0.2)
+        assert proto.channels_for("c1", now_s=0.3) is not None
+
+    def test_sounding_cadence_50ms(self, proto):
+        assert proto.next_sounding_due_s(1.0) == pytest.approx(1.05)
+
+
+class TestClientTracking:
+    def test_known_clients(self, proto):
+        rng = make_rng(6)
+        proto.record_poll_reply("c2", _h(rng), _h(rng), 0.0)
+        proto.record_poll_reply("c1", _h(rng), _h(rng), 0.0)
+        assert proto.known_clients() == ["c1", "c2"]
+
+    def test_relay_not_listed_as_client(self, proto):
+        rng = make_rng(7)
+        proto.record_ap_packet(_h(rng), 0.0)
+        assert proto.known_clients() == []

@@ -1,0 +1,108 @@
+"""Breadth tests for corners not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.cancellation.digital import estimate_si_response_spectral
+from repro.dsp import AnalogTapDelayLine
+from repro.phy.params import LTE_10MHZ
+from repro.phy.preamble import (
+    Preamble,
+    ltf_frequency_symbol,
+    stf_time_symbol,
+    stf_tone_indices,
+)
+from repro.utils import make_rng, signal_power_dbm
+
+
+class TestSignalPowerDbm:
+    def test_unit_power_is_zero_dbm(self):
+        x = np.exp(2j * np.pi * np.linspace(0, 5, 1000))
+        assert signal_power_dbm(x) == pytest.approx(0.0, abs=0.01)
+
+    def test_scaling(self):
+        x = 10.0 * np.ones(64, dtype=complex)
+        assert signal_power_dbm(x) == pytest.approx(20.0)
+
+
+class TestAttenuatorSigns:
+    def test_signed_attenuations(self):
+        line = AnalogTapDelayLine([0.0, 100e-12])
+        line.set_attenuations_db([6.0, 6.0], signs=[+1, -1])
+        assert line.gains[0].real > 0
+        assert line.gains[1].real < 0
+
+    def test_sign_shape_validated(self):
+        line = AnalogTapDelayLine([0.0, 100e-12])
+        with pytest.raises(ValueError):
+            line.set_attenuations_db([6.0, 6.0], signs=[1.0])
+
+
+class TestLtePreamble:
+    def test_synthesised_ltf_is_bpsk(self):
+        grid = ltf_frequency_symbol(LTE_10MHZ)
+        used = [k % LTE_10MHZ.fft_size for k in LTE_10MHZ.used_subcarriers()]
+        assert np.allclose(np.abs(grid[used]), 1.0)
+
+    def test_synthesised_stf_period(self):
+        stf = stf_time_symbol(LTE_10MHZ)
+        assert stf.size == LTE_10MHZ.fft_size // 4
+        assert np.mean(np.abs(stf) ** 2) > 0
+
+    def test_stf_tone_indices_every_fourth(self):
+        tones = stf_tone_indices(LTE_10MHZ)
+        assert all(t % 4 == 0 for t in tones)
+        assert 0 not in tones
+
+    def test_lte_preamble_lengths(self):
+        pre = Preamble(LTE_10MHZ)
+        assert pre.stf_samples == 10 * (LTE_10MHZ.fft_size // 4)
+        assert pre.ltf_samples == 2 * LTE_10MHZ.cp_len + 2 * LTE_10MHZ.fft_size
+
+
+class TestWelchEstimator:
+    def test_recovers_flat_channel(self):
+        rng = make_rng(0)
+        tx = rng.standard_normal(8192) + 1j * rng.standard_normal(8192)
+        freqs, resp, mask = estimate_si_response_spectral(tx, 0.3j * tx,
+                                                          nfft=256)
+        assert mask.all()  # white training occupies every bin
+        assert np.allclose(resp, 0.3j, atol=0.02)
+
+    def test_unoccupied_bins_masked(self):
+        rng = make_rng(1)
+        x = rng.standard_normal(8192) + 1j * rng.standard_normal(8192)
+        spec = np.fft.fft(x)
+        f = np.fft.fftfreq(8192)
+        spec[np.abs(f) > 0.1] = 0
+        tx = np.fft.ifft(spec)
+        _, _, mask = estimate_si_response_spectral(tx, tx, nfft=256)
+        assert 0 < mask.sum() < 256
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_si_response_spectral(np.ones(100, dtype=complex),
+                                          np.ones(100, dtype=complex),
+                                          nfft=256)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            estimate_si_response_spectral(np.ones(512, dtype=complex),
+                                          np.ones(511, dtype=complex))
+
+
+class TestPilotPolarity:
+    def test_polarity_sequence_varies(self):
+        from repro.phy.ofdm import OfdmModulator
+        from repro.phy.params import WIFI_20MHZ
+
+        mod = OfdmModulator(WIFI_20MHZ)
+        signs = [np.sign(mod.pilot_values(i)[0].real) for i in range(20)]
+        assert len(set(signs)) == 2  # both polarities occur
+
+    def test_polarity_periodic_127(self):
+        from repro.phy.ofdm import OfdmModulator
+        from repro.phy.params import WIFI_20MHZ
+
+        mod = OfdmModulator(WIFI_20MHZ)
+        assert np.allclose(mod.pilot_values(3), mod.pilot_values(3 + 127))

@@ -1,0 +1,126 @@
+"""Experiment runners: the paper's headline shapes at reduced scale.
+
+Full-scale numbers live in the benchmarks; these tests assert the
+qualitative results (who wins, direction of trends) quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    cancellation_sweep_experiment,
+    fingerprint_experiment,
+    latency_sweep_experiment,
+    no_cnf_experiment,
+    overall_gains_experiment,
+    scenario_class_experiment,
+    siso_gains_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def overall():
+    return overall_gains_experiment(num_clients=24, seed=1)
+
+
+class TestOverallGains:
+    def test_ff_beats_ap_only_3x_median(self, overall):
+        # §5.1: "3x increase in median throughput" over the AP alone.
+        assert 2.0 <= overall["median_ff_vs_ap"] <= 4.5
+
+    def test_ff_beats_half_duplex(self, overall):
+        assert overall["median_ff_vs_hd"] > 1.2
+
+    def test_hd_beats_ap_at_median(self, overall):
+        # The HD mesh helps, mostly at the edge.
+        assert np.median(overall["ap_gain_vs_hd"]) <= 1.0
+
+    def test_ff_never_much_worse_than_ap(self, overall):
+        ratio = overall["fastforward"] / np.maximum(overall["ap_only"], 1e-3)
+        assert np.min(ratio[overall["ap_only"] > 0]) > 0.7
+
+    def test_edge_gains_larger(self, overall):
+        snr = overall["direct_snr_db"]
+        gains = overall["fastforward"] / np.maximum(overall["half_duplex"],
+                                                    1e-3)
+        edge = gains[snr < 10.0]
+        near = gains[snr > 20.0]
+        if edge.size and near.size:
+            assert np.median(edge) >= np.median(near)
+
+
+class TestSisoGains:
+    def test_median_gain_moderate(self):
+        # Fig. 14: 1.6x median (pure SNR gain, no rank expansion).
+        data = siso_gains_experiment(num_clients=24, seed=1)
+        assert 1.1 <= data["median_ff_vs_hd"] <= 2.2
+
+    def test_tail_gain_larger_than_median(self):
+        data = siso_gains_experiment(num_clients=24, seed=1)
+        assert data["tail_ff_vs_hd"] >= data["median_ff_vs_hd"]
+
+
+class TestScenarioClasses:
+    def test_fig15_ordering(self):
+        data = scenario_class_experiment(num_clients=36, seed=2)
+        low = data["low_snr_low_rank"]
+        high = data["high_snr_high_rank"]
+        if low.size and high.size:
+            # Fig. 15: the low-SNR/low-rank class gains most, the
+            # high-SNR/high-rank class barely gains.
+            assert np.median(low) > np.median(high)
+        if high.size:
+            assert np.median(high) < 1.6
+
+
+class TestLatencySweep:
+    def test_fig16_shape(self):
+        data = latency_sweep_experiment(latencies_ns=(100, 300, 500),
+                                        num_clients=12, seed=3)
+        gains = data["median_gain"]
+        # Monotone collapse; beyond the CP the relay is worse than no
+        # relay (AP-only/HD median sits below 1).
+        assert gains[0] > gains[2]
+        assert gains[2] < 1.0
+
+
+class TestNoCnf:
+    def test_fig17_blind_repeater_median_near_one(self):
+        data = no_cnf_experiment(num_clients=16, seed=4)
+        # §5.5: "the median gain is small to non-existent" for AF while
+        # FF keeps a solid median gain.
+        assert data["median_af_vs_hd"] <= data["median_ff_vs_hd"] + 0.35
+
+    def test_fig17_af_tail_still_gains(self):
+        data = no_cnf_experiment(num_clients=16, seed=4)
+        assert np.percentile(data["af_gain_vs_hd"], 90) > 1.3
+
+
+class TestCancellationSweep:
+    def test_fig18_monotone(self):
+        data = cancellation_sweep_experiment(
+            cancellations_db=(90, 100, 110), num_clients=12, seed=5)
+        gains = data["median_gain"]
+        assert gains[0] <= gains[-1] + 1e-9
+        assert data["p80_gain"][0] <= data["p80_gain"][-1] + 1e-9
+
+
+class TestFingerprint:
+    def test_fig21_error_rates(self):
+        data = fingerprint_experiment(num_locations=12,
+                                      packets_per_client=15, seed=6)
+        # Aggressive threshold: ~zero false positives; false negatives
+        # present but modest.
+        assert data["false_positive"].mean() < 0.01
+        assert data["false_negative"].mean() < 0.25
+
+
+class TestUplinkGains:
+    def test_relay_helps_uplink_too(self):
+        from repro.netsim import uplink_gains_experiment
+
+        data = uplink_gains_experiment(num_clients=16, seed=5)
+        assert data["median_ff_vs_ap"] > 1.2
+        # The relay brings some previously-dead uplinks back.
+        assert data["dead_fixed"] >= 0.0
+        assert np.median(data["fastforward"]) > np.median(data["ap_only"])

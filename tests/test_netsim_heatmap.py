@@ -1,0 +1,46 @@
+"""Coverage heatmaps (Figs. 1-2 machinery, small grid)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import Testbed, coverage_heatmap, paper_scenarios
+
+
+@pytest.fixture(scope="module")
+def result():
+    testbed = Testbed(paper_scenarios()[0], seed=0)
+    return coverage_heatmap(testbed, spacing_m=2.0, seed=1)
+
+
+class TestHeatmap:
+    def test_fields_cover_grid(self, result):
+        n = len(result.positions)
+        assert result.snr_ap_only_db.shape == (n,)
+        assert result.snr_with_ff_db.shape == (n,)
+        assert result.streams_ap_only.shape == (n,)
+        assert result.streams_with_ff.shape == (n,)
+
+    def test_relay_improves_median_snr(self, result):
+        # Fig. 1's story: the FF relay lifts most of the home.
+        assert result.median_improvement_db() > 3.0
+
+    def test_relay_never_collapses_snr(self, result):
+        # CNF relaying should not hurt anyone appreciably.
+        worst = np.min(result.snr_with_ff_db - result.snr_ap_only_db)
+        assert worst > -3.0
+
+    def test_relay_expands_stream_coverage(self, result):
+        # Fig. 2's story: more of the home supports 2 streams.
+        assert (result.fraction_full_rank(with_ff=True)
+                > result.fraction_full_rank(with_ff=False))
+
+    def test_stream_counts_in_range(self, result):
+        assert set(np.unique(result.streams_ap_only)) <= {0, 1, 2}
+        assert set(np.unique(result.streams_with_ff)) <= {0, 1, 2}
+
+    def test_edge_gets_biggest_lift(self, result):
+        improvement = result.snr_with_ff_db - result.snr_ap_only_db
+        order = np.argsort(result.snr_ap_only_db)
+        worst_quartile = improvement[order[: len(order) // 4]]
+        best_quartile = improvement[order[-len(order) // 4:]]
+        assert worst_quartile.mean() > best_quartile.mean()

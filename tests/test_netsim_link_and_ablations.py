@@ -1,0 +1,135 @@
+"""Sample-level link harness and the ablation runners."""
+
+import numpy as np
+import pytest
+
+from repro.channel import PropagationModel, fig1_home
+from repro.core import RelayConfig
+from repro.netsim import SampleLevelLink
+from repro.netsim.ablations import (
+    causality_ablation,
+    decomposition_ablation,
+    oversample_ablation,
+    stale_channel_ablation,
+)
+from repro.phy.params import WIFI_20MHZ
+from repro.utils import make_rng
+
+
+@pytest.fixture(scope="module")
+def edge_link():
+    plan, ap, relay_pos = fig1_home()
+    pm = PropagationModel(plan, rms_delay_spread_s=30e-9)
+    client = np.array([1.5, 6.3])
+
+    def chan(a, b, seed):
+        return pm.siso_channel(a, b, WIFI_20MHZ.sample_period_s,
+                               num_taps=3, rng=make_rng(seed))
+
+    return SampleLevelLink(chan(ap, client, 11), chan(ap, relay_pos, 12),
+                           chan(relay_pos, client, 13), mcs_index=1)
+
+
+class TestSampleLevelLink:
+    def test_direct_link_fails_at_edge(self, edge_link):
+        rng = make_rng(0)
+        result = edge_link.run(rng.integers(0, 2, 200), rng)
+        assert not result.success
+
+    def test_relay_rescues(self, edge_link):
+        rng = make_rng(1)
+        relay = edge_link.build_relay()
+        result = edge_link.run(rng.integers(0, 2, 200), rng, relay=relay)
+        assert result.success, result.failure_reason
+        assert result.bit_errors == 0
+
+    def test_slow_relay_degrades(self, edge_link):
+        rng = make_rng(2)
+        relay = edge_link.build_relay()
+        fast = edge_link.run(rng.integers(0, 2, 200), make_rng(20),
+                             relay=relay)
+        slow = edge_link.run(rng.integers(0, 2, 200), make_rng(20),
+                             relay=relay, extra_relay_delay_s=600e-9)
+        # Past the CP the combination suffers ISI: either decoding fails
+        # outright or the measured SNR collapses.
+        assert (not slow.success) or (
+            slow.snr_estimate_db < fast.snr_estimate_db - 2.0)
+
+    def test_per_with_and_without_relay(self, edge_link):
+        rng = make_rng(3)
+        relay = edge_link.build_relay()
+        per_direct = edge_link.packet_error_rate(5, rng)
+        per_relay = edge_link.packet_error_rate(5, rng, relay=relay)
+        assert per_relay < per_direct
+
+    def test_custom_relay_config(self, edge_link):
+        relay = edge_link.build_relay(RelayConfig(cancellation_db=100.0))
+        assert relay.config.cancellation_db == 100.0
+
+
+class TestAblations:
+    def test_decomposition_ordering(self):
+        data = decomposition_ablation(num_clients=8, seed=5)
+        assert data["ideal"] >= data["digital+analog"] - 0.2
+        assert data["digital+analog"] > data["no_cnf"] - 0.5
+
+    def test_causality_tradeoff(self):
+        data = causality_ablation(seed=5)
+        assert data["causal"]["fits_wifi_cp"]
+        assert not data["non_causal"]["fits_wifi_cp"]
+        assert (data["causal"]["latency_ns"]
+                < data["non_causal"]["latency_ns"] - 300.0)
+
+    def test_oversampling_cliff(self):
+        data = oversample_ablation(factors=(1, 8), seed=5)
+        assert data[1] < data[8] - 4.0
+
+    def test_staleness_decay(self):
+        data = stale_channel_ablation(ages=(0, 8), num_clients=8, seed=5)
+        assert data["snr_loss_db"][0] == 0.0
+        assert data["snr_loss_db"][-1] > 0.0
+
+
+class TestChannelEvolve:
+    def test_rho_one_is_identity(self):
+        from repro.channel import MultipathChannel
+
+        chan = MultipathChannel(np.array([1.0, 0.3j]))
+        evolved = chan.evolve(1.0, make_rng(0))
+        assert np.allclose(evolved.taps, chan.taps)
+
+    def test_rho_zero_is_fresh_draw(self):
+        from repro.channel import MultipathChannel
+
+        chan = MultipathChannel(np.array([1.0 + 0j]))
+        draws = [chan.evolve(0.0, make_rng(s)).taps[0] for s in range(200)]
+        # Mean power preserved, realisations decorrelated from original.
+        assert np.mean(np.abs(draws) ** 2) == pytest.approx(1.0, rel=0.2)
+        corr = np.mean(draws)  # should not cluster at the original 1.0
+        assert abs(corr) < 0.3
+
+    def test_power_profile_preserved(self):
+        from repro.channel import MultipathChannel
+
+        rng = make_rng(1)
+        chan = MultipathChannel(np.array([1.0, 0.5, 0.1], dtype=complex))
+        powers = np.mean([np.abs(chan.evolve(0.7, rng).taps) ** 2
+                          for _ in range(2000)], axis=0)
+        assert np.allclose(powers, np.abs(chan.taps) ** 2, rtol=0.15)
+
+    def test_mimo_evolve_shape_and_delay(self):
+        from repro.channel import MimoLink
+        from repro.channel.multipath import exponential_pdp
+
+        link = MimoLink.draw(2, 2, exponential_pdp(3, 30e-9, 50e-9),
+                             rng=make_rng(2))
+        link = MimoLink(link.taps, extra_delay_samples=4)
+        evolved = link.evolve(0.9, make_rng(3))
+        assert evolved.taps.shape == link.taps.shape
+        assert evolved.extra_delay_samples == 4
+
+    def test_invalid_rho(self):
+        from repro.channel import MultipathChannel
+
+        with pytest.raises(ValueError):
+            MultipathChannel(np.array([1.0])).evolve(1.5, make_rng(0))

@@ -1,0 +1,47 @@
+"""CDF and gain statistics."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import empirical_cdf, median_gain, percentile_gain, relative_gains
+
+
+class TestCdf:
+    def test_sorted_and_normalised(self):
+        v, p = empirical_cdf([3.0, 1.0, 2.0])
+        assert np.allclose(v, [1.0, 2.0, 3.0])
+        assert np.allclose(p, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestGains:
+    def test_elementwise_ratio(self):
+        g = relative_gains([10.0, 30.0], [10.0, 10.0])
+        assert np.allclose(g, [1.0, 3.0])
+
+    def test_zero_baseline_dropped(self):
+        g = relative_gains([10.0, 30.0], [0.0, 10.0])
+        assert np.allclose(g, [3.0])
+
+    def test_zero_baseline_error_mode(self):
+        with pytest.raises(ValueError):
+            relative_gains([1.0], [0.0], drop_zero_baseline=False)
+
+    def test_all_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            relative_gains([1.0, 2.0], [0.0, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_gains([1.0], [1.0, 2.0])
+
+    def test_median_gain(self):
+        assert median_gain([10, 20, 30], [10, 10, 10]) == 2.0
+
+    def test_percentile_gain(self):
+        scheme = np.arange(1, 101, dtype=float)
+        base = np.ones(100)
+        assert percentile_gain(scheme, base, 20) == pytest.approx(20.8, rel=0.05)

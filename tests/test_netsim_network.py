@@ -1,0 +1,212 @@
+"""The multi-client network simulation (§6 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SampleLevelMeshRouter
+from repro.netsim import Testbed, paper_scenarios
+from repro.netsim.network import NetworkSimulation
+from repro.phy import Transmitter, TxConfig
+from repro.utils import awgn_like, make_rng
+
+
+@pytest.fixture(scope="module")
+def network():
+    testbed = Testbed(paper_scenarios()[0], seed=3)
+    positions = {
+        "near": np.array([3.2, 1.8]),
+        "edge": np.array([1.5, 6.3]),
+    }
+    return NetworkSimulation(testbed, positions, seed=3, mcs_index=1)
+
+
+class TestNetworkSimulation:
+    def test_edge_client_served_via_relay(self, network):
+        rng = make_rng(0)
+        bits = rng.integers(0, 2, 160)
+        outcome = network.send_downlink("edge", bits, rng)
+        assert outcome.relayed, outcome.controller_reason
+        assert outcome.decoded
+        assert outcome.bit_exact
+
+    def test_controller_names_the_right_client(self, network):
+        rng = make_rng(1)
+        for client in network.clients():
+            outcome = network.send_downlink(client,
+                                            rng.integers(0, 2, 120), rng)
+            assert outcome.client_id == client
+            assert outcome.relayed
+
+    def test_foreign_packet_not_relayed(self, network):
+        rng = make_rng(2)
+        outcome = network.send_downlink("edge", rng.integers(0, 2, 120),
+                                        rng, foreign=True)
+        assert not outcome.relayed
+        assert "signature" in outcome.controller_reason
+
+    def test_foreign_edge_packet_fails_without_relay(self, network):
+        # The same dead-spot packet that succeeds when relayed fails
+        # when the relay correctly leaves a foreign packet alone.
+        rng = make_rng(3)
+        outcome = network.send_downlink("edge", rng.integers(0, 2, 160),
+                                        rng, foreign=True)
+        assert not outcome.decoded
+
+    def test_stale_state_blocks_relaying(self, network):
+        rng = make_rng(4)
+        outcome = network.send_downlink("edge", rng.integers(0, 2, 120),
+                                        rng, now_s=60.0)
+        assert not outcome.relayed
+        assert "stale" in outcome.controller_reason
+
+    def test_round_serves_all_clients(self, network):
+        rng = make_rng(5)
+        payloads = {c: rng.integers(0, 2, 120) for c in network.clients()}
+        outcomes = network.run_round(payloads, rng)
+        assert set(outcomes) == set(network.clients())
+        assert all(o.bit_exact for o in outcomes.values())
+
+
+class TestSampleLevelMeshRouter:
+    def test_decode_and_forward_roundtrip(self):
+        rng = make_rng(6)
+        router = SampleLevelMeshRouter(mcs_index=0)
+        bits = rng.integers(0, 2, 200)
+        wave = Transmitter(TxConfig(mcs_index=3)).transmit(bits)[0]
+        wave = np.concatenate([np.zeros(80, dtype=complex), wave])
+        wave = wave + awgn_like(wave, 10.0 ** (-25.0 / 10.0), rng)
+        forwarded, result = router.forward_packet(wave)
+        assert result.success
+        assert forwarded is not None
+        # The retransmission decodes bit-exactly at a second receiver.
+        from repro.phy import Receiver
+
+        second_hop = np.concatenate([np.zeros(60, dtype=complex),
+                                     forwarded / 10.0])
+        second_hop += awgn_like(second_hop, 10.0 ** (-25.0 / 10.0), rng)
+        relayed = Receiver().receive(second_hop)
+        assert relayed.success
+        assert np.array_equal(relayed.payload_bits, bits)
+
+    def test_failed_decode_forwards_nothing(self):
+        rng = make_rng(7)
+        router = SampleLevelMeshRouter()
+        noise = awgn_like(np.zeros(3000), 1.0, rng)
+        forwarded, result = router.forward_packet(noise)
+        assert forwarded is None
+        assert not result.success
+
+    def test_two_slot_cost(self):
+        # The DF router needs its own slot: the forwarded waveform is a
+        # fresh full PPDU, roughly doubling airtime vs the FF relay's
+        # zero extra slots.
+        rng = make_rng(8)
+        router = SampleLevelMeshRouter(mcs_index=1)
+        bits = rng.integers(0, 2, 200)
+        wave = Transmitter(TxConfig(mcs_index=1)).transmit(bits)[0]
+        padded = np.concatenate([np.zeros(80, dtype=complex), wave])
+        padded = padded + awgn_like(padded, 1e-3, rng)
+        forwarded, _ = router.forward_packet(padded)
+        assert forwarded is not None
+        total_airtime = wave.size + forwarded.size
+        assert total_airtime >= 2 * wave.size * 0.9
+
+
+class TestUplink:
+    @pytest.fixture(scope="class")
+    def uplink_net(self):
+        testbed = Testbed(paper_scenarios()[0], seed=3)
+        positions = {
+            "mid": np.array([6.0, 4.2]),
+            "other": np.array([3.2, 1.8]),
+        }
+        return NetworkSimulation(testbed, positions, seed=3, mcs_index=0)
+
+    def test_uplink_relayed_and_decoded(self, uplink_net):
+        rng = make_rng(100)
+        outcome = uplink_net.send_uplink("mid", rng.integers(0, 2, 120), rng)
+        assert outcome.relayed, outcome.controller_reason
+        assert outcome.bit_exact
+
+    def test_fingerprint_names_the_transmitter(self, uplink_net):
+        rng = make_rng(101)
+        for client in uplink_net.clients():
+            outcome = uplink_net.send_uplink(client,
+                                             rng.integers(0, 2, 100), rng)
+            assert outcome.client_id == client
+            assert outcome.relayed
+
+    def test_stale_state_blocks_uplink_relaying(self, uplink_net):
+        rng = make_rng(102)
+        outcome = uplink_net.send_uplink("mid", rng.integers(0, 2, 100),
+                                         rng, now_s=60.0)
+        assert not outcome.relayed
+        assert "stale" in outcome.controller_reason
+
+    def test_uplink_limited_by_first_hop(self, uplink_net):
+        # Physics check: the uplink's relayed copy is bounded by the
+        # weaker client->relay hop.  A deeply buried client cannot be
+        # rescued on the uplink as easily as on the downlink.
+        testbed = Testbed(paper_scenarios()[0], seed=3)
+        net = NetworkSimulation(testbed,
+                                {"edge": np.array([1.5, 6.3])},
+                                seed=3, mcs_index=0)
+        rng = make_rng(103)
+        down = net.send_downlink("edge", rng.integers(0, 2, 120), rng)
+        up = net.send_uplink("edge", rng.integers(0, 2, 120), rng)
+        assert down.bit_exact
+        assert not up.bit_exact  # weak first hop caps the relayed SNR
+
+
+class TestWrongFilterHarm:
+    """§6's justification for conservatism: "A false positive (defined
+    as mistaking one client for another) could in some cases worsen the
+    SNR by applying the wrong filter"."""
+
+    def test_wrong_filter_can_be_destructive(self):
+        from repro.core import FastForwardRelay, RelayConfig
+        from repro.phy.params import WIFI_20MHZ
+        from repro.phy.rates import effective_snr_db
+
+        rng = make_rng(42)
+        used = WIFI_20MHZ.used_subcarriers()
+        n = len(used)
+        worse_count = 0
+        trials = 30
+        for _ in range(trials):
+            scale = 3e-4
+            h_sd_a = scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            h_sd_b = scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            h_sr = 1e-3 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            h_rd = 1e-3 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            # The relay arms client B's filter but the packet is for A.
+            wrong = FastForwardRelay(RelayConfig(use_decomposition=False))
+            wrong.configure_siso_link(h_sd_b, h_sr, h_rd)
+            wrong._h_sd = h_sd_a
+            snr_wrong = effective_snr_db(wrong.destination_snr_db())
+            direct = effective_snr_db(
+                10 * np.log10(np.abs(h_sd_a) ** 2 * 100.0 / 1e-9))
+            worse_count += snr_wrong < direct
+        # With a random (wrong) filter the relayed copy adds with
+        # arbitrary phases: it must hurt a nontrivial share of packets.
+        assert worse_count >= 2
+
+    def test_right_filter_never_hurts(self):
+        from repro.core import FastForwardRelay, RelayConfig
+        from repro.phy.params import WIFI_20MHZ
+        from repro.phy.rates import effective_snr_db
+
+        rng = make_rng(43)
+        used = WIFI_20MHZ.used_subcarriers()
+        n = len(used)
+        for _ in range(20):
+            scale = 3e-4
+            h_sd = scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            h_sr = 1e-3 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            h_rd = 1e-3 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            relay = FastForwardRelay(RelayConfig(use_decomposition=False))
+            relay.configure_siso_link(h_sd, h_sr, h_rd)
+            snr = effective_snr_db(relay.destination_snr_db())
+            direct = effective_snr_db(
+                10 * np.log10(np.abs(h_sd) ** 2 * 100.0 / 1e-9))
+            assert snr >= direct - 0.5

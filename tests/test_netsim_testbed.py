@@ -1,0 +1,85 @@
+"""Testbed scenarios and channel factories."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import Testbed, paper_scenarios
+from repro.utils import make_rng
+
+
+class TestScenarios:
+    def test_four_paper_settings(self):
+        names = [s.name for s in paper_scenarios()]
+        assert names[0] == "fig1-home"
+        assert len(names) == 4
+        assert "open-office" in names
+        assert "l-corridor" in names
+
+    def test_relay_has_usable_backhaul_everywhere(self):
+        # The relay must hear the AP well for relaying to function.
+        for scenario in paper_scenarios():
+            budget = scenario.propagation().link_budget(scenario.ap,
+                                                        scenario.relay)
+            assert budget.snr_db(20.0) > 12.0, scenario.name
+
+    def test_every_scenario_has_edge_area(self):
+        # Each testbed contains low-SNR locations (the paper's dead
+        # spots), otherwise the relay has nothing to rescue.
+        for scenario in paper_scenarios():
+            pm = scenario.propagation()
+            grid = scenario.floorplan.grid(spacing_m=1.0)
+            snrs = np.array([pm.link_budget(scenario.ap, g).snr_db(20.0)
+                             for g in grid])
+            assert snrs.min() < 8.0, scenario.name
+            assert snrs.max() > 25.0, scenario.name
+
+
+class TestTestbed:
+    @pytest.fixture
+    def tb(self):
+        return Testbed(paper_scenarios()[0], seed=0)
+
+    def test_positions_respect_min_distance(self, tb):
+        pos = tb.client_positions(40, rng=1, min_ap_distance_m=2.0)
+        d = np.linalg.norm(pos - tb.scenario.ap, axis=1)
+        assert d.min() >= 2.0
+
+    def test_positions_reproducible(self, tb):
+        a = tb.client_positions(10, rng=5)
+        b = tb.client_positions(10, rng=5)
+        assert np.allclose(a, b)
+
+    def test_extra_path_delay_nonnegative(self, tb):
+        for client in tb.client_positions(20, rng=2):
+            assert tb.extra_path_delay_s(client) >= 0.0
+
+    def test_extra_delay_small_vs_cp(self, tb):
+        # Indoor geometry: the via-relay detour is tens of ns, well
+        # within the 400 ns CP (leaving room for processing).
+        delays = [tb.extra_path_delay_s(c)
+                  for c in tb.client_positions(20, rng=3)]
+        assert max(delays) < 100e-9
+
+    def test_siso_triple_shapes(self, tb):
+        rng = make_rng(4)
+        h_sd, h_sr, h_rd = tb.siso_triple(np.array([7.0, 5.0]), rng)
+        assert h_sd.shape == h_sr.shape == h_rd.shape == (56,)
+
+    def test_mimo_triple_shapes(self, tb):
+        rng = make_rng(5)
+        h_sd, h_sr, h_rd = tb.mimo_triple(np.array([7.0, 5.0]), rng)
+        assert h_sd.shape == (56, 2, 2)
+        assert h_sr.shape == (56, 2, 2)
+        assert h_rd.shape == (56, 2, 2)
+
+    def test_hop_channels_shapes(self, tb):
+        rng = make_rng(6)
+        h1, h2 = tb.hop_mimo_channels(np.array([7.0, 5.0]), rng)
+        assert h1.shape == (56, 2, 2)
+        assert h2.shape == (56, 2, 2)
+
+    def test_channels_reproducible_per_rng(self, tb):
+        a = tb.siso_triple(np.array([5.0, 3.0]), make_rng(9))
+        b = tb.siso_triple(np.array([5.0, 3.0]), make_rng(9))
+        for x, y in zip(a, b):
+            assert np.allclose(x, y)

@@ -1,0 +1,125 @@
+"""LS channel estimation from LTF fields."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import MultipathChannel
+from repro.phy import Preamble, WIFI_20MHZ, estimate_channel_ls, estimate_mimo_channel
+from repro.phy.channel_est import smooth_channel_estimate
+from repro.utils import awgn_like, make_rng
+
+
+class TestSisoEstimate:
+    def test_flat_channel(self):
+        pre = Preamble(WIFI_20MHZ)
+        h = estimate_channel_ls(0.5j * pre.ltf(), WIFI_20MHZ)
+        assert np.allclose(h, 0.5j, atol=1e-9)
+
+    def test_multipath_channel_recovered(self):
+        rng = make_rng(0)
+        pre = Preamble(WIFI_20MHZ)
+        chan = MultipathChannel(np.array([1.0, 0.0, 0.4 - 0.2j]))
+        # Prepend STF so the channel's tail is absorbed by earlier
+        # samples, mimicking a real stream.
+        rx = chan.apply_trimmed(np.concatenate([pre.stf(), pre.ltf()]))
+        ltf_rx = rx[pre.stf_samples:]
+        est = estimate_channel_ls(ltf_rx, WIFI_20MHZ)
+        truth = chan.frequency_response(WIFI_20MHZ.used_subcarriers(), 64)
+        assert np.allclose(est, truth, atol=1e-6)
+
+    def test_averaging_reduces_noise(self):
+        rng = make_rng(1)
+        pre = Preamble(WIFI_20MHZ)
+        noisy = pre.ltf() + awgn_like(pre.ltf(), 0.01, rng)
+        est_avg = estimate_channel_ls(noisy, WIFI_20MHZ, average=True)
+        est_one = estimate_channel_ls(noisy, WIFI_20MHZ, average=False)
+        err_avg = np.abs(est_avg - 1.0).std()
+        err_one = np.abs(est_one - 1.0).std()
+        assert err_avg < err_one
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_channel_ls(np.ones(20, dtype=complex), WIFI_20MHZ)
+
+
+class TestMimoEstimate:
+    def test_recovers_flat_mimo_channel(self):
+        rng = make_rng(2)
+        pre = Preamble(WIFI_20MHZ, num_streams=2)
+        h_true = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        tx = np.stack([pre.ht_ltf(0), pre.ht_ltf(1)])
+        # tx rows are per-stream waveforms; stack into streams x samples.
+        streams = np.stack([pre.ht_ltf(s) for s in range(2)])
+        rx = h_true @ streams
+        est = estimate_mimo_channel(rx, WIFI_20MHZ, num_streams=2)
+        assert est.shape == (56, 2, 2)
+        assert np.allclose(est, h_true[None, :, :], atol=1e-9)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_mimo_channel(np.ones((2, 50), dtype=complex),
+                                  WIFI_20MHZ, num_streams=2)
+
+
+class TestSmoothing:
+    def test_preserves_constant(self):
+        h = np.full(56, 2.0 + 1.0j)
+        assert np.allclose(smooth_channel_estimate(h, 5), h)
+
+    def test_reduces_noise_variance(self):
+        rng = make_rng(3)
+        h = 1.0 + 0.2 * (rng.standard_normal(56) + 1j * rng.standard_normal(56))
+        sm = smooth_channel_estimate(h, 5)
+        assert np.std(sm - 1.0) < np.std(h - 1.0)
+
+    def test_window_must_be_odd(self):
+        with pytest.raises(ValueError):
+            smooth_channel_estimate(np.ones(8, dtype=complex), 4)
+
+    def test_window_one_is_identity(self):
+        h = np.arange(8, dtype=complex)
+        assert np.allclose(smooth_channel_estimate(h, 1), h)
+
+
+class TestTimingCanonicalization:
+    def test_removes_integer_ramp(self):
+        from repro.phy.channel_est import canonicalize_channel_timing
+        from repro.phy.params import WIFI_20MHZ
+
+        rng = make_rng(10)
+        used = WIFI_20MHZ.used_subcarriers()
+        idx = np.asarray(used, dtype=float)
+        base = MultipathChannel(np.array([1.0, 0.3 - 0.1j])). \
+            frequency_response(used, 64)
+        for offset in (1, 4, 11):
+            ramped = base * np.exp(-2j * np.pi * idx * offset / 64)
+            fixed = canonicalize_channel_timing(ramped)
+            ref = canonicalize_channel_timing(base)
+            assert np.allclose(fixed, ref, atol=1e-9)
+
+    def test_idempotent(self):
+        from repro.phy.channel_est import canonicalize_channel_timing
+        from repro.phy.params import WIFI_20MHZ
+
+        used = WIFI_20MHZ.used_subcarriers()
+        base = MultipathChannel(np.array([0.2, 1.0, 0.1j])). \
+            frequency_response(used, 64)
+        once = canonicalize_channel_timing(base)
+        twice = canonicalize_channel_timing(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+    def test_magnitudes_untouched(self):
+        from repro.phy.channel_est import canonicalize_channel_timing
+        from repro.phy.params import WIFI_20MHZ
+
+        rng = make_rng(11)
+        used = WIFI_20MHZ.used_subcarriers()
+        h = rng.standard_normal(len(used)) + 1j * rng.standard_normal(len(used))
+        fixed = canonicalize_channel_timing(h)
+        assert np.allclose(np.abs(fixed), np.abs(h))
+
+    def test_size_validated(self):
+        from repro.phy.channel_est import canonicalize_channel_timing
+
+        with pytest.raises(ValueError):
+            canonicalize_channel_timing(np.ones(10, dtype=complex))

@@ -1,0 +1,205 @@
+"""The coding chain: scrambler, convolutional code, Viterbi, puncturing,
+interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.phy.coding import (
+    BlockInterleaver,
+    ConvolutionalEncoder,
+    PUNCTURE_PATTERNS,
+    Scrambler,
+    ViterbiDecoder,
+    coded_length,
+    depuncture,
+    descramble,
+    puncture,
+    scramble,
+)
+from repro.utils import make_rng
+
+
+class TestScrambler:
+    def test_involution(self):
+        rng = make_rng(0)
+        bits = rng.integers(0, 2, 503)
+        assert np.array_equal(descramble(scramble(bits)), bits)
+
+    def test_different_seeds_differ(self):
+        bits = np.zeros(64, dtype=int)
+        assert not np.array_equal(scramble(bits, seed=0x5D),
+                                  scramble(bits, seed=0x24))
+
+    def test_sequence_period_127(self):
+        seq = Scrambler(0x5D).sequence(254)
+        assert np.array_equal(seq[:127], seq[127:])
+
+    def test_sequence_is_balanced(self):
+        seq = Scrambler(0x7F).sequence(127)
+        assert seq.sum() == 64  # maximal-length LFSR property
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            Scrambler(0)
+
+
+class TestConvolutionalEncoder:
+    def test_rate_half_output_length(self):
+        enc = ConvolutionalEncoder()
+        out = enc.encode(np.zeros(10, dtype=int), terminate=False)
+        assert out.size == 20
+
+    def test_termination_appends_tail(self):
+        enc = ConvolutionalEncoder()
+        out = enc.encode(np.ones(10, dtype=int), terminate=True)
+        assert out.size == 2 * (10 + 6)
+
+    def test_known_impulse_response(self):
+        # A single 1 followed by zeros produces the generator taps.
+        enc = ConvolutionalEncoder()
+        out = enc.encode(np.array([1, 0, 0, 0, 0, 0, 0]), terminate=False)
+        g0 = out[0::2]
+        g1 = out[1::2]
+        # 133 octal = 1011011, 171 octal = 1111001 (MSB = current bit).
+        assert list(g0) == [1, 0, 1, 1, 0, 1, 1]
+        assert list(g1) == [1, 1, 1, 1, 0, 0, 1]
+
+    def test_linearity(self):
+        rng = make_rng(1)
+        enc = ConvolutionalEncoder()
+        a = rng.integers(0, 2, 40)
+        b = rng.integers(0, 2, 40)
+        lhs = enc.encode((a ^ b), terminate=False)
+        rhs = enc.encode(a, terminate=False) ^ enc.encode(b, terminate=False)
+        assert np.array_equal(lhs, rhs)
+
+    def test_transitions_consistent_with_encode(self):
+        enc = ConvolutionalEncoder()
+        next_state, outputs = enc.transitions()
+        # Walk the tables for a random message and compare.
+        rng = make_rng(2)
+        bits = rng.integers(0, 2, 30)
+        state = 0
+        walked = []
+        for b in bits:
+            out = outputs[state, b]
+            walked.extend([(out >> 1) & 1, out & 1])
+            state = next_state[state, b]
+        direct = enc.encode(bits, terminate=False)
+        assert np.array_equal(np.array(walked), direct)
+
+
+class TestViterbi:
+    def test_decodes_clean_stream(self):
+        rng = make_rng(3)
+        bits = rng.integers(0, 2, 200)
+        coded = ConvolutionalEncoder().encode(bits)
+        decoded = ViterbiDecoder().decode_hard(coded)
+        assert np.array_equal(decoded, bits)
+
+    def test_corrects_bit_errors(self):
+        rng = make_rng(4)
+        bits = rng.integers(0, 2, 300)
+        coded = ConvolutionalEncoder().encode(bits)
+        corrupted = coded.copy()
+        flips = rng.choice(corrupted.size, size=12, replace=False)
+        corrupted[flips] ^= 1
+        decoded = ViterbiDecoder().decode_hard(corrupted)
+        assert np.array_equal(decoded, bits)
+
+    def test_soft_beats_hard(self):
+        rng = make_rng(5)
+        bits = rng.integers(0, 2, 2000)
+        coded = ConvolutionalEncoder().encode(bits)
+        tx = 1.0 - 2.0 * coded
+        noisy = tx + 0.9 * rng.standard_normal(tx.size)
+        dec = ViterbiDecoder()
+        soft = dec.decode(2.0 * noisy)
+        hard = dec.decode_hard((noisy < 0).astype(int))
+        assert (soft != bits).sum() <= (hard != bits).sum()
+
+    def test_odd_llr_count_rejected(self):
+        with pytest.raises(ValueError):
+            ViterbiDecoder().decode(np.ones(5))
+
+    def test_empty_input(self):
+        assert ViterbiDecoder().decode(np.array([])).size == 0
+
+
+class TestPuncturing:
+    @pytest.mark.parametrize("rate", sorted(PUNCTURE_PATTERNS),
+                             ids=lambda r: str(r))
+    def test_rate_achieved(self, rate):
+        mother = np.arange(240)
+        kept = puncture(mother, rate)
+        assert kept.size / mother.size == pytest.approx(
+            (1 / 2) / float(rate), rel=1e-6)
+
+    def test_depuncture_restores_positions(self):
+        rng = make_rng(6)
+        from fractions import Fraction
+
+        mother = rng.standard_normal(48)
+        kept = puncture(mother, Fraction(3, 4))
+        restored = depuncture(kept, Fraction(3, 4), 48)
+        mask = restored != 0
+        assert np.allclose(restored[mask], mother[mask])
+
+    def test_punctured_stream_still_decodes(self):
+        from fractions import Fraction
+
+        rng = make_rng(7)
+        bits = rng.integers(0, 2, 200)
+        coded = ConvolutionalEncoder().encode(bits)
+        kept = puncture(coded, Fraction(3, 4))
+        llrs = depuncture(1.0 - 2.0 * kept, Fraction(3, 4), coded.size)
+        decoded = ViterbiDecoder().decode(llrs)
+        assert np.array_equal(decoded, bits)
+
+    def test_unsupported_rate(self):
+        with pytest.raises(ValueError):
+            puncture(np.ones(8), 0.9)
+
+    def test_coded_length(self):
+        from fractions import Fraction
+
+        assert coded_length(100, Fraction(1, 2)) == 212
+        assert coded_length(100, Fraction(3, 4)) < 212
+
+
+class TestInterleaver:
+    def test_roundtrip(self):
+        rng = make_rng(8)
+        inter = BlockInterleaver(52 * 4, 4, num_columns=13)
+        bits = rng.integers(0, 2, 52 * 4)
+        assert np.array_equal(inter.deinterleave(inter.interleave(bits)), bits)
+
+    def test_is_permutation(self):
+        inter = BlockInterleaver(52, 1, num_columns=13)
+        out = inter.interleave(np.arange(52))
+        assert sorted(out) == list(range(52))
+
+    def test_disperses_adjacent_bits(self):
+        inter = BlockInterleaver(52 * 6, 6, num_columns=13)
+        out = inter.interleave(np.arange(52 * 6))
+        positions = np.empty(52 * 6, dtype=int)
+        positions[out] = np.arange(52 * 6)
+        # Adjacent coded bits must land far apart (> one subcarrier).
+        gaps = np.abs(np.diff(positions[:20]))
+        assert gaps.min() > 6
+
+    def test_stream_roundtrip(self):
+        rng = make_rng(9)
+        inter = BlockInterleaver(52, 1, num_columns=13)
+        bits = rng.integers(0, 2, 52 * 5)
+        assert np.array_equal(
+            inter.deinterleave_stream(inter.interleave_stream(bits)), bits)
+
+    def test_indivisible_columns_rejected(self):
+        with pytest.raises(ValueError):
+            BlockInterleaver(52, 1, num_columns=16)
+
+    def test_wrong_length_rejected(self):
+        inter = BlockInterleaver(52, 1, num_columns=13)
+        with pytest.raises(ValueError):
+            inter.interleave(np.zeros(51))

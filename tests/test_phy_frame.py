@@ -1,0 +1,120 @@
+"""PPDU framing: headers, CRCs, padding."""
+
+import numpy as np
+import pytest
+
+from repro.phy.frame import (
+    HEADER_INFO_BITS,
+    build_header_bits,
+    build_ppdu,
+    crc32,
+    crc8,
+    parse_ppdu_header,
+    payload_padding,
+)
+from repro.phy.params import WIFI_20MHZ
+from repro.utils import make_rng
+
+
+class TestCrc:
+    def test_crc8_deterministic(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0])
+        assert np.array_equal(crc8(bits), crc8(bits))
+
+    def test_crc8_detects_single_flip(self):
+        rng = make_rng(0)
+        bits = rng.integers(0, 2, 64)
+        flipped = bits.copy()
+        flipped[13] ^= 1
+        assert not np.array_equal(crc8(bits), crc8(flipped))
+
+    def test_crc32_detects_burst(self):
+        rng = make_rng(1)
+        bits = rng.integers(0, 2, 500)
+        damaged = bits.copy()
+        damaged[100:110] ^= 1
+        assert not np.array_equal(crc32(bits), crc32(damaged))
+
+    def test_crc32_length(self):
+        assert crc32(np.array([1])).size == 32
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        bits = build_header_bits(mcs_index=5, length_bits=1234,
+                                 num_streams=2, scrambler_seed=0x5D)
+        assert bits.size == HEADER_INFO_BITS
+        frame = parse_ppdu_header(bits)
+        assert frame is not None
+        assert frame.mcs_index == 5
+        assert frame.length_bits == 1234
+        assert frame.num_streams == 2
+        assert frame.scrambler_seed == 0x5D
+
+    def test_corrupted_header_rejected(self):
+        bits = build_header_bits(3, 100, 1, 0x24)
+        bits[0] ^= 1
+        assert parse_ppdu_header(bits) is None
+
+    def test_invalid_mcs_rejected_at_build(self):
+        with pytest.raises(ValueError):
+            build_header_bits(99, 100, 1, 0x5D)
+
+    def test_mcs_property(self):
+        bits = build_header_bits(7, 64, 1, 0x5D)
+        frame = parse_ppdu_header(bits)
+        assert frame.mcs.modulation_name == "64qam"
+
+
+class TestPadding:
+    @pytest.mark.parametrize("mcs", [0, 2, 4, 7, 9])
+    def test_padded_length_fills_symbols(self, mcs):
+        from repro.phy.frame import HEADER_SYMBOLS  # noqa: F401
+        from repro.phy.rates import MCS_TABLE
+        from repro.phy.coding import coded_length
+
+        n_cbps = 52 * MCS_TABLE[mcs].bits_per_symbol
+        for length in (64, 100, 1000):
+            pad = payload_padding(length, mcs, n_cbps)
+            total = coded_length(length + 32 + pad, MCS_TABLE[mcs].code_rate)
+            assert total % n_cbps == 0
+
+    def test_padding_is_deterministic(self):
+        assert payload_padding(512, 4, 208) == payload_padding(512, 4, 208)
+
+
+class TestBuildPpdu:
+    def test_waveform_length_is_whole_symbols(self):
+        rng = make_rng(2)
+        bits = rng.integers(0, 2, 300)
+        wave, n_payload = build_ppdu(bits, WIFI_20MHZ, mcs_index=4)
+        total_symbols = 2 + n_payload  # header + payload
+        assert wave.size == total_symbols * WIFI_20MHZ.symbol_len
+
+    def test_higher_mcs_fewer_symbols(self):
+        rng = make_rng(3)
+        bits = rng.integers(0, 2, 2000)
+        _, n_slow = build_ppdu(bits, WIFI_20MHZ, mcs_index=0)
+        _, n_fast = build_ppdu(bits, WIFI_20MHZ, mcs_index=7)
+        assert n_fast < n_slow
+
+
+class TestInterleaverColumns:
+    def test_wifi_plan_uses_13(self):
+        from repro.phy.frame import interleaver_columns
+
+        assert interleaver_columns(52) == 13
+
+    def test_lte_plan_gets_divisor(self):
+        from repro.phy.frame import interleaver_columns
+        from repro.phy.params import LTE_10MHZ
+
+        n = LTE_10MHZ.num_data_subcarriers
+        cols = interleaver_columns(n)
+        assert 1 < cols <= 20
+        assert n % cols == 0
+
+    def test_prime_counts_fall_back(self):
+        from repro.phy.frame import interleaver_columns
+
+        assert interleaver_columns(53) == 1  # prime: no divisor <= 20

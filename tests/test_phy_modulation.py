@@ -1,0 +1,91 @@
+"""QAM constellations and demapping."""
+
+import numpy as np
+import pytest
+
+from repro.phy import BPSK, MODULATIONS, QAM16, QAM64, QAM256, QPSK, modulation_by_name
+from repro.utils import make_rng
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("mod", MODULATIONS, ids=lambda m: m.name)
+    def test_unit_average_power(self, mod):
+        assert np.mean(np.abs(mod.points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("mod", MODULATIONS, ids=lambda m: m.name)
+    def test_point_count(self, mod):
+        assert mod.points.size == 2 ** mod.bits_per_symbol
+
+    def test_bits_per_symbol_ladder(self):
+        assert [m.bits_per_symbol for m in MODULATIONS] == [1, 2, 4, 6, 8]
+
+    @pytest.mark.parametrize("mod", [QPSK, QAM16, QAM64, QAM256],
+                             ids=lambda m: m.name)
+    def test_gray_mapping_neighbours(self, mod):
+        # Nearest constellation neighbours differ in exactly one bit.
+        pts = mod.points
+        d_min = mod.min_distance()
+        n_bits = mod.bits_per_symbol
+        for i in range(pts.size):
+            for j in range(pts.size):
+                if i != j and abs(pts[i] - pts[j]) < d_min * 1.01:
+                    assert bin(i ^ j).count("1") == 1
+
+    def test_min_distance_shrinks_with_order(self):
+        dists = [m.min_distance() for m in MODULATIONS[1:]]
+        assert all(a > b for a, b in zip(dists, dists[1:]))
+
+
+class TestModDemod:
+    @pytest.mark.parametrize("mod", MODULATIONS, ids=lambda m: m.name)
+    def test_roundtrip_noiseless(self, mod):
+        rng = make_rng(0)
+        bits = rng.integers(0, 2, 40 * mod.bits_per_symbol)
+        symbols = mod.modulate(bits)
+        assert np.array_equal(mod.demodulate_hard(symbols), bits)
+
+    def test_bpsk_roundtrip_with_noise(self):
+        rng = make_rng(1)
+        bits = rng.integers(0, 2, 1000)
+        noisy = BPSK.modulate(bits) + 0.2 * (
+            rng.standard_normal(1000) + 1j * rng.standard_normal(1000))
+        assert np.array_equal(BPSK.demodulate_hard(noisy), bits)
+
+    def test_wrong_bit_count_rejected(self):
+        with pytest.raises(ValueError):
+            QAM16.modulate([0, 1, 0])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            QPSK.modulate([0, 2])
+
+
+class TestLlr:
+    def test_llr_sign_matches_hard_decision(self):
+        rng = make_rng(2)
+        bits = rng.integers(0, 2, 600)
+        symbols = QAM64.modulate(bits)
+        llrs = QAM64.demodulate_llr(symbols, noise_var=0.1)
+        hard_from_llr = (llrs < 0).astype(int)
+        assert np.array_equal(hard_from_llr, bits)
+
+    def test_llr_magnitude_grows_with_snr(self):
+        bits = np.array([0, 0])
+        sym = QPSK.modulate(bits)
+        weak = np.abs(QPSK.demodulate_llr(sym, noise_var=1.0))
+        strong = np.abs(QPSK.demodulate_llr(sym, noise_var=0.01))
+        assert np.all(strong > weak)
+
+    def test_invalid_noise_var(self):
+        with pytest.raises(ValueError):
+            QPSK.demodulate_llr(np.ones(2, dtype=complex), 0.0)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert modulation_by_name("64QAM") is QAM64
+        assert modulation_by_name("bpsk") is BPSK
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            modulation_by_name("1024qam")

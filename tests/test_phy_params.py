@@ -1,0 +1,63 @@
+"""OFDM numerology invariants."""
+
+import pytest
+
+from repro.phy import LTE_10MHZ, WIFI_20MHZ, WIFI_20MHZ_LONG_CP, OfdmParams
+
+
+class TestWifi20:
+    def test_paper_numbers(self):
+        # §4.3: 20 MHz, 56 used subcarriers, 400 ns CP.
+        assert WIFI_20MHZ.bandwidth_hz == 20e6
+        assert WIFI_20MHZ.num_used_subcarriers == 56
+        assert WIFI_20MHZ.cp_duration_s == pytest.approx(400e-9)
+
+    def test_data_pilot_split(self):
+        assert WIFI_20MHZ.num_data_subcarriers == 52
+        assert len(WIFI_20MHZ.pilot_subcarriers) == 4
+
+    def test_symbol_duration_short_gi(self):
+        # 64 + 8 samples at 20 Msps = 3.6 us.
+        assert WIFI_20MHZ.symbol_duration_s == pytest.approx(3.6e-6)
+
+    def test_subcarrier_spacing(self):
+        assert WIFI_20MHZ.subcarrier_spacing_hz == pytest.approx(312.5e3)
+
+    def test_dc_is_null(self):
+        assert 0 not in WIFI_20MHZ.used_subcarriers()
+
+    def test_long_cp_is_800ns(self):
+        assert WIFI_20MHZ_LONG_CP.cp_duration_s == pytest.approx(800e-9)
+
+
+class TestLte:
+    def test_cp_matches_paper(self):
+        # §3.1: LTE CP is 4.69 us.
+        assert LTE_10MHZ.cp_duration_s == pytest.approx(4.69e-6, rel=1e-2)
+
+    def test_subcarrier_spacing_15khz(self):
+        assert LTE_10MHZ.subcarrier_spacing_hz == pytest.approx(15e3)
+
+    def test_cp_ratio_wifi_vs_lte(self):
+        # The paper's headline contrast: LTE tolerates ~12x more delay.
+        ratio = LTE_10MHZ.cp_duration_s / WIFI_20MHZ.cp_duration_s
+        assert ratio > 10.0
+
+
+class TestValidation:
+    def test_rejects_overlapping_pilots(self):
+        with pytest.raises(ValueError):
+            OfdmParams("bad", 20e6, 64, 8, (1, 2), (2, 3))
+
+    def test_rejects_out_of_range_subcarrier(self):
+        with pytest.raises(ValueError):
+            OfdmParams("bad", 20e6, 64, 8, (40,), ())
+
+    def test_rejects_cp_longer_than_fft(self):
+        with pytest.raises(ValueError):
+            OfdmParams("bad", 20e6, 64, 64, (1,), ())
+
+    def test_subcarrier_freqs(self):
+        freqs = WIFI_20MHZ.subcarrier_freqs_hz([1, -1])
+        assert freqs[0] == pytest.approx(312.5e3)
+        assert freqs[1] == pytest.approx(-312.5e3)

@@ -1,0 +1,76 @@
+"""Preamble structure: STF periodicity, LTF repetition, HT-LTF slots."""
+
+import numpy as np
+import pytest
+
+from repro.phy import Preamble, WIFI_20MHZ, ltf_frequency_symbol, stf_time_symbol
+
+
+class TestStf:
+    def test_period_length(self):
+        assert stf_time_symbol(WIFI_20MHZ).size == 16
+
+    def test_field_is_periodic(self):
+        pre = Preamble(WIFI_20MHZ)
+        stf = pre.stf()
+        assert stf.size == 160
+        assert np.allclose(stf[:16], stf[16:32])
+        assert np.allclose(stf[:16], stf[144:])
+
+    def test_nonzero_power(self):
+        stf = stf_time_symbol(WIFI_20MHZ)
+        assert np.mean(np.abs(stf) ** 2) > 0.1
+
+
+class TestLtf:
+    def test_ltf_grid_is_bpsk_on_used_tones(self):
+        grid = ltf_frequency_symbol(WIFI_20MHZ)
+        used = [k % 64 for k in WIFI_20MHZ.used_subcarriers()]
+        values = grid[used]
+        assert np.allclose(np.abs(values), 1.0)
+        unused = [k for k in range(64) if k not in used]
+        assert np.allclose(grid[unused], 0.0)
+
+    def test_field_repeats_body(self):
+        pre = Preamble(WIFI_20MHZ)
+        ltf = pre.ltf()
+        n = WIFI_20MHZ.fft_size
+        cp = 2 * WIFI_20MHZ.cp_len
+        assert ltf.size == cp + 2 * n
+        assert np.allclose(ltf[cp : cp + n], ltf[cp + n :])
+
+    def test_double_cp_is_cyclic(self):
+        pre = Preamble(WIFI_20MHZ)
+        ltf = pre.ltf()
+        cp = 2 * WIFI_20MHZ.cp_len
+        assert np.allclose(ltf[:cp], ltf[-cp:])
+
+
+class TestHtLtf:
+    def test_one_slot_per_stream(self):
+        pre = Preamble(WIFI_20MHZ, num_streams=2)
+        slot0 = pre.ht_ltf(0)
+        slot1 = pre.ht_ltf(1)
+        sym = WIFI_20MHZ.symbol_len
+        assert slot0.size == 2 * sym
+        # Stream 0 silent in slot 1 and vice versa.
+        assert np.allclose(slot0[sym:], 0.0)
+        assert np.allclose(slot1[:sym], 0.0)
+
+    def test_stream_index_range(self):
+        pre = Preamble(WIFI_20MHZ, num_streams=2)
+        with pytest.raises(ValueError):
+            pre.ht_ltf(2)
+
+    def test_total_length_accounting(self):
+        pre = Preamble(WIFI_20MHZ, num_streams=2)
+        assert pre.total_samples == (pre.stf_samples + pre.ltf_samples
+                                     + pre.ht_ltf_samples)
+
+    def test_per_stream_waveforms_shape(self):
+        pre = Preamble(WIFI_20MHZ, num_streams=2)
+        waves = pre.per_stream_waveforms()
+        assert waves.shape == (2, pre.total_samples)
+        # Legacy fields ride on stream 0 only.
+        legacy_len = pre.stf_samples + pre.ltf_samples
+        assert np.allclose(waves[1, :legacy_len], 0.0)

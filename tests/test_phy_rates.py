@@ -1,0 +1,98 @@
+"""MCS table and SNR -> rate mapping."""
+
+import numpy as np
+import pytest
+
+from repro.phy import (
+    MCS_TABLE,
+    highest_mcs_for_snr,
+    mimo_phy_rate_mbps,
+    phy_rate_mbps,
+    shannon_rate_mbps,
+)
+from repro.phy.rates import effective_snr_db, snr_required_for_rate
+
+
+class TestMcsTable:
+    def test_rates_increase(self):
+        rates = [e.rate_mbps for e in MCS_TABLE]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_thresholds_increase(self):
+        thresholds = [e.min_snr_db for e in MCS_TABLE]
+        assert all(a < b for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_mcs7_rate(self):
+        # HT-20 SGI MCS7 single stream = 72.2 Mbps.
+        assert MCS_TABLE[7].rate_mbps == pytest.approx(72.2, rel=1e-2)
+
+    def test_highest_256qam_needs_28db_plus(self):
+        # The §3.3 argument: max SNR needed is ~28 dB for the top rates.
+        assert MCS_TABLE[8].min_snr_db >= 28.0
+
+
+class TestRateMapping:
+    def test_dead_below_mcs0(self):
+        assert phy_rate_mbps(-1.0) == 0.0
+
+    def test_monotone_in_snr(self):
+        snrs = np.linspace(-5, 40, 46)
+        rates = [phy_rate_mbps(s) for s in snrs]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_selects_highest_eligible(self):
+        entry = highest_mcs_for_snr(21.0)
+        assert entry.index == 6
+
+    def test_mimo_sums_streams(self):
+        two = mimo_phy_rate_mbps([25.0, 25.0])
+        one = phy_rate_mbps(25.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_mimo_dead_stream_contributes_nothing(self):
+        assert mimo_phy_rate_mbps([25.0, -10.0]) == phy_rate_mbps(25.0)
+
+    def test_snr_required_inverse(self):
+        for entry in MCS_TABLE:
+            assert snr_required_for_rate(entry.rate_mbps) <= entry.min_snr_db
+
+
+class TestShannon:
+    def test_concavity_diminishing_returns(self):
+        # §5.2's argument: +6 dB from 64- to 256-QAM buys only ~33%.
+        low = shannon_rate_mbps(5.0)
+        mid = shannon_rate_mbps(17.0)
+        high = shannon_rate_mbps(23.0)
+        gain_low = mid / low
+        gain_high = high / mid
+        assert gain_low > gain_high
+
+    def test_mcs_tracks_capacity_shape(self):
+        snrs = np.arange(3.0, 28.0, 2.0)
+        mcs_rates = np.array([phy_rate_mbps(s) for s in snrs])
+        cap_rates = shannon_rate_mbps(snrs)
+        # Correlated upward staircase under the capacity curve.
+        assert np.corrcoef(mcs_rates, cap_rates)[0, 1] > 0.97
+        assert np.all(mcs_rates <= cap_rates * 1.05)
+
+
+class TestEffectiveSnr:
+    def test_flat_snrs_pass_through(self):
+        assert effective_snr_db(np.full(56, 15.0)) == pytest.approx(15.0,
+                                                                    abs=0.1)
+    def test_weak_tones_drag_down(self):
+        snrs = np.full(56, 20.0)
+        snrs[:8] = 0.0
+        eff = effective_snr_db(snrs)
+        # Well below the arithmetic mean (17.1 dB) but above the floor.
+        assert 5.0 < eff < 15.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            effective_snr_db(np.array([]))
+
+    def test_monotone_in_any_tone(self):
+        base = np.full(56, 12.0)
+        better = base.copy()
+        better[7] = 20.0
+        assert effective_snr_db(better) > effective_snr_db(base)

@@ -1,0 +1,97 @@
+"""Packet detection and CFO estimation."""
+
+import numpy as np
+import pytest
+
+from repro.phy import PacketDetector, Preamble, WIFI_20MHZ, apply_cfo, estimate_cfo
+from repro.phy.sync import fine_cfo_from_ltf, locate_ltf
+from repro.utils import awgn_like, make_rng
+
+
+def _packet_with_noise(rng, prefix=200, cfo_hz=0.0, snr_db=20.0):
+    pre = Preamble(WIFI_20MHZ)
+    wave = np.concatenate([pre.stf(), pre.ltf()])
+    if cfo_hz:
+        wave = apply_cfo(wave, cfo_hz, WIFI_20MHZ.bandwidth_hz)
+    sig = np.concatenate([np.zeros(prefix, dtype=complex), wave,
+                          np.zeros(100, dtype=complex)])
+    noise_power = 10.0 ** (-snr_db / 10.0)
+    return sig + awgn_like(sig, noise_power, rng)
+
+
+class TestApplyCfo:
+    def test_zero_cfo_is_identity(self):
+        x = np.ones(16, dtype=complex)
+        assert np.allclose(apply_cfo(x, 0.0, 20e6), x)
+
+    def test_rotation_rate(self):
+        x = np.ones(21, dtype=complex)
+        out = apply_cfo(x, 1e6, 20e6)  # 1/20 cycle per sample
+        assert np.angle(out[20] / out[0]) == pytest.approx(0.0, abs=1e-9)
+        assert np.angle(out[10] / out[0]) == pytest.approx(np.pi, abs=1e-9)
+
+
+class TestEstimateCfo:
+    @pytest.mark.parametrize("cfo", [-200e3, -40e3, 0.0, 55e3, 300e3])
+    def test_recovers_cfo_from_stf(self, cfo):
+        rng = make_rng(0)
+        pre = Preamble(WIFI_20MHZ)
+        stf = apply_cfo(pre.stf(), cfo, 20e6)
+        stf = stf + awgn_like(stf, 1e-3, rng)
+        est = estimate_cfo(stf, 16, 20e6, num_repeats=10)
+        assert est == pytest.approx(cfo, abs=2e3)
+
+    def test_range_limit(self):
+        # Lag-16 estimation is unambiguous only within +-625 kHz.
+        pre = Preamble(WIFI_20MHZ)
+        stf = apply_cfo(pre.stf(), 700e3, 20e6)
+        est = estimate_cfo(stf, 16, 20e6)
+        assert est != pytest.approx(700e3, abs=10e3)  # aliases
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cfo(np.ones(10, dtype=complex), 16, 20e6)
+
+
+class TestPacketDetector:
+    def test_detects_clean_packet(self):
+        rng = make_rng(1)
+        sig = _packet_with_noise(rng, prefix=300)
+        det = PacketDetector(WIFI_20MHZ).detect(sig)
+        assert det is not None
+        assert abs(det.start - 300) <= 16
+
+    def test_no_false_alarm_on_noise(self):
+        rng = make_rng(2)
+        noise = awgn_like(np.zeros(2000), 1.0, rng)
+        assert PacketDetector(WIFI_20MHZ).detect(noise) is None
+
+    def test_detects_at_low_snr(self):
+        rng = make_rng(3)
+        sig = _packet_with_noise(rng, prefix=250, snr_db=8.0)
+        det = PacketDetector(WIFI_20MHZ, threshold=0.6).detect(sig)
+        assert det is not None
+        assert abs(det.start - 250) <= 24
+
+    def test_reports_coarse_cfo(self):
+        rng = make_rng(4)
+        sig = _packet_with_noise(rng, prefix=200, cfo_hz=100e3)
+        det = PacketDetector(WIFI_20MHZ).detect(sig)
+        assert det is not None
+        assert det.coarse_cfo_hz == pytest.approx(100e3, abs=10e3)
+
+
+class TestFineCfo:
+    def test_ltf_refines_estimate(self):
+        rng = make_rng(5)
+        pre = Preamble(WIFI_20MHZ)
+        wave = np.concatenate([pre.stf(), pre.ltf()])
+        cfo = 23e3
+        wave = apply_cfo(wave, cfo, 20e6)
+        wave = wave + awgn_like(wave, 1e-3, rng)
+        est = fine_cfo_from_ltf(wave, WIFI_20MHZ, locate_ltf(WIFI_20MHZ, 0))
+        assert est == pytest.approx(cfo, abs=500.0)
+
+    def test_truncated_ltf_rejected(self):
+        with pytest.raises(ValueError):
+            fine_cfo_from_ltf(np.ones(100, dtype=complex), WIFI_20MHZ, 0)

@@ -1,0 +1,113 @@
+"""End-to-end transmitter -> channel -> receiver tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import MultipathChannel
+from repro.phy import Receiver, Transmitter, TxConfig, WIFI_20MHZ, apply_cfo
+from repro.utils import awgn_like, make_rng
+
+
+def _roundtrip(rng, mcs=0, snr_db=25.0, cfo_hz=0.0, channel=None,
+               num_bits=400, prefix=150):
+    cfg = TxConfig(mcs_index=mcs)
+    tx = Transmitter(cfg)
+    bits = rng.integers(0, 2, num_bits)
+    wave = tx.transmit(bits)[0]
+    if channel is not None:
+        wave = channel.apply_trimmed(wave)
+    wave = np.concatenate([np.zeros(prefix, dtype=complex), wave,
+                           np.zeros(50, dtype=complex)])
+    if cfo_hz:
+        wave = apply_cfo(wave, cfo_hz, WIFI_20MHZ.bandwidth_hz)
+    noise_power = 10.0 ** (-snr_db / 10.0)
+    wave = wave + awgn_like(wave, noise_power, rng)
+    result = Receiver().receive(wave)
+    return bits, result
+
+
+class TestBasicRoundtrip:
+    @pytest.mark.parametrize("mcs", [0, 2, 4, 7])
+    def test_decodes_at_high_snr(self, mcs):
+        rng = make_rng(10 + mcs)
+        bits, result = _roundtrip(rng, mcs=mcs, snr_db=30.0)
+        assert result.success, result.failure_reason
+        assert np.array_equal(result.payload_bits, bits)
+
+    def test_reports_frame_fields(self):
+        rng = make_rng(20)
+        bits, result = _roundtrip(rng, mcs=3)
+        assert result.frame.mcs_index == 3
+        assert result.frame.length_bits == bits.size
+
+    def test_fails_gracefully_at_very_low_snr(self):
+        rng = make_rng(21)
+        _, result = _roundtrip(rng, mcs=7, snr_db=3.0)
+        assert not result.success
+        assert result.failure_reason != ""
+
+    def test_mcs0_survives_low_snr(self):
+        rng = make_rng(22)
+        bits, result = _roundtrip(rng, mcs=0, snr_db=10.0)
+        assert result.success, result.failure_reason
+        assert np.array_equal(result.payload_bits, bits)
+
+
+class TestWithImpairments:
+    def test_cfo_corrected(self):
+        rng = make_rng(23)
+        bits, result = _roundtrip(rng, mcs=2, snr_db=25.0, cfo_hz=80e3)
+        assert result.success, result.failure_reason
+        assert np.array_equal(result.payload_bits, bits)
+        assert result.cfo_hz == pytest.approx(80e3, abs=3e3)
+
+    def test_multipath_within_cp(self):
+        rng = make_rng(24)
+        chan = MultipathChannel(np.array([1.0, 0.0, 0.3 - 0.2j, 0.1j]))
+        bits, result = _roundtrip(rng, mcs=2, snr_db=28.0, channel=chan)
+        assert result.success, result.failure_reason
+        assert np.array_equal(result.payload_bits, bits)
+
+    def test_channel_estimate_returned(self):
+        # The detector's timing offset appears as a linear phase ramp in
+        # the channel estimate (standard OFDM behaviour — it cancels in
+        # equalisation), so compare magnitudes only.
+        rng = make_rng(25)
+        chan = MultipathChannel(np.array([0.8, 0.0, 0.3]))
+        _, result = _roundtrip(rng, mcs=0, snr_db=30.0, channel=chan)
+        truth = chan.frequency_response(WIFI_20MHZ.used_subcarriers(), 64)
+        assert np.abs(np.abs(result.channel) - np.abs(truth)).max() < 0.15
+
+    def test_snr_estimate_sane(self):
+        rng = make_rng(26)
+        _, result = _roundtrip(rng, mcs=0, snr_db=20.0)
+        assert result.snr_estimate_db == pytest.approx(20.0, abs=5.0)
+
+
+class TestTxConfigValidation:
+    def test_invalid_mcs(self):
+        with pytest.raises(ValueError):
+            TxConfig(mcs_index=42)
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValueError):
+            TxConfig(scrambler_seed=0)
+
+    def test_two_stream_waveform_shape(self):
+        cfg = TxConfig(mcs_index=0, num_streams=2)
+        tx = Transmitter(cfg)
+        rng = make_rng(27)
+        waves = tx.transmit(rng.integers(0, 2, 200))
+        assert waves.shape[0] == 2
+        assert waves.shape[1] > 0
+
+    def test_signature_prepended(self):
+        rng = make_rng(28)
+        cfg = TxConfig(mcs_index=0)
+        tx = Transmitter(cfg)
+        sig = np.exp(2j * np.pi * rng.random(80))
+        with_sig = tx.transmit(np.zeros(64, dtype=int), signature=sig)[0]
+        without = tx.transmit(np.zeros(64, dtype=int))[0]
+        assert with_sig.size == without.size + 80
+        assert np.allclose(with_sig[:80], sig)
+        assert np.allclose(with_sig[80:], without)

@@ -1,0 +1,49 @@
+"""RNG helpers: reproducibility across the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.utils import child_rngs, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).standard_normal(16)
+        b = make_rng(42).standard_normal(16)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).standard_normal(16)
+        b = make_rng(2).standard_normal(16)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestChildRngs:
+    def test_children_are_reproducible(self):
+        kids_a = child_rngs(5, 4)
+        kids_b = child_rngs(5, 4)
+        for a, b in zip(kids_a, kids_b):
+            assert np.array_equal(a.standard_normal(8), b.standard_normal(8))
+
+    def test_children_are_independent(self):
+        kids = child_rngs(5, 3)
+        draws = [k.standard_normal(32) for k in kids]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_count_zero(self):
+        assert child_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            child_rngs(0, -1)
+
+    def test_count_matches(self):
+        assert len(child_rngs(9, 17)) == 17

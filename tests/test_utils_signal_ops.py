@@ -1,0 +1,141 @@
+"""Signal math: power, correlation, shifting, EVM."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    add_signals,
+    awgn_like,
+    circular_shift,
+    evm_db,
+    fractional_shift,
+    make_rng,
+    normalize_power,
+    normalized_xcorr,
+    papr_db,
+    rms,
+    signal_power,
+    xcorr,
+)
+
+
+class TestPower:
+    def test_unit_tone(self):
+        t = np.exp(1j * np.linspace(0, 20 * np.pi, 1000))
+        assert signal_power(t) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert signal_power(np.array([])) == 0.0
+
+    def test_rms_of_constant(self):
+        assert rms(np.full(10, 3.0 + 4.0j)) == pytest.approx(5.0)
+
+    def test_normalize_power(self):
+        rng = make_rng(0)
+        x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+        y = normalize_power(x, target_power=2.5)
+        assert signal_power(y) == pytest.approx(2.5)
+
+    def test_normalize_zero_signal_raises(self):
+        with pytest.raises(ValueError):
+            normalize_power(np.zeros(8, dtype=complex))
+
+    def test_papr_constant_envelope(self):
+        t = np.exp(1j * np.linspace(0, 7.0, 512))
+        assert papr_db(t) == pytest.approx(0.0, abs=1e-9)
+
+    def test_papr_positive_for_multitone(self):
+        n = np.arange(256)
+        x = np.exp(2j * np.pi * 0.1 * n) + np.exp(2j * np.pi * 0.13 * n)
+        assert papr_db(x) > 2.0
+
+
+class TestAddSignals:
+    def test_pads_shorter(self):
+        out = add_signals(np.ones(4), np.ones(2))
+        assert np.allclose(out, [2, 2, 1, 1])
+
+    def test_requires_an_argument(self):
+        with pytest.raises(ValueError):
+            add_signals()
+
+    def test_superposition_is_linear(self):
+        rng = make_rng(1)
+        a = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        b = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        assert np.allclose(add_signals(a, b), a + b)
+
+
+class TestCorrelation:
+    def test_xcorr_peak_at_embedding_offset(self):
+        rng = make_rng(2)
+        template = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        x = np.zeros(128, dtype=complex)
+        x[40:72] = template
+        corr = np.abs(xcorr(x, template))
+        assert np.argmax(corr) == 40
+
+    def test_normalized_xcorr_is_one_at_match(self):
+        rng = make_rng(3)
+        template = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        x = np.concatenate([np.zeros(10, dtype=complex), 5.0 * template,
+                            np.zeros(10, dtype=complex)])
+        corr = normalized_xcorr(x, template)
+        assert corr[10] == pytest.approx(1.0, abs=1e-9)
+
+    def test_normalized_xcorr_low_for_noise(self):
+        rng = make_rng(4)
+        template = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        x = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        assert normalized_xcorr(x, template).max() < 0.6
+
+    def test_template_longer_than_signal_rejected(self):
+        with pytest.raises(ValueError):
+            xcorr(np.ones(4), np.ones(8))
+
+
+class TestShifts:
+    def test_circular_shift_rolls(self):
+        x = np.arange(5, dtype=complex)
+        assert np.allclose(circular_shift(x, 2), [3, 4, 0, 1, 2])
+
+    def test_fractional_shift_integer_matches_roll(self):
+        rng = make_rng(5)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        # Band-limit so circular frequency shifting is exact.
+        spec = np.fft.fft(x)
+        spec[16:48] = 0
+        x = np.fft.ifft(spec)
+        shifted = fractional_shift(x, 3.0)
+        assert np.allclose(shifted, np.roll(x, 3), atol=1e-9)
+
+    def test_fractional_shift_half_sample_energy_preserved(self):
+        rng = make_rng(6)
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        y = fractional_shift(x, 0.5)
+        assert signal_power(y) == pytest.approx(signal_power(x), rel=1e-9)
+
+
+class TestNoiseAndEvm:
+    def test_awgn_power(self):
+        rng = make_rng(7)
+        noise = awgn_like(np.zeros(200000), 0.25, rng)
+        assert signal_power(noise) == pytest.approx(0.25, rel=0.02)
+
+    def test_awgn_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            awgn_like(np.zeros(4), -1.0, make_rng(0))
+
+    def test_evm_perfect_is_minus_inf(self):
+        x = np.ones(16, dtype=complex)
+        assert evm_db(x, x) == -np.inf
+
+    def test_evm_matches_snr(self):
+        rng = make_rng(8)
+        ref = np.exp(2j * np.pi * rng.random(100000))
+        noisy = ref + awgn_like(ref, 0.01, rng)
+        assert evm_db(noisy, ref) == pytest.approx(-20.0, abs=0.3)
+
+    def test_evm_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evm_db(np.ones(4), np.ones(5))

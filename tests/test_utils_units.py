@@ -1,0 +1,88 @@
+"""Unit conversions: the dB conventions everything else leans on."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    db_to_linear,
+    db_to_power,
+    dbm_to_watts,
+    linear_to_db,
+    power_to_db,
+    thermal_noise_dbm,
+    watts_to_dbm,
+    wavelength,
+)
+
+
+class TestAmplitudeDb:
+    def test_20db_is_factor_10_amplitude(self):
+        assert db_to_linear(20.0) == pytest.approx(10.0)
+
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        for value in (0.3, 1.0, 7.5, 123.0):
+            assert linear_to_db(db_to_linear(value)) == pytest.approx(value)
+
+    def test_negative_db_attenuates(self):
+        assert db_to_linear(-6.0) == pytest.approx(0.5012, rel=1e-3)
+
+    def test_zero_ratio_maps_to_minus_inf(self):
+        assert linear_to_db(0.0) == -np.inf
+
+    def test_vectorised(self):
+        out = db_to_linear(np.array([0.0, 20.0, 40.0]))
+        assert np.allclose(out, [1.0, 10.0, 100.0])
+
+
+class TestPowerDb:
+    def test_30db_is_factor_1000(self):
+        assert db_to_power(30.0) == pytest.approx(1000.0)
+
+    def test_roundtrip(self):
+        for value in (-13.0, 0.0, 3.0, 97.0):
+            assert power_to_db(db_to_power(value)) == pytest.approx(value)
+
+    def test_3db_is_double(self):
+        assert db_to_power(3.0) == pytest.approx(2.0, rel=1e-2)
+
+    def test_amplitude_and_power_consistency(self):
+        # An amplitude gain g corresponds to a power gain g^2.
+        g = db_to_linear(17.0)
+        assert power_to_db(g**2) == pytest.approx(17.0)
+
+
+class TestDbm:
+    def test_0dbm_is_1mw(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_30dbm_is_1w(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_roundtrip(self):
+        assert watts_to_dbm(dbm_to_watts(-90.0)) == pytest.approx(-90.0)
+
+    def test_paper_noise_floor(self):
+        # -90 dBm over 20 MHz corresponds to a ~11 dB noise figure.
+        floor = thermal_noise_dbm(20e6, noise_figure_db=11.0)
+        assert floor == pytest.approx(-90.0, abs=1.0)
+
+    def test_thermal_noise_scales_with_bandwidth(self):
+        assert (thermal_noise_dbm(40e6) - thermal_noise_dbm(20e6)
+                == pytest.approx(3.0, abs=0.1))
+
+
+class TestWavelength:
+    def test_2_45_ghz(self):
+        assert wavelength(2.45e9) == pytest.approx(0.1224, rel=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+    def test_quarter_wave_delay_at_carrier(self):
+        # 100 ps at 2.45 GHz is ~90 degrees — the analog CNF tap spacing.
+        period = 1.0 / 2.45e9
+        assert 100e-12 / period == pytest.approx(0.245, rel=1e-2)

@@ -1,0 +1,58 @@
+"""Argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ensure_complex_1d,
+    ensure_in_range,
+    ensure_positive,
+    ensure_shape,
+)
+
+
+class TestEnsureComplex1d:
+    def test_accepts_real_input(self):
+        out = ensure_complex_1d([1.0, 2.0])
+        assert out.dtype == complex
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            ensure_complex_1d(np.ones((2, 2)))
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="waveform"):
+            ensure_complex_1d(np.ones((2, 2)), name="waveform")
+
+
+class TestEnsurePositive:
+    def test_accepts_positive(self):
+        assert ensure_positive(0.1) == 0.1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ensure_positive(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ensure_positive(-3)
+
+
+class TestEnsureInRange:
+    def test_bounds_inclusive(self):
+        assert ensure_in_range(0.0, 0.0, 1.0) == 0.0
+        assert ensure_in_range(1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, 0.0, 1.0)
+
+
+class TestEnsureShape:
+    def test_accepts_matching(self):
+        out = ensure_shape(np.zeros((2, 3)), (2, 3))
+        assert out.shape == (2, 3)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            ensure_shape(np.zeros(4), (5,))
