@@ -184,6 +184,18 @@ class CausalDigitalCanceller:
             self._stream = StreamingFir(self.taps)
         return rx_sample - self._stream.push(tx_sample)
 
+    def as_stage(self):
+        """The canceller as a streaming block-processing stage.
+
+        Returns a :class:`repro.runtime.stage.DigitalCancellationStage`
+        bound to this canceller: queue TX blocks with ``push_tx``, feed
+        RX blocks through ``process_block``, and retraining takes effect
+        at the stage's next ``reset``.
+        """
+        from repro.runtime.stage import DigitalCancellationStage
+
+        return DigitalCancellationStage(self)
+
     def cancellation_db(self, rx_samples, tx_samples):
         """Achieved digital cancellation on a block, in dB.
 

@@ -86,6 +86,11 @@ class SelfInterferenceChannel:
         phases = np.exp(-2j * np.pi * np.outer(total, self.delays_s))
         return phases @ self.gains
 
+    def _kernel_cache_key(self):
+        # Content hash: the channel is fully determined by its paths.
+        return ("si-channel", self.delays_s.tobytes(),
+                self.gains.tobytes(), self.carrier_hz)
+
     def apply(self, x, sample_rate_hz):
         """Pass a baseband block through the SI channel.
 
@@ -96,7 +101,22 @@ class SelfInterferenceChannel:
         from repro.dsp.spectrum import apply_frequency_response
 
         return apply_frequency_response(x, self.frequency_response,
-                                        sample_rate_hz)
+                                        sample_rate_hz,
+                                        cache_key=self._kernel_cache_key())
+
+    def as_stage(self, sample_rate_hz, block_size=4096):
+        """The channel as a streaming stage (cached spectral kernel).
+
+        Useful for composing full streaming loops — e.g.
+        ``Chain([relay_stages..., si_channel.as_stage(fs)])`` — where the
+        kernel is designed once per channel realisation and shared by
+        every chain built from it.
+        """
+        from repro.runtime.spectral import FrequencyResponseStage
+
+        return FrequencyResponseStage(
+            self.frequency_response, sample_rate_hz, block_size=block_size,
+            cache_key=self._kernel_cache_key(), name="si-channel")
 
     def isolation_db(self):
         """Passive isolation: -20 log10 of the aggregate gain magnitude.

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.phy.sync import apply_cfo
 from repro.utils.validation import ensure_complex_1d
 
 
@@ -21,7 +20,10 @@ class CfoRestorer:
     """Derotate on ingest, re-rotate identically on egress.
 
     One instance per (source, relay) pair; both directions keep their
-    own running phase so arbitrary chunking works.
+    own running phase so arbitrary chunking works.  Chunks may be 1-D
+    (one IQ stream) or ``(streams, n)`` — all MIMO chains share the
+    source's single oscillator, so one rotation vector broadcasts
+    across every row.
     """
 
     def __init__(self, cfo_hz, sample_rate_hz):
@@ -39,20 +41,26 @@ class CfoRestorer:
         step = 2.0 * np.pi * self.cfo_hz * num_samples / self.sample_rate_hz
         return (phase + step) % (2.0 * np.pi)
 
+    def _rotate(self, x, sign, initial_phase):
+        """Apply ``exp(j*(sign*2*pi*f*n/fs + initial_phase))`` per row."""
+        x = np.asarray(x, dtype=complex)
+        if x.ndim not in (1, 2):
+            raise ValueError(f"x must be 1-D or (streams, n), got {x.shape}")
+        n = np.arange(x.shape[-1])
+        rot = np.exp(1j * (sign * 2.0 * np.pi * self.cfo_hz * n
+                           / self.sample_rate_hz + initial_phase))
+        return x * rot  # broadcasts over every stream row
+
     def correct(self, x):
         """Remove the source CFO from an ingest chunk."""
-        x = ensure_complex_1d(x, "x")
-        out = apply_cfo(x, -self.cfo_hz, self.sample_rate_hz,
-                        initial_phase=-self._ingest_phase)
-        self._ingest_phase = self._advance(self._ingest_phase, x.size)
+        out = self._rotate(x, -1.0, -self._ingest_phase)
+        self._ingest_phase = self._advance(self._ingest_phase, out.shape[-1])
         return out
 
     def restore(self, x):
         """Re-apply the source CFO to an egress chunk."""
-        x = ensure_complex_1d(x, "x")
-        out = apply_cfo(x, self.cfo_hz, self.sample_rate_hz,
-                        initial_phase=self._egress_phase)
-        self._egress_phase = self._advance(self._egress_phase, x.size)
+        out = self._rotate(x, 1.0, self._egress_phase)
+        self._egress_phase = self._advance(self._egress_phase, out.shape[-1])
         return out
 
     def process(self, x, processor):

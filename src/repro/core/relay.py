@@ -12,9 +12,22 @@ Two views of the same machine:
   stream through the realised digital pre-filter, analog CNF line,
   amplification and CFO restore, producing the waveform the relay
   would transmit.  Integration tests run real PPDUs through it.
+
+The sample-level path runs on the streaming runtime
+(:mod:`repro.runtime`): a configured relay *is* a
+:class:`repro.runtime.chain.Chain` of stages — CFO correct, an
+overlap-save spectral stage with a cached kernel, amplification, CFO
+restore — that fixed-size blocks are pumped through with state
+carry-over.  :meth:`FastForwardRelay.process` and
+:meth:`FastForwardRelay.process_mimo` are thin one-shot wrappers over
+that chain; :meth:`FastForwardRelay.make_siso_chain` /
+:meth:`FastForwardRelay.make_mimo_chain` hand the chain itself to
+streaming callers.
 """
 
 from __future__ import annotations
+
+import itertools
 
 from dataclasses import dataclass, field
 
@@ -32,12 +45,21 @@ from repro.core.latency import ISI_ICI_FACTOR, LatencyBudget, isi_useful_fractio
 from repro.phy.params import OfdmParams, WIFI_20MHZ
 from repro.utils.units import db_to_linear, db_to_power, power_to_db
 
+#: Monotone link tokens keying the spectral-kernel cache (one token per
+#: configured link, so reconfiguring never reuses a stale kernel).
+_LINK_TOKENS = itertools.count()
+
 
 @dataclass
 class RelayConfig:
-    """Operating configuration of a FastForward relay."""
+    """Operating configuration of a FastForward relay.
 
-    params: OfdmParams = WIFI_20MHZ
+    ``params`` uses a ``default_factory`` so no mutable state is ever
+    shared between configs (``OfdmParams`` is frozen as well — belt and
+    braces against one relay's numerology leaking into another).
+    """
+
+    params: OfdmParams = field(default_factory=lambda: WIFI_20MHZ)
     cancellation_db: float = 110.0
     loop_margin_db: float = 3.0
     noise_margin_db: float = 3.0
@@ -77,6 +99,16 @@ class FastForwardRelay:
         self._mimo_phases = None       # MIMO: per-subcarrier scalar phase
         self._decomposition = None
         self.amplification_db = 0.0
+        # Streaming runtime state: a fresh token per configured link
+        # keys the spectral-kernel cache; built chains are memoised per
+        # (sample rate, CFO, block size) until the link changes.
+        self._link_token = None
+        self._chains = {}
+
+    def _invalidate_chains(self):
+        """A new link means new kernels: drop memoised chains."""
+        self._link_token = f"ff-relay-{next(_LINK_TOKENS)}"
+        self._chains = {}
 
     # -- configuration ---------------------------------------------------
 
@@ -96,6 +128,7 @@ class FastForwardRelay:
             raise ValueError("per-subcarrier channel arrays must match")
         self._mode = "siso"
         self._h_sd, self._h_sr, self._h_rd = h_sd, h_sr, h_rd
+        self._invalidate_chains()
         cfg = self.config
         self.amplification_db = select_amplification_db(
             cfg.cancellation_db, self._rd_attenuation_db(h_rd),
@@ -185,6 +218,7 @@ class FastForwardRelay:
             raise ValueError(f"group_size must be >= 1, got {group_size}")
         self._mode = "mimo"
         self._h_sd, self._h_sr, self._h_rd = h_sd, h_sr, h_rd
+        self._invalidate_chains()
         cfg = self.config
         self.amplification_db = select_amplification_db(
             cfg.cancellation_db, self._rd_attenuation_db(h_rd),
@@ -365,7 +399,119 @@ class FastForwardRelay:
 
     # -- sample-level processing ------------------------------------------
 
-    def process(self, iq_stream, sample_rate_hz=None, cfo_hz=0.0):
+    def _siso_response_fn(self):
+        """The realised SISO filter as a baseband frequency response."""
+        if self._decomposition is not None:
+            # The pre-filter runs at its own (higher) rate; at the
+            # signal rate its in-band response is what matters, so apply
+            # it spectrally on the subcarrier grid.
+            decomposition = self._decomposition
+            return lambda f: decomposition.response(f)
+        freqs_grid = self.config.params.subcarrier_freqs_hz()
+        resp = self._filter_response
+
+        def interp_response(f):
+            real = np.interp(f, freqs_grid, resp.real,
+                             left=resp.real[0], right=resp.real[-1])
+            imag = np.interp(f, freqs_grid, resp.imag,
+                             left=resp.imag[0], right=resp.imag[-1])
+            return real + 1j * imag
+
+        return interp_response
+
+    def _mimo_response_fn(self):
+        """Per-bin K x K matrix response interpolated from the filters.
+
+        Linearly interpolated between subcarriers (out-of-grid bins
+        clamp to the band-edge filter) — a continuous response whose
+        impulse content decays fast enough to cache as a short kernel.
+        """
+        grid_freqs = self.config.params.subcarrier_freqs_hz()
+        order = np.argsort(grid_freqs)
+        gf = grid_freqs[order]
+        filt = (np.exp(1j * self._mimo_phases)[:, None, None]
+                * self._mimo_f0)[order]
+        k = filt.shape[1]
+
+        def matrix_response(f):
+            out = np.empty((np.asarray(f).size, k, k), dtype=complex)
+            for r in range(k):
+                for t in range(k):
+                    out[:, r, t] = (
+                        np.interp(f, gf, filt[:, r, t].real)
+                        + 1j * np.interp(f, gf, filt[:, r, t].imag))
+            return out
+
+        return matrix_response
+
+    def _build_chain(self, response_fn, kernel_tag, sample_rate_hz, cfo_hz,
+                     block_size, name):
+        from repro.runtime.chain import Chain, GainStage
+        from repro.runtime.spectral import FrequencyResponseStage
+        from repro.runtime.stage import CfoCorrectStage, CfoRestoreStage
+
+        stages = []
+        restorer = CfoRestorer(cfo_hz, sample_rate_hz) if cfo_hz else None
+        if restorer is not None:
+            stages.append(CfoCorrectStage(restorer))
+        stages.append(FrequencyResponseStage(
+            response_fn, sample_rate_hz, block_size=block_size,
+            cache_key=(self._link_token, kernel_tag), name="cnf-filter"))
+        stages.append(GainStage(self.amplification_db, name="amplify"))
+        if restorer is not None:
+            stages.append(CfoRestoreStage(restorer))
+        return Chain(stages, name=name)
+
+    def make_siso_chain(self, sample_rate_hz=None, cfo_hz=0.0,
+                        block_size=4096):
+        """The relay as a streaming :class:`repro.runtime.chain.Chain`.
+
+        SISO only.  Stages, in order: CFO correct (when ``cfo_hz`` is
+        nonzero), the realised CNF filter (digital pre-filter cascaded
+        with the analog line, as one cached overlap-save kernel),
+        amplification, CFO restore.  Pump fixed-size blocks through
+        ``process_block`` and ``flush`` at end of stream; ``reset``
+        makes the chain reusable for the next frame.  The spectral
+        kernel is cached per configured link, so building many chains
+        (or short-lived ones per frame) stays cheap.
+        """
+        if self._mode != "siso":
+            raise RuntimeError("sample-level processing requires a SISO link")
+        sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
+        return self._build_chain(self._siso_response_fn(), "siso",
+                                 sample_rate_hz, cfo_hz, block_size,
+                                 name="ff-relay-siso")
+
+    def make_mimo_chain(self, sample_rate_hz=None, cfo_hz=0.0,
+                        block_size=4096):
+        """The MIMO relay as a streaming chain over ``(K, n)`` blocks.
+
+        Stages mirror :meth:`make_siso_chain`; the spectral stage
+        applies the per-bin ``exp(j*phi_i) * F0_i`` matrix filters as
+        one streaming matrix convolution, and the CFO stages rotate all
+        K chains with a single broadcast multiply (the relay has one
+        oscillator).
+        """
+        if self._mode != "mimo":
+            raise RuntimeError(
+                "sample-level MIMO processing requires a MIMO link")
+        sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
+        return self._build_chain(self._mimo_response_fn(), "mimo",
+                                 sample_rate_hz, cfo_hz, block_size,
+                                 name="ff-relay-mimo")
+
+    def _memoised_chain(self, mode, sample_rate_hz, cfo_hz, block_size):
+        key = (mode, float(sample_rate_hz), float(cfo_hz), int(block_size))
+        chain = self._chains.get(key)
+        if chain is None:
+            maker = self.make_siso_chain if mode == "siso" \
+                else self.make_mimo_chain
+            chain = maker(sample_rate_hz, cfo_hz, block_size)
+            self._chains[key] = chain
+        return chain
+
+    def process(self, iq_stream, sample_rate_hz=None, cfo_hz=0.0, *,
+                block_size=4096, trace=None):
         """Produce the relay's transmit waveform for a received stream.
 
         SISO only.  Applies, in order: CFO correction, the digital
@@ -374,50 +520,33 @@ class FastForwardRelay:
         subpackage demonstrates that separately); the processing delay
         is represented by the configured latency budget, which callers
         convert to channel delay when composing paths.
+
+        A thin one-shot wrapper over :meth:`make_siso_chain`: the chain
+        (and its cached spectral kernel) is reused across calls, so
+        repeated frames skip the per-call response-grid recomputation
+        entirely.  Pass a :class:`repro.runtime.chain.ChainTrace` as
+        ``trace`` to collect per-stage wall time, throughput and in/out
+        power.
         """
         if self._mode != "siso":
             raise RuntimeError("sample-level processing requires a SISO link")
-        cfg = self.config
-        sample_rate_hz = sample_rate_hz or cfg.params.bandwidth_hz
+        sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
         x = np.asarray(iq_stream, dtype=complex)
-        restorer = CfoRestorer(cfo_hz, sample_rate_hz) if cfo_hz else None
-        if restorer is not None:
-            x = restorer.correct(x)
-        if self._decomposition is not None:
-            # The pre-filter runs at its own (higher) rate; at the
-            # signal rate its in-band response is what matters, so apply
-            # it spectrally on the subcarrier grid.
-            from repro.dsp.spectrum import apply_frequency_response
+        chain = self._memoised_chain("siso", sample_rate_hz, cfo_hz,
+                                     block_size)
+        chain.reset()
+        return chain.run(x, trace=trace)
 
-            x = apply_frequency_response(
-                x, lambda f: self._decomposition.response(f), sample_rate_hz)
-        else:
-            from repro.dsp.spectrum import apply_frequency_response
-
-            freqs_grid = cfg.params.subcarrier_freqs_hz()
-            resp = self._filter_response
-
-            def interp_response(f):
-                real = np.interp(f, freqs_grid, resp.real,
-                                 left=resp.real[0], right=resp.real[-1])
-                imag = np.interp(f, freqs_grid, resp.imag,
-                                 left=resp.imag[0], right=resp.imag[-1])
-                return real + 1j * imag
-
-            x = apply_frequency_response(x, interp_response, sample_rate_hz)
-        x = x * db_to_linear(self.amplification_db)
-        if restorer is not None:
-            x = restorer.restore(x)
-        return x
-
-    def process_mimo(self, iq_streams, sample_rate_hz=None, cfo_hz=0.0):
+    def process_mimo(self, iq_streams, sample_rate_hz=None, cfo_hz=0.0, *,
+                     block_size=4096, trace=None):
         """Produce the K relay transmit streams for K received streams.
 
         MIMO only.  Applies the per-subcarrier unitary filters
-        ``exp(j*phi_i) * F0_i`` in the frequency domain (zero-padded, so
-        the operation is effectively a linear convolution), then
+        ``exp(j*phi_i) * F0_i`` as a streaming matrix convolution, then
         amplification, with optional CFO correct/restore around the
-        processing.  ``iq_streams`` is (K, n_samples).
+        processing.  ``iq_streams`` is (K, n_samples).  Like
+        :meth:`process`, a one-shot wrapper over :meth:`make_mimo_chain`
+        accepting the same ``trace`` keyword.
 
         Note: unlike the SISO path, these are the *ideal* per-subcarrier
         filters — no latency-constrained decomposition is applied, so
@@ -425,41 +554,16 @@ class FastForwardRelay:
         The prototype bounds this with the same 4-tap structure; here it
         is a functional model, fine away from the deepest dead spots.
         """
-        from repro.phy.sync import apply_cfo
-
         if self._mode != "mimo":
             raise RuntimeError(
                 "sample-level MIMO processing requires a MIMO link")
-        cfg = self.config
-        sample_rate_hz = sample_rate_hz or cfg.params.bandwidth_hz
+        sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
         x = np.atleast_2d(np.asarray(iq_streams, dtype=complex))
         k = self._mimo_f0.shape[1]
         if x.shape[0] != k:
             raise ValueError(
                 f"expected {k} receive streams, got {x.shape[0]}")
-        if cfo_hz:
-            x = np.stack([apply_cfo(row, -cfo_hz, sample_rate_hz)
-                          for row in x])
-
-        # Per-bin K x K matrix response, nearest-neighbour interpolated
-        # from the per-subcarrier filters (out-of-band bins reuse the
-        # band-edge filter; the signal has no energy there anyway).
-        n = x.shape[1]
-        m = 1
-        while m < 2 * n:
-            m *= 2
-        freqs = np.fft.fftfreq(m, d=1.0 / sample_rate_hz)
-        grid_freqs = cfg.params.subcarrier_freqs_hz()
-        order = np.argsort(grid_freqs)
-        gf = grid_freqs[order]
-        filt = (np.exp(1j * self._mimo_phases)[:, None, None]
-                * self._mimo_f0)[order]
-        idx = np.clip(np.searchsorted(gf, freqs), 0, gf.size - 1)
-        spec = np.fft.fft(x, m, axis=1)
-        out_spec = np.einsum("brt,tb->rb", filt[idx], spec)
-        out = np.fft.ifft(out_spec, axis=1)[:, :n]
-        out = out * db_to_linear(self.amplification_db)
-        if cfo_hz:
-            out = np.stack([apply_cfo(row, cfo_hz, sample_rate_hz)
-                            for row in out])
-        return out
+        chain = self._memoised_chain("mimo", sample_rate_hz, cfo_hz,
+                                     block_size)
+        chain.reset()
+        return chain.run(x, trace=trace)

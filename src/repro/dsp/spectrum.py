@@ -8,41 +8,39 @@ from repro.utils.validation import ensure_complex_1d
 
 
 def apply_frequency_response(x, response_fn, sample_rate_hz,
-                             flat_fraction=0.35, stop_fraction=0.48):
+                             flat_fraction=0.35, stop_fraction=0.48,
+                             cache_key=None):
     """Filter a block through an analytically-known frequency response.
 
     ``response_fn(freqs_hz)`` returns the complex response on a baseband
-    frequency grid.  The response is applied via a zero-padded FFT with
-    a raised-cosine band-edge window (flat to ``flat_fraction * fs``,
-    rolled off to zero at ``stop_fraction * fs``), which models the TX
-    reconstruction / RX anti-alias filters every physical front end has.
+    frequency grid.  The response is applied with a raised-cosine
+    band-edge window (flat to ``flat_fraction * fs``, rolled off to zero
+    at ``stop_fraction * fs``), which models the TX reconstruction / RX
+    anti-alias filters every physical front end has.
 
     The window matters beyond realism: an *unwindowed* fractional-delay
-    response has sinc-tail impulse content decaying only as 1/k, whose
-    circular wraparound pollutes block simulations at the -100 dB level
-    — exactly where self-interference cancellation lives.  The tapered
-    response decays fast enough that zero-padding makes the operation an
-    effectively linear convolution.
+    response has sinc-tail impulse content decaying only as 1/k, which
+    pollutes block simulations at the -100 dB level — exactly where
+    self-interference cancellation lives.  The tapered response decays
+    fast enough to be compiled into a short FIR kernel, so this is a
+    thin one-shot wrapper over the streaming runtime
+    (:class:`repro.runtime.spectral.FrequencyResponseStage`): the
+    windowed kernel is built once, applied by overlap-save, and — when
+    ``cache_key`` names a stable response identity — reused across
+    calls instead of being recomputed per block.
     """
+    from repro.runtime.spectral import FrequencyResponseStage
+
     x = ensure_complex_1d(x, "x")
     if x.size == 0:
         return x.copy()
     if not 0.0 < flat_fraction < stop_fraction <= 0.5:
         raise ValueError("need 0 < flat_fraction < stop_fraction <= 0.5")
-    m = 1
-    while m < 2 * x.size:
-        m *= 2
-    freqs = np.fft.fftfreq(m, d=1.0 / sample_rate_hz)
-    h = np.asarray(response_fn(freqs), dtype=complex)
-    af = np.abs(freqs) / sample_rate_hz
-    window = np.ones(m)
-    taper = (af > flat_fraction) & (af < stop_fraction)
-    window[taper] = np.cos(
-        0.5 * np.pi * (af[taper] - flat_fraction)
-        / (stop_fraction - flat_fraction)) ** 2
-    window[af >= stop_fraction] = 0.0
-    spec = np.fft.fft(x, m)
-    return np.fft.ifft(spec * h * window)[: x.size]
+    stage = FrequencyResponseStage(
+        response_fn, sample_rate_hz, block_size=min(x.size, 8192),
+        flat_fraction=flat_fraction, stop_fraction=stop_fraction,
+        cache_key=cache_key)
+    return stage.run(x)
 
 
 def psd(x, sample_rate_hz, nfft=None):

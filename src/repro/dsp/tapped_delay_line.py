@@ -123,6 +123,12 @@ class AnalogTapDelayLine:
         phases = np.exp(-2j * np.pi * np.outer(total_freq, self.tap_delays_s))
         return phases @ self.gains
 
+    def _kernel_cache_key(self):
+        # Content hash: the realised filter is fully determined by the
+        # tap layout, the programmed gains and the carrier.
+        return ("analog-tdl", self.tap_delays_s.tobytes(),
+                self.gains.tobytes(), self.carrier_hz)
+
     def apply(self, x, sample_rate_hz):
         """Filter a baseband block through the analog line.
 
@@ -138,7 +144,23 @@ class AnalogTapDelayLine:
         if x.size == 0:
             return x.copy()
         return apply_frequency_response(x, self.frequency_response,
-                                        sample_rate_hz)
+                                        sample_rate_hz,
+                                        cache_key=self._kernel_cache_key())
+
+    def as_stage(self, sample_rate_hz, block_size=4096):
+        """The board as a streaming stage with its current gain settings.
+
+        Returns a :class:`repro.runtime.spectral.FrequencyResponseStage`
+        whose spectral kernel is cached on the tap layout and gains, so
+        repeated chains over an unchanged board skip the kernel design.
+        Reprogramming the gains afterwards does *not* retune an
+        already-built stage — build a new one.
+        """
+        from repro.runtime.spectral import FrequencyResponseStage
+
+        return FrequencyResponseStage(
+            self.frequency_response, sample_rate_hz, block_size=block_size,
+            cache_key=self._kernel_cache_key(), name="analog-line")
 
     def solve_gains_for_response(self, baseband_freqs_hz, desired_response,
                                  max_gain=None):

@@ -47,7 +47,10 @@ from repro.utils.validation import ensure_complex_1d
 class TxConfig:
     """Transmitter configuration."""
 
-    params: OfdmParams = WIFI_20MHZ
+    # default_factory: dataclass class-attribute defaults are shared
+    # across instances, which is safe only because OfdmParams is frozen;
+    # a factory keeps each config independent regardless.
+    params: OfdmParams = field(default_factory=lambda: WIFI_20MHZ)
     mcs_index: int = 0
     num_streams: int = 1
     scrambler_seed: int = 0x5D

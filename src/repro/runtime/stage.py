@@ -1,0 +1,125 @@
+"""Streaming adapters wrapping existing relay components as stages.
+
+Each adapter owns (or borrows) one of the sample-level processors the
+relay is built from — CFO correct/restore, the digital pre-filter, the
+digital canceller — and exposes the :class:`repro.runtime.chain.Stage`
+contract so it can sit inside a :class:`repro.runtime.chain.Chain`.
+Model objects with a natural spectral response (the analog tap-delay
+line, the self-interference channel) expose ``as_stage`` constructors
+on their own classes instead, returning a cached
+:class:`repro.runtime.spectral.FrequencyResponseStage`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.chain import Stage
+
+
+class CfoCorrectStage(Stage):
+    """Derotate the source CFO on ingest (phase-continuous across blocks).
+
+    Wraps one :class:`repro.core.cfo_restore.CfoRestorer`; share the
+    same restorer with a :class:`CfoRestoreStage` on the egress side so
+    the relayed copy leaves carrying exactly the CFO it arrived with.
+    """
+
+    def __init__(self, restorer, name="cfo-correct"):
+        self.restorer = restorer
+        self.name = name
+
+    def process_block(self, x):
+        return self.restorer.correct(np.asarray(x, dtype=complex))
+
+    def reset(self):
+        # Resets both phase accumulators; idempotent when the shared
+        # restorer is reset again by the paired restore stage.
+        self.restorer.reset()
+
+
+class CfoRestoreStage(Stage):
+    """Re-apply the source CFO on egress (paper §4.1, restore half)."""
+
+    def __init__(self, restorer, name="cfo-restore"):
+        self.restorer = restorer
+        self.name = name
+
+    def process_block(self, x):
+        return self.restorer.restore(np.asarray(x, dtype=complex))
+
+    def reset(self):
+        self.restorer.reset()
+
+
+class StreamingFirStage(Stage):
+    """A causal FIR (e.g. the 4-tap digital pre-filter) with carried state.
+
+    Wraps :class:`repro.dsp.fir.StreamingFir`, so feeding the stream in
+    any block sizes matches one whole-block :class:`repro.dsp.fir.
+    FirFilter` application exactly.
+    """
+
+    def __init__(self, taps, name="fir"):
+        from repro.dsp.fir import StreamingFir
+
+        self._taps = np.asarray(taps, dtype=complex)
+        self._fir = StreamingFir(self._taps)
+        self.name = name
+
+    @property
+    def taps(self):
+        """The filter's coefficients."""
+        return self._taps
+
+    def process_block(self, x):
+        return self._fir.process(np.asarray(x, dtype=complex))
+
+    def reset(self):
+        self._fir.reset()
+
+
+class DigitalCancellationStage(Stage):
+    """Streaming causal digital SI cancellation: ``rx - predict(tx)``.
+
+    The canceller needs two streams.  The transmit samples (which the
+    relay knows — it produced them) are queued via :meth:`push_tx`;
+    :meth:`process_block` then consumes receive blocks and subtracts the
+    predicted self-interference using a stateful causal FIR, so the
+    receive path incurs zero buffering delay (paper §3.3).  Streaming in
+    any block sizes matches one-shot
+    :meth:`repro.cancellation.digital.CausalDigitalCanceller.cancel`.
+    """
+
+    def __init__(self, canceller, name="digital-cancel"):
+        self.canceller = canceller
+        self.name = name
+        self.reset()
+
+    def reset(self):
+        from repro.dsp.fir import StreamingFir
+
+        # Re-read the taps on reset so a retrained canceller takes
+        # effect on the next frame.
+        self._fir = StreamingFir(np.asarray(self.canceller.taps,
+                                            dtype=complex))
+        self._tx_queue = np.zeros(0, dtype=complex)
+
+    def push_tx(self, tx_block):
+        """Queue transmitted samples the canceller may predict from."""
+        tx = np.asarray(tx_block, dtype=complex)
+        if tx.ndim != 1:
+            raise ValueError(f"tx blocks must be 1-D, got shape {tx.shape}")
+        self._tx_queue = np.concatenate([self._tx_queue, tx])
+
+    def process_block(self, rx_block):
+        rx = np.asarray(rx_block, dtype=complex)
+        if rx.ndim != 1:
+            raise ValueError(f"rx blocks must be 1-D, got shape {rx.shape}")
+        if rx.size > self._tx_queue.size:
+            raise ValueError(
+                f"need {rx.size} queued tx samples, have "
+                f"{self._tx_queue.size}; call push_tx first")
+        tx, self._tx_queue = (self._tx_queue[: rx.size],
+                              self._tx_queue[rx.size:])
+        return rx - self._fir.process(tx)

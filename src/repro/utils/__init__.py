@@ -19,6 +19,7 @@ from repro.utils.units import (
 )
 from repro.utils.rng import make_rng, child_rngs
 from repro.utils.signal_ops import (
+    next_pow2,
     signal_power,
     signal_power_dbm,
     papr_db,
@@ -53,6 +54,7 @@ __all__ = [
     "wavelength",
     "make_rng",
     "child_rngs",
+    "next_pow2",
     "signal_power",
     "signal_power_dbm",
     "papr_db",

@@ -11,6 +11,19 @@ import numpy as np
 from repro.utils.units import power_to_db, watts_to_dbm
 
 
+def next_pow2(n):
+    """Smallest power of two >= ``n`` (and >= 1).
+
+    The canonical FFT-sizing helper: zero-padding to ``next_pow2(2 * n)``
+    turns a circular convolution into an effectively linear one, and
+    overlap-save engines size their transforms with it.
+    """
+    n = int(n)
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
 def signal_power(x):
     """Mean power (mean |x|^2) of a complex signal, in linear units."""
     x = np.asarray(x)

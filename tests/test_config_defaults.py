@@ -1,0 +1,51 @@
+"""Regression: dataclass config defaults must not be shared objects.
+
+``params: OfdmParams = WIFI_20MHZ`` as a plain class-attribute default
+hands every config instance the *same* object.  ``OfdmParams`` is frozen
+so sharing could not corrupt state, but the pattern is a trap for any
+future mutable field — both configs now use ``default_factory``.
+"""
+
+from dataclasses import MISSING, fields
+
+from repro.core.relay import RelayConfig
+from repro.phy.params import WIFI_20MHZ, WIFI_20MHZ_LONG_CP, OfdmParams
+from repro.phy.transceiver import TxConfig
+
+
+def _params_field(config_cls):
+    (f,) = [f for f in fields(config_cls) if f.name == "params"]
+    return f
+
+
+class TestRelayConfigDefaults:
+    def test_params_built_by_factory(self):
+        f = _params_field(RelayConfig)
+        assert f.default is MISSING
+        assert f.default_factory is not MISSING
+        assert f.default_factory() == WIFI_20MHZ
+
+    def test_default_params_value(self):
+        cfg = RelayConfig()
+        assert isinstance(cfg.params, OfdmParams)
+        assert cfg.params == WIFI_20MHZ
+
+    def test_instances_stay_independent(self):
+        a = RelayConfig()
+        b = RelayConfig(params=WIFI_20MHZ_LONG_CP)
+        assert a.params.cp_len == WIFI_20MHZ.cp_len
+        assert b.params.cp_len == WIFI_20MHZ_LONG_CP.cp_len
+
+
+class TestTxConfigDefaults:
+    def test_params_built_by_factory(self):
+        f = _params_field(TxConfig)
+        assert f.default is MISSING
+        assert f.default_factory is not MISSING
+        assert f.default_factory() == WIFI_20MHZ
+
+    def test_instances_stay_independent(self):
+        a = TxConfig()
+        b = TxConfig(params=WIFI_20MHZ_LONG_CP)
+        assert a.params == WIFI_20MHZ
+        assert b.params.cp_len == WIFI_20MHZ_LONG_CP.cp_len

@@ -10,6 +10,7 @@ from repro.utils import (
     evm_db,
     fractional_shift,
     make_rng,
+    next_pow2,
     normalize_power,
     normalized_xcorr,
     papr_db,
@@ -139,3 +140,26 @@ class TestNoiseAndEvm:
     def test_evm_shape_mismatch(self):
         with pytest.raises(ValueError):
             evm_db(np.ones(4), np.ones(5))
+
+
+class TestNextPow2:
+    def test_small_values(self):
+        assert next_pow2(0) == 1
+        assert next_pow2(1) == 1
+        assert next_pow2(2) == 2
+        assert next_pow2(3) == 4
+
+    def test_exact_powers_are_fixed_points(self):
+        for k in range(16):
+            assert next_pow2(2**k) == 2**k
+
+    def test_one_past_a_power_doubles(self):
+        for k in range(1, 16):
+            assert next_pow2(2**k + 1) == 2**(k + 1)
+
+    def test_result_bounds(self):
+        for n in range(1, 5000, 37):
+            m = next_pow2(n)
+            assert m >= n
+            assert m & (m - 1) == 0
+            assert m < 2 * n or n <= 1
