@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""The self-healing relay under fire, sample by sample.
+
+Two live-fault scenarios on real IQ streams through the full relay
+chain, with the supervisor's typed event log narrating the response:
+
+* **Scenario A — SI-channel jump.**  Someone walks past the relay's
+  antennas mid-stream: the tuned cancellation is suddenly 42 dB short
+  and residual self-interference floods the forwarded signal.  The
+  supervisor detects the rising residual and re-tunes (the paper's
+  noise-injection tuner pass), restoring full-duplex operation within
+  a few blocks.
+
+* **Scenario B — sustained ADC clipping.**  A strong interferer drives
+  the relay's converters into their rails and *stays there*.  No
+  re-tune can fix physics, so the supervisor walks the rest of the
+  ladder: gain backoff first, then graceful fallback to half-duplex
+  (the relay mutes; clients keep the direct path) — and recovery the
+  moment the interferer leaves.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+import numpy as np
+
+from repro.core import FastForwardRelay, RelayConfig
+from repro.faults import AdcSaturationStage, FaultSchedule, ResidualSiStage
+from repro.supervision import RelayHealthMonitor, RelaySupervisor, \
+    SupervisorPolicy
+from repro.utils import make_rng
+
+FS = 20e6
+BLOCK = 4096
+
+
+def build_relay(seed=0):
+    cfg = RelayConfig(use_decomposition=False)
+    relay = FastForwardRelay(cfg)
+    rng = make_rng(seed)
+    n = len(cfg.params.used_subcarriers())
+
+    def h(scale=1.0):
+        return scale * (rng.standard_normal(n)
+                        + 1j * rng.standard_normal(n)) / np.sqrt(2)
+
+    relay.configure_siso_link(h(0.05), h(), h())
+    return relay
+
+
+def make_supervisor(retune=None):
+    # Block-scale timing: at 4096 samples / 20 MHz each block is
+    # ~205 us, so the holds below are a handful of blocks.
+    policy = SupervisorPolicy(retune_backoff_s=4e-4,
+                              escalation_hold_s=1e-4,
+                              recovery_hold_s=5e-4,
+                              max_gain_backoff_db=6.0)
+    return RelaySupervisor(monitor=RelayHealthMonitor(alpha=1.0),
+                           policy=policy, retune=retune)
+
+
+def run_blocks(relay, sup, faults, make_block, num_blocks):
+    states = []
+    for i in range(num_blocks):
+        relay.process(make_block(i), FS, faults=faults, supervisor=sup)
+        states.append(sup.state.value)
+    return states
+
+
+def scenario_a():
+    print("Scenario A: SI-channel jump -> detect -> re-tune -> resume")
+    print("-" * 64)
+    relay = build_relay()
+    rng = make_rng(1)
+    schedule = FaultSchedule(2014)
+    si = ResidualSiStage(schedule, jump_rate_per_sample=0.0,
+                         jump_residual_db=-8.0)
+    sup = make_supervisor(retune=si.retune)
+
+    def block(i):
+        if i == 3:
+            si._jumped = True          # the walker passes the antenna
+            si.jump_count += 1
+        return 0.05 * (rng.standard_normal(BLOCK)
+                       + 1j * rng.standard_normal(BLOCK))
+
+    states = run_blocks(relay, sup, [si], block, 8)
+    print("  per-block state:", " ".join(states))
+    print(sup.event_log() or "  (no events)")
+    assert not si.jumped, "re-tune should have cleared the jump"
+    print()
+
+
+def scenario_b():
+    print("Scenario B: sustained clipping -> gain backoff -> half-duplex"
+          " -> recover")
+    print("-" * 64)
+    relay = build_relay()
+    rng = make_rng(2)
+    sup = make_supervisor()            # no re-tune can fix saturation
+
+    def block(i):
+        # Blocks 2..9: an interferer drives the input 26 dB hotter.
+        scale = 1.0 if 2 <= i < 10 else 0.05
+        return scale * (rng.standard_normal(BLOCK)
+                        + 1j * rng.standard_normal(BLOCK))
+
+    states = []
+    for i in range(14):
+        clip = AdcSaturationStage(full_scale=0.15)   # fresh counter per block
+        y = relay.process(block(i), FS, faults=[clip], supervisor=sup)
+        muted = " muted" if not np.any(y) else ""
+        states.append(f"{sup.state.value}{muted}")
+    print("  per-block state:", " | ".join(states))
+    print(sup.event_log())
+    assert any("half-duplex" in s for s in states), "ladder should bottom out"
+    assert states[-1].startswith("active"), "relay should recover"
+    print()
+
+
+if __name__ == "__main__":
+    scenario_a()
+    scenario_b()
+    print("Both scenarios survived: faults contained, service degraded "
+          "gracefully, relay recovered.")

@@ -10,6 +10,7 @@ cancellation   §3.3: the 108-110 dB self-interference figure
 gains          Fig. 12: relative throughput gains (three schemes)
 latency        Fig. 16: median gain vs processing latency
 fingerprint    Fig. 21: uplink identification error rates
+faults         fault sweep: supervised vs unsupervised degradation
 =============  =====================================================
 """
 
@@ -87,6 +88,30 @@ def _cmd_fingerprint(args):
           f"(paper: ~0% / ~5%)")
 
 
+def _cmd_faults(args):
+    from repro.netsim import fault_sweep_experiment
+
+    data = fault_sweep_experiment(fault_rates=tuple(args.rates),
+                                  num_clients=args.clients,
+                                  num_steps=args.steps, seed=args.seed)
+    print(f"clients: {data['num_clients']} (relay-worthy), "
+          f"{data['num_steps']} steps of 50 ms; "
+          f"nominal FF {data['nominal_ff']:.1f} Mbps")
+    print(f"  {'rate':>5} {'supervised':>11} {'unsupervised':>13} "
+          f"{'half-duplex':>12}   ladder events")
+    for i, rate in enumerate(data["fault_rate"]):
+        counts = data["event_counts"][i]
+        summary = ", ".join(f"{k}x{v}" for k, v in sorted(counts.items())) \
+            or "-"
+        print(f"  {rate:5.2f} {data['supervised'][i]:9.1f} M "
+              f"{data['unsupervised'][i]:11.1f} M "
+              f"{data['half_duplex'][i]:10.1f} M   {summary}")
+    if args.events and data["sample_events"]:
+        print("sample event log (worst fault rate, first client):")
+        for line in data["sample_events"]:
+            print(f"  {line}")
+
+
 def build_parser():
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -121,6 +146,16 @@ def build_parser():
     finger.add_argument("--locations", type=int, default=40)
     finger.add_argument("--packets", type=int, default=30)
     finger.set_defaults(func=_cmd_fingerprint)
+
+    faults = sub.add_parser("faults", help="fault sweep with/without the "
+                                           "self-healing supervisor")
+    faults.add_argument("--clients", type=int, default=5)
+    faults.add_argument("--steps", type=int, default=60)
+    faults.add_argument("--rates", type=float, nargs="+",
+                        default=[0.0, 0.1, 0.2, 0.4])
+    faults.add_argument("--events", action="store_true",
+                        help="print the sample supervisor event log")
+    faults.set_defaults(func=_cmd_faults)
     return parser
 
 

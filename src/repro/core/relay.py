@@ -44,6 +44,7 @@ from repro.core.decomposition import decompose_cnf_filter
 from repro.core.latency import ISI_ICI_FACTOR, LatencyBudget, isi_useful_fraction
 from repro.phy.params import OfdmParams, WIFI_20MHZ
 from repro.utils.units import db_to_linear, db_to_power, power_to_db
+from repro.utils.validation import ensure_finite
 
 #: Monotone link tokens keying the spectral-kernel cache (one token per
 #: configured link, so reconfiguring never reuses a stale kernel).
@@ -285,34 +286,45 @@ class FastForwardRelay:
         excess = total - self.config.params.cp_duration_s
         return isi_useful_fraction(max(excess, 0.0), self.config.params)
 
-    def destination_snr_db(self, extra_path_delay_s=0.0):
+    def destination_snr_db(self, extra_path_delay_s=0.0, *, channels=None):
         """Per-subcarrier destination SNR (dB), SISO mode.
 
         ``extra_path_delay_s`` is the additional over-the-air delay of
         the source->relay->destination route relative to the direct
         path; it eats into the CP budget alongside processing latency.
+
+        ``channels`` optionally supplies a ``(h_sd, h_sr, h_rd)`` triple
+        to evaluate against while keeping the *configured* filter and
+        amplification — i.e. what a relay tuned on old sounding reports
+        actually delivers once the air has moved on.  Omit it to
+        evaluate on the configured link.
         """
         if self._mode != "siso":
             raise RuntimeError("configure_siso_link first")
         cfg = self.config
+        if channels is None:
+            h_sd, h_sr, h_rd = self._h_sd, self._h_sr, self._h_rd
+        else:
+            h_sd, h_sr, h_rd = (np.asarray(h, dtype=complex)
+                                for h in channels)
         a = db_to_linear(self.amplification_db)
         p_tx = 10.0 ** (cfg.tx_power_dbm / 10.0)
         sigma_d2 = 10.0 ** (cfg.noise_floor_dbm / 10.0)
         sigma_r2 = 10.0 ** (cfg.relay_noise_floor_dbm / 10.0)
 
-        relay_path = self._h_rd * self._filter_response * a * self._h_sr
+        relay_path = h_rd * self._filter_response * a * h_sr
         rho = self._isi_fraction(extra_path_delay_s)
         if rho >= 1.0:
-            h_eff = self._h_sd + relay_path
+            h_eff = h_sd + relay_path
             isi = 0.0
         else:
             # Past the CP the copies no longer combine coherently and
             # the lost fraction interferes twice (ISI + ICI).
-            h_eff = np.sqrt(np.abs(self._h_sd) ** 2
+            h_eff = np.sqrt(np.abs(h_sd) ** 2
                             + rho * np.abs(relay_path) ** 2)
             isi = (ISI_ICI_FACTOR * (1.0 - rho)
                    * np.abs(relay_path) ** 2 * p_tx)
-        relay_noise = np.abs(self._h_rd * self._filter_response * a) ** 2 * sigma_r2
+        relay_noise = np.abs(h_rd * self._filter_response * a) ** 2 * sigma_r2
         recirc = (self._recirculation_factor(extra_path_delay_s)
                   * np.abs(relay_path) ** 2 * p_tx)
         denom = sigma_d2 + relay_noise + isi + recirc
@@ -510,8 +522,53 @@ class FastForwardRelay:
             self._chains[key] = chain
         return chain
 
+    @staticmethod
+    def _admit_stream(x, supervisor):
+        """Validate (or, supervised, sanitise) the received samples.
+
+        Unsupervised relays refuse non-finite input outright — garbage
+        in would silently become amplified garbage on the air.  With a
+        supervisor attached the contract flips: survive it, zero the
+        bad samples and let the supervisor's guard statistics record
+        the hit.
+        """
+        if supervisor is None:
+            ensure_finite(x, "iq_stream")
+            return x
+        finite = np.isfinite(x)
+        if finite.all():
+            return x
+        return np.where(finite, x, 0.0)
+
+    @staticmethod
+    def _run_with_faults(chain, faults, x, trace):
+        """Reset the relay chain and run, with fault stages prepended.
+
+        Fault stages are deliberately *not* reset: their burst and
+        drift processes advance in absolute stream position, so a
+        multi-frame experiment sees one continuous fault timeline
+        rather than the same opening faults replayed every frame.
+        """
+        chain.reset()
+        if not faults:
+            return chain.run(x, trace=trace)
+        from repro.runtime.chain import Chain
+
+        run_chain = Chain([*faults, chain], name=f"faulty-{chain.name}")
+        return run_chain.run(x, trace=trace)
+
+    @staticmethod
+    def _harvest_health(faults):
+        """Pull the health signals the fault stages expose, if any."""
+        clip = [s.clip_fraction for s in faults or ()
+                if hasattr(s, "clip_fraction")]
+        residual = [s.residual_si_db for s in faults or ()
+                    if hasattr(s, "residual_si_db")]
+        return (max(clip) if clip else None,
+                max(residual) if residual else None)
+
     def process(self, iq_stream, sample_rate_hz=None, cfo_hz=0.0, *,
-                block_size=4096, trace=None):
+                block_size=4096, trace=None, faults=None, supervisor=None):
         """Produce the relay's transmit waveform for a received stream.
 
         SISO only.  Applies, in order: CFO correction, the digital
@@ -527,18 +584,35 @@ class FastForwardRelay:
         entirely.  Pass a :class:`repro.runtime.chain.ChainTrace` as
         ``trace`` to collect per-stage wall time, throughput and in/out
         power.
+
+        ``faults`` optionally prepends impairment stages from
+        :mod:`repro.faults` (applied in order at the relay's receive
+        side; their schedules continue across calls rather than
+        replaying).  ``supervisor`` hands the output to a
+        :class:`repro.supervision.RelaySupervisor`, which sanitises
+        non-finite blocks, folds the fault stages' clip/residual
+        readings into its health monitor, and applies the current
+        remedy — gain backoff or half-duplex muting.  Without a
+        supervisor, non-finite *input* raises ``ValueError``.
         """
         if self._mode != "siso":
             raise RuntimeError("sample-level processing requires a SISO link")
         sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
         x = np.asarray(iq_stream, dtype=complex)
+        x = self._admit_stream(x, supervisor)
         chain = self._memoised_chain("siso", sample_rate_hz, cfo_hz,
                                      block_size)
-        chain.reset()
-        return chain.run(x, trace=trace)
+        y = self._run_with_faults(chain, faults, x, trace)
+        if supervisor is None:
+            return y
+        clip_fraction, residual_si_db = self._harvest_health(faults)
+        return supervisor.guard_block(
+            y, duration_s=x.size / sample_rate_hz,
+            clip_fraction=clip_fraction, residual_si_db=residual_si_db)
 
     def process_mimo(self, iq_streams, sample_rate_hz=None, cfo_hz=0.0, *,
-                     block_size=4096, trace=None):
+                     block_size=4096, trace=None, faults=None,
+                     supervisor=None):
         """Produce the K relay transmit streams for K received streams.
 
         MIMO only.  Applies the per-subcarrier unitary filters
@@ -546,7 +620,8 @@ class FastForwardRelay:
         amplification, with optional CFO correct/restore around the
         processing.  ``iq_streams`` is (K, n_samples).  Like
         :meth:`process`, a one-shot wrapper over :meth:`make_mimo_chain`
-        accepting the same ``trace`` keyword.
+        accepting the same ``trace``, ``faults`` and ``supervisor``
+        keywords.
 
         Note: unlike the SISO path, these are the *ideal* per-subcarrier
         filters — no latency-constrained decomposition is applied, so
@@ -563,7 +638,13 @@ class FastForwardRelay:
         if x.shape[0] != k:
             raise ValueError(
                 f"expected {k} receive streams, got {x.shape[0]}")
+        x = self._admit_stream(x, supervisor)
         chain = self._memoised_chain("mimo", sample_rate_hz, cfo_hz,
                                      block_size)
-        chain.reset()
-        return chain.run(x, trace=trace)
+        y = self._run_with_faults(chain, faults, x, trace)
+        if supervisor is None:
+            return y
+        clip_fraction, residual_si_db = self._harvest_health(faults)
+        return supervisor.guard_block(
+            y, duration_s=x.shape[-1] / sample_rate_hz,
+            clip_fraction=clip_fraction, residual_si_db=residual_si_db)

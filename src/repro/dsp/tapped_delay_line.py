@@ -94,6 +94,24 @@ class AnalogTapDelayLine:
         self.gains = gains.astype(complex)
         return quantised
 
+    def drift_gains(self, rng, amp_sigma_db=0.1, phase_sigma_rad=0.02):
+        """Perturb the realised tap gains in place (one drift step).
+
+        Models attenuator/phase-shifter drift with temperature and
+        supply: each tap's magnitude moves by a Gaussian step in dB and
+        its phase by a Gaussian step in radians.  Call once per
+        simulated interval with per-√interval sigmas for a random walk;
+        :class:`repro.faults.impairments.TapDriftStage` applies the
+        same walk to a stream when the board itself is not in the loop.
+        Taps at exactly zero stay zero (a powered-down tap does not
+        drift on).  Returns the new gains.
+        """
+        amp_db = rng.normal(0.0, float(amp_sigma_db), self.num_taps)
+        phase = rng.normal(0.0, float(phase_sigma_rad), self.num_taps)
+        factor = db_to_linear(amp_db) * np.exp(1j * phase)
+        self.gains = np.where(self.gains == 0, 0.0, self.gains * factor)
+        return self.gains
+
     def quantize_gains(self, gains):
         """Quantise ideal complex gains to the attenuator grid.
 

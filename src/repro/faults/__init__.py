@@ -1,0 +1,49 @@
+"""Fault injection: seeded, composable impairments for the relay.
+
+The simulation's happy path proves the algorithms; this subpackage
+breaks them on purpose.  Impairments are ordinary runtime stages —
+compose them into any :class:`repro.runtime.chain.Chain`, or hand them
+to :meth:`repro.core.relay.FastForwardRelay.process` via ``faults=`` —
+and every draw comes from a single :class:`FaultSchedule` seed, so any
+failure replays exactly.
+
+Catalogue:
+
+* :class:`AdcSaturationStage` — converter rails, with a clip-fraction
+  counter (the health metric);
+* :class:`QuantizationStage` — finite converter resolution;
+* :class:`TapDriftStage` — analog coefficient drift as a per-sample
+  random walk in gain/phase;
+* :class:`SampleDropStage` — Poisson burst drops (zeros) or garbage
+  (NaNs);
+* :class:`ResidualSiStage` — self-interference channel jumps that void
+  the tuned cancellation until a re-tune;
+* :class:`PacketLossProcess` — probabilistic sounding/feedback loss.
+
+The matching detection/reaction machinery lives in
+:mod:`repro.supervision`.
+"""
+
+from repro.faults.impairments import (
+    AdcSaturationStage,
+    QuantizationStage,
+    ResidualSiStage,
+    SampleDropStage,
+    TapDriftStage,
+)
+from repro.faults.schedule import (
+    BurstProcess,
+    FaultSchedule,
+    PacketLossProcess,
+)
+
+__all__ = [
+    "FaultSchedule",
+    "BurstProcess",
+    "PacketLossProcess",
+    "AdcSaturationStage",
+    "QuantizationStage",
+    "TapDriftStage",
+    "SampleDropStage",
+    "ResidualSiStage",
+]

@@ -86,6 +86,41 @@ class RelayController:
         """Any AP transmission refreshes the backhaul channel."""
         self.sounding.record_ap_packet(measured_ap_to_relay, now_s)
 
+    def channels_with_retry(self, client_id, now_s, direction="downlink",
+                            poll=None, max_retries=3,
+                            initial_backoff_s=0.005, backoff_factor=2.0):
+        """Fetch a client's channel triple, re-polling on stale state.
+
+        When the sounding book has no usable triple (missing or stale
+        reports — e.g. a lost poll reply), ``poll(client_id, time_s)``
+        is invoked up to ``max_retries`` times with exponential backoff
+        between attempts; the callable returns True once a reply
+        arrived (the caller feeds it to :meth:`observe_sounding` before
+        returning, as a real poll handler would).  Returns
+        ``(channels_or_None, attempts)`` where ``attempts`` is a list
+        of ``(time_s, delivered)`` pairs — the supervisor's event log
+        wants to know not just that channel state was stale, but how
+        hard the control plane tried before giving up.
+        """
+        now_s = float(now_s)
+        attempts = []
+        channels = self.sounding.channels_for(client_id, now_s, direction)
+        if channels is not None or poll is None:
+            return channels, attempts
+        backoff_s = float(initial_backoff_s)
+        t = now_s
+        for _ in range(int(max_retries)):
+            delivered = bool(poll(client_id, t))
+            attempts.append((t, delivered))
+            if delivered:
+                channels = self.sounding.channels_for(client_id, t,
+                                                      direction)
+                if channels is not None:
+                    return channels, attempts
+            t += backoff_s
+            backoff_s *= float(backoff_factor)
+        return None, attempts
+
     # -- decisions ---------------------------------------------------------
 
     def decide_downlink(self, rx_stream, now_s):

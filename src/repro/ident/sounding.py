@@ -12,6 +12,8 @@ experiments can model the 50 ms refresh.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,6 +33,18 @@ class ChannelReport:
     def age_s(self, now_s):
         """Seconds since this report was captured."""
         return now_s - self.timestamp_s
+
+    @classmethod
+    def never(cls, link):
+        """The report that never arrived: infinitely old, no estimate.
+
+        A poll the client has not yet answered must read as *infinitely
+        stale*, not as an error — staleness is the health signal the
+        supervisor acts on, and ``math.inf`` flows through every age
+        comparison correctly where an exception would abort the loop.
+        """
+        return cls(link=link, channel=np.zeros(0, dtype=complex),
+                   timestamp_s=-math.inf)
 
 
 class SoundingProtocol:
@@ -111,6 +125,32 @@ class SoundingProtocol:
             # Reciprocity: AP->relay measured channel serves relay->AP.
             return direct.channel, client_to_relay.channel, to_relay.channel
         raise ValueError(f"unknown direction {direction!r}")
+
+    def report_age_s(self, link, now_s):
+        """Age of the report for ``link`` — ``math.inf`` if none arrived.
+
+        Unlike :meth:`channels_for` this never hides a report behind
+        the staleness cutoff: supervision wants the raw age (how stale
+        *is* it?), not the protocol's usability verdict.
+        """
+        report = self._reports.get(link)
+        if report is None:
+            report = ChannelReport.never(link)
+        return report.age_s(now_s)
+
+    def client_age_s(self, client_id, now_s):
+        """Worst-case age across the client's triple — the health metric.
+
+        The constructive filter is only as fresh as its *stalest*
+        ingredient, so the maximum over the three links is what feeds
+        ``sounding_age_s`` on the health monitor.  ``math.inf`` when any
+        link has never been reported (e.g. a client polled before its
+        first reply).
+        """
+        links = ((self.ap_id, client_id),
+                 (self.ap_id, self.relay_id),
+                 (self.relay_id, client_id))
+        return max(self.report_age_s(link, now_s) for link in links)
 
     def next_sounding_due_s(self, last_sounding_s):
         """When the AP should sound again."""

@@ -39,6 +39,7 @@ from repro.netsim.experiments import (
     latency_sweep_experiment,
     no_cnf_experiment,
     cancellation_sweep_experiment,
+    fault_sweep_experiment,
     fingerprint_experiment,
 )
 
@@ -72,5 +73,6 @@ __all__ = [
     "latency_sweep_experiment",
     "no_cnf_experiment",
     "cancellation_sweep_experiment",
+    "fault_sweep_experiment",
     "fingerprint_experiment",
 ]

@@ -375,6 +375,219 @@ def fingerprint_experiment(num_locations=100, num_clients=4,
     }
 
 
+def _degraded_siso_rate(relay, cfg, cancellation_db, gain_backoff_db,
+                        clip_fraction, delay_s, channels):
+    """Rate of the (possibly degraded) relay on the *true* channels.
+
+    Temporarily overrides the achieved cancellation and the operating
+    amplification (tuning happened earlier, on possibly stale reports),
+    evaluates :meth:`destination_snr_db` against the current air, and
+    caps the per-tone SNR at ``1/clip_fraction`` — clipping distortion
+    is signal-correlated, so it floors the SINR no matter how strong
+    the link is.
+    """
+    from repro.netsim.throughput import siso_rate_mbps
+
+    amp0, canc0 = relay.amplification_db, cfg.cancellation_db
+    try:
+        cfg.cancellation_db = float(cancellation_db)
+        relay.amplification_db = amp0 - float(gain_backoff_db)
+        snr_db = relay.destination_snr_db(delay_s, channels=channels)
+    finally:
+        relay.amplification_db, cfg.cancellation_db = amp0, canc0
+    snr = 10.0 ** (snr_db / 10.0)
+    if clip_fraction > 0.0:
+        snr = 1.0 / (1.0 / np.maximum(snr, 1e-12) + clip_fraction)
+    return siso_rate_mbps(10.0 * np.log10(np.maximum(snr, 1e-30)))
+
+
+def fault_sweep_experiment(fault_rates=(0.0, 0.1, 0.2, 0.4), num_clients=5,
+                           num_steps=60, seed=0, scenario=None,
+                           si_jump_db=35.0, clip_burst_steps=6,
+                           clip_fraction=0.25, retune_success_prob=0.8):
+    """Throughput vs fault rate, with and without the supervisor.
+
+    The fault-injection counterpart of the gains experiments: SISO
+    clients whose relay path is worth having (§6's selectivity rule),
+    time-stepped at the sounding interval, with three fault processes
+    scaled by ``fault_rate`` — SI-channel jumps that void the tuned
+    cancellation by ``si_jump_db``, ADC clipping bursts of
+    ``clip_burst_steps`` steps, and lost sounding polls that age the
+    relay's channel state while the air keeps drifting.
+
+    Both arms see the *identical* fault trace (one seeded uniform draw
+    per step, thresholded by the rate, so higher rates are supersets):
+    the supervised relay detects via its health monitor and walks the
+    degradation ladder (re-tune -> gain backoff -> half-duplex ->
+    recover), the unsupervised relay blindly keeps relaying.  Returns
+    per-rate mean throughputs for both arms plus the half-duplex and
+    AP-only baselines, per-rate supervisor event counts, and a sample
+    event log — everything reproducible from ``seed``.
+    """
+    from repro.faults import FaultSchedule
+    from repro.ident.sounding import DEFAULT_SOUNDING_INTERVAL_S
+    from repro.netsim.throughput import ap_only_siso_rate
+    from repro.supervision import (
+        RelayHealthMonitor,
+        RelaySupervisor,
+        SupervisorPolicy,
+    )
+
+    scenario = scenario if scenario is not None else paper_scenarios()[1]
+    testbed = Testbed(scenario, seed=seed)
+    step_s = DEFAULT_SOUNDING_INTERVAL_S
+    fault_rates = np.asarray(fault_rates, dtype=float)
+
+    # -- clients: only those the relay constructively serves (§6) ----------
+    positions, rngs = _collect_clients(testbed, num_clients, seed + 600)
+    clients = []
+    for client, rng in zip(positions, rngs):
+        h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
+        delay = testbed.extra_path_delay_s(client)
+        direct = ap_only_siso_rate(h_sd)
+        hd = half_duplex_throughput_mbps(direct, ap_only_siso_rate(h_sr),
+                                         ap_only_siso_rate(h_rd))
+        cfg = RelayConfig(params=testbed.params, use_decomposition=False)
+        relay = FastForwardRelay(cfg)
+        relay.configure_siso_link(h_sd, h_sr, h_rd)
+        ff = ff_siso_rate(relay, delay)
+        clients.append({"triple": (h_sd, h_sr, h_rd), "delay": delay,
+                        "direct": direct, "hd": hd, "ff": ff})
+    selected = [c for c in clients if c["ff"] >= 1.3 * max(c["hd"], 1e-9)]
+    if not selected:
+        selected = [max(clients,
+                        key=lambda c: c["ff"] / max(c["hd"], 1e-9))]
+
+    supervised = np.zeros(fault_rates.size)
+    unsupervised = np.zeros(fault_rates.size)
+    event_counts = [dict() for _ in fault_rates]
+    sample_events = []
+
+    n_sc = selected[0]["triple"][0].size
+    for c_idx, client in enumerate(selected):
+        h_sd, h_sr0, h_rd0 = client["triple"]
+        delay = client["delay"]
+        schedule = FaultSchedule(seed * 7919 + 13 + c_idx)
+        # One uniform draw per step per process, independent of the
+        # rate: event at step t iff u[t] < p(rate), so a higher rate's
+        # fault trace is a superset of a lower rate's.
+        u_jump = schedule.stream("si-jump").random(num_steps)
+        u_clip = schedule.stream("clip").random(num_steps)
+        u_loss = schedule.stream("poll-loss").random(num_steps)
+        u_retune = schedule.stream("retune").random(4 * num_steps)
+        # The air drifts regardless of faults: a per-tone phase walk on
+        # the relay hops (the direct path stays put so the baselines
+        # are constant).
+        drift_rng = schedule.stream("drift")
+        phase_sr = np.cumsum(0.15 * drift_rng.standard_normal(
+            (num_steps, n_sc)), axis=0)
+        phase_rd = np.cumsum(0.15 * drift_rng.standard_normal(
+            (num_steps, n_sc)), axis=0)
+
+        for r_idx, rate in enumerate(fault_rates):
+            p_jump = p_clip = 0.25 * rate
+            p_loss = min(2.0 * rate, 0.95)
+
+            cfg = RelayConfig(params=testbed.params, use_decomposition=False)
+            relay = FastForwardRelay(cfg)
+            relay.configure_siso_link(h_sd, h_sr0, h_rd0)
+            nominal_canc = cfg.cancellation_db
+
+            sup_state = {"canc": nominal_canc}
+            retune_calls = [0]
+
+            def attempt_retune(now_s):
+                ok = bool(u_retune[retune_calls[0] % u_retune.size]
+                          < retune_success_prob)
+                retune_calls[0] += 1
+                if ok:
+                    sup_state["canc"] = nominal_canc
+                return ok
+
+            policy = SupervisorPolicy(
+                retune_backoff_s=0.6 * step_s,
+                retune_backoff_max_s=4.0 * step_s,
+                retune_retry_budget=2,
+                gain_step_db=6.0, max_gain_backoff_db=6.0,
+                escalation_hold_s=0.5 * step_s,
+                recovery_hold_s=1.2 * step_s,
+                fallback_sounding_age_s=0.5)
+            sup = RelaySupervisor(
+                monitor=RelayHealthMonitor(alpha=1.0),
+                policy=policy, retune=attempt_retune)
+
+            unsup_canc = nominal_canc
+            clip_left = 0
+            age_steps = 0
+            sup_sum = unsup_sum = 0.0
+            for t in range(num_steps):
+                now = (t + 1) * step_s
+                true_triple = (h_sd, h_sr0 * np.exp(1j * phase_sr[t]),
+                               h_rd0 * np.exp(1j * phase_rd[t]))
+                # Fault processes for this step.
+                if u_jump[t] < p_jump:
+                    sup_state["canc"] = nominal_canc - si_jump_db
+                    unsup_canc = nominal_canc - si_jump_db
+                if u_clip[t] < p_clip and clip_left == 0:
+                    clip_left = clip_burst_steps
+                clip_now = clip_fraction if clip_left > 0 else 0.0
+                clip_left = max(clip_left - 1, 0)
+                if u_loss[t] < p_loss:
+                    age_steps += 1
+                else:
+                    age_steps = 0
+                    # A delivered poll re-tunes the constructive filter
+                    # onto the current air (both arms benefit equally).
+                    relay.configure_siso_link(*true_triple)
+
+                residual_sup = -50.0 + (nominal_canc - sup_state["canc"])
+                residual_unsup = -50.0 + (nominal_canc - unsup_canc)
+
+                # Supervised arm: observe, walk the ladder, then serve.
+                sup.monitor.observe(residual_si_db=residual_sup,
+                                    clip_fraction=clip_now,
+                                    sounding_age_s=age_steps * step_s)
+                sup.step(now)
+                if not sup.relaying:
+                    sup_sum += client["hd"]
+                else:
+                    # Gain backoff unloads the converters too.
+                    eff_clip = clip_now * 10.0 ** (-sup.gain_backoff_db / 10.0)
+                    sup_sum += _degraded_siso_rate(
+                        relay, cfg, sup_state["canc"], sup.gain_backoff_db,
+                        eff_clip, delay, true_triple)
+
+                # Unsupervised arm: same trace, no remedy, ever.
+                unsup_sum += _degraded_siso_rate(
+                    relay, cfg, unsup_canc, 0.0, clip_now, delay,
+                    true_triple)
+
+            supervised[r_idx] += sup_sum / num_steps
+            unsupervised[r_idx] += unsup_sum / num_steps
+            for event in sup.events:
+                key = event.kind.value
+                event_counts[r_idx][key] = event_counts[r_idx].get(key, 0) + 1
+            if r_idx == fault_rates.size - 1 and c_idx == 0:
+                sample_events = [str(event) for event in sup.events]
+
+    n_sel = len(selected)
+    return {
+        "fault_rate": fault_rates,
+        "supervised": supervised / n_sel,
+        "unsupervised": unsupervised / n_sel,
+        "half_duplex": np.full(fault_rates.size,
+                               float(np.mean([c["hd"] for c in selected]))),
+        "ap_only": np.full(fault_rates.size,
+                           float(np.mean([c["direct"] for c in selected]))),
+        "nominal_ff": float(np.mean([c["ff"] for c in selected])),
+        "event_counts": event_counts,
+        "sample_events": sample_events,
+        "num_clients": n_sel,
+        "num_steps": num_steps,
+        "seed": seed,
+    }
+
+
 def _identify_from_measurement(finger, measured):
     """Identify from a pre-computed tone measurement (test shortcut)."""
     best_id, best_d = None, np.inf

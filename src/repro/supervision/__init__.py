@@ -1,0 +1,33 @@
+"""Self-healing supervision for the full-duplex relay.
+
+The companion to :mod:`repro.faults`: where that package injects
+impairments, this one detects and survives them.
+:class:`GuardedStage` contains invalid blocks at any point in a
+processing chain; :class:`RelayHealthMonitor` tracks the four health
+signals a deployed relay can observe as EWMA metrics with thresholds;
+and :class:`RelaySupervisor` walks the degradation ladder — re-tune
+with backoff, reduce gain, fall back to half-duplex, recover — while
+emitting a typed event log.
+"""
+
+from repro.supervision.guard import GuardedStage, StageHealthError
+from repro.supervision.health import EwmaMetric, RelayHealthMonitor
+from repro.supervision.supervisor import (
+    RelaySupervisor,
+    SupervisorEvent,
+    SupervisorEventKind,
+    SupervisorPolicy,
+    SupervisorState,
+)
+
+__all__ = [
+    "EwmaMetric",
+    "GuardedStage",
+    "RelayHealthMonitor",
+    "RelaySupervisor",
+    "StageHealthError",
+    "SupervisorEvent",
+    "SupervisorEventKind",
+    "SupervisorPolicy",
+    "SupervisorState",
+]

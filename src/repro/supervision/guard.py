@@ -1,0 +1,128 @@
+"""Block-level validation wrapped around any streaming stage.
+
+Today a NaN entering the relay chain propagates silently through every
+FFT and filter and leaves as a fully corrupted transmit frame — worse
+than silence, because the relay *amplifies* it toward the destination.
+:class:`GuardedStage` is the containment layer: it wraps any
+:class:`repro.runtime.chain.Stage` and validates every block the stage
+emits — all samples finite, mean power inside an envelope — either
+raising :class:`StageHealthError` (strict pipelines) or sanitising the
+block and reporting the trip to a
+:class:`repro.supervision.health.RelayHealthMonitor` (supervised
+relays, which degrade instead of crashing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.chain import Stage
+from repro.utils.units import db_to_power
+
+
+class StageHealthError(RuntimeError):
+    """A guarded stage emitted an invalid block."""
+
+    def __init__(self, stage_name, reason, message=None):
+        self.stage_name = stage_name
+        self.reason = reason
+        super().__init__(message or f"stage {stage_name!r}: {reason}")
+
+
+class GuardedStage(Stage):
+    """Validate finiteness and power envelope of a stage's output blocks.
+
+    Parameters
+    ----------
+    stage:
+        The wrapped stage; unknown attributes (e.g. ``push_tx`` on the
+        digital canceller) delegate to it, so a guarded stage drops into
+        existing chains unchanged.
+    max_power_db:
+        Mean-power envelope per block in dB (linear power
+        ``10^(dB/10)``); None disables the power check.
+    policy:
+        ``"sanitize"`` zeroes non-finite samples and rescales
+        over-envelope blocks; ``"raise"`` raises
+        :class:`StageHealthError` instead.
+    monitor:
+        Optional :class:`RelayHealthMonitor` that receives a
+        ``guard_ok`` observation per block.
+    """
+
+    _POLICIES = ("sanitize", "raise")
+
+    def __init__(self, stage, max_power_db=None, policy="sanitize",
+                 monitor=None, name=None):
+        if policy not in self._POLICIES:
+            raise ValueError(
+                f"policy must be one of {self._POLICIES}, got {policy!r}")
+        self.stage = stage
+        self.max_power_db = None if max_power_db is None else float(max_power_db)
+        self.policy = policy
+        self.monitor = monitor
+        self.name = name or f"guarded-{stage.name}"
+        self.blocks = 0
+        self.nonfinite_blocks = 0
+        self.envelope_blocks = 0
+
+    def __getattr__(self, attr):
+        # Only reached when normal lookup fails; delegate to the inner
+        # stage so wrappers are drop-in (push_tx, taps, ...).
+        if attr == "stage":
+            raise AttributeError(attr)
+        return getattr(self.stage, attr)
+
+    @property
+    def latency_samples(self):
+        """The wrapped stage's lookahead (the guard adds none)."""
+        return self.stage.latency_samples
+
+    @property
+    def trip_count(self):
+        """Total guard trips (non-finite + envelope) so far."""
+        return self.nonfinite_blocks + self.envelope_blocks
+
+    def reset(self):
+        self.stage.reset()
+        self.blocks = 0
+        self.nonfinite_blocks = 0
+        self.envelope_blocks = 0
+
+    def process_block(self, x):
+        return self._guard(self.stage.process_block(x))
+
+    def flush(self):
+        return self._guard(self.stage.flush())
+
+    def _guard(self, y):
+        y = np.asarray(y, dtype=complex)
+        if y.size == 0:
+            return y
+        self.blocks += 1
+        finite = np.isfinite(y)          # complex: finite in both parts
+        ok = bool(finite.all())
+        if not ok:
+            self.nonfinite_blocks += 1
+            if self.policy == "raise":
+                raise StageHealthError(
+                    self.stage.name, "non-finite output",
+                    f"stage {self.stage.name!r} emitted "
+                    f"{int(y.size - np.count_nonzero(finite))} non-finite "
+                    f"of {y.size} samples")
+            y = np.where(finite, y, 0.0)
+        if self.max_power_db is not None:
+            power = float(np.mean(np.abs(y) ** 2))
+            limit = db_to_power(self.max_power_db)
+            if power > limit:
+                ok = False
+                self.envelope_blocks += 1
+                if self.policy == "raise":
+                    raise StageHealthError(
+                        self.stage.name, "power envelope exceeded",
+                        f"stage {self.stage.name!r} mean block power "
+                        f"{power:.3e} exceeds envelope {limit:.3e}")
+                y = y * np.sqrt(limit / power)
+        if self.monitor is not None:
+            self.monitor.observe(guard_ok=ok)
+        return y

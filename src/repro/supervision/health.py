@@ -1,0 +1,130 @@
+"""Relay health as a handful of EWMA metrics with thresholds.
+
+The paper's operating rule is implicit but clear: FastForward is only
+constructive while its cancellation and CNF filters track the real
+channel (§3.5 re-tunes when the residual rises; §6 refuses to relay on
+stale channel state).  :class:`RelayHealthMonitor` makes that rule
+explicit and measurable — the four signals a deployed relay can
+actually observe:
+
+* ``residual_si_db`` — residual self-interference relative to the
+  relayed signal (dBc);
+* ``clip_fraction`` — fraction of samples hitting the converter rails;
+* ``sounding_age_s`` — age of the freshest usable channel report;
+* ``guard_trip_rate`` — rate of blocks a guard sanitised (non-finite
+  samples or a blown power envelope).
+
+Each is an exponentially-weighted moving average so single-block
+glitches do not flap the supervisor, while sustained faults cross their
+thresholds within a few observations.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class EwmaMetric:
+    """One exponentially-weighted moving average with lazy start."""
+
+    def __init__(self, alpha=0.3, initial=None):
+        alpha = float(alpha)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = initial if initial is None else float(initial)
+
+    @property
+    def value(self):
+        """Current average (None until the first update)."""
+        return self._value
+
+    def update(self, sample):
+        """Fold one observation in; returns the new average."""
+        sample = float(sample)
+        if (self._value is None or math.isinf(sample)
+                or math.isinf(self._value)):
+            # An infinite sample (e.g. a report that never arrived)
+            # must dominate immediately, and an infinite average must
+            # yield to the next finite sample — folding either through
+            # the EWMA would pin the metric at inf forever.
+            self._value = sample
+        else:
+            self._value = self.alpha * sample + (1.0 - self.alpha) * self._value
+        return self._value
+
+    def reset(self, initial=None):
+        """Forget history (optionally re-seeding the average)."""
+        self._value = initial if initial is None else float(initial)
+
+
+class RelayHealthMonitor:
+    """EWMA health metrics plus a verdict against per-metric thresholds.
+
+    A metric with no observations yet is healthy (the relay starts
+    clean); ``violations()`` names every metric currently above its
+    threshold, and ``healthy`` is simply "no violations".  The
+    supervisor consumes the verdict; experiments and guards feed the
+    observations.
+    """
+
+    METRICS = ("residual_si_db", "clip_fraction", "sounding_age_s",
+               "guard_trip_rate")
+
+    def __init__(self, max_residual_si_db=-20.0, max_clip_fraction=0.05,
+                 max_sounding_age_s=0.25, max_guard_trip_rate=0.1,
+                 alpha=0.5):
+        self.thresholds = {
+            "residual_si_db": float(max_residual_si_db),
+            "clip_fraction": float(max_clip_fraction),
+            "sounding_age_s": float(max_sounding_age_s),
+            "guard_trip_rate": float(max_guard_trip_rate),
+        }
+        self._metrics = {name: EwmaMetric(alpha) for name in self.METRICS}
+
+    def observe(self, *, residual_si_db=None, clip_fraction=None,
+                sounding_age_s=None, guard_ok=None):
+        """Fold one round of observations into the averages.
+
+        Any subset may be supplied; ``guard_ok`` is a boolean (True for
+        a clean block) folded into ``guard_trip_rate`` as 0/1.
+        """
+        if residual_si_db is not None:
+            self._metrics["residual_si_db"].update(residual_si_db)
+        if clip_fraction is not None:
+            self._metrics["clip_fraction"].update(clip_fraction)
+        if sounding_age_s is not None:
+            self._metrics["sounding_age_s"].update(sounding_age_s)
+        if guard_ok is not None:
+            self._metrics["guard_trip_rate"].update(0.0 if guard_ok else 1.0)
+
+    def value(self, name):
+        """Current average of one metric (None before any observation)."""
+        return self._metrics[name].value
+
+    def violations(self):
+        """Names of every metric currently above its threshold."""
+        out = []
+        for name in self.METRICS:
+            value = self._metrics[name].value
+            if value is not None and value > self.thresholds[name]:
+                out.append(name)
+        return tuple(out)
+
+    @property
+    def healthy(self):
+        """True when no metric violates its threshold."""
+        return not self.violations()
+
+    def snapshot(self):
+        """Current values of all metrics, for event logs and reports."""
+        return {name: self._metrics[name].value for name in self.METRICS}
+
+    def reset_metric(self, name, value=None):
+        """Forget one metric's history (e.g. after a successful re-tune)."""
+        self._metrics[name].reset(value)
+
+    def reset(self):
+        """Forget all history."""
+        for metric in self._metrics.values():
+            metric.reset()

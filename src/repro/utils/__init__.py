@@ -35,6 +35,7 @@ from repro.utils.signal_ops import (
 )
 from repro.utils.validation import (
     ensure_complex_1d,
+    ensure_finite,
     ensure_positive,
     ensure_in_range,
     ensure_shape,
@@ -68,6 +69,7 @@ __all__ = [
     "rms",
     "evm_db",
     "ensure_complex_1d",
+    "ensure_finite",
     "ensure_positive",
     "ensure_in_range",
     "ensure_shape",

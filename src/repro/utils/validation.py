@@ -27,6 +27,23 @@ def ensure_in_range(value, low, high, name="value"):
     return value
 
 
+def ensure_finite(x, name="signal"):
+    """Raise ``ValueError`` unless every element of ``x`` is finite.
+
+    For complex arrays a sample counts as finite only when both its
+    real and imaginary parts are; the error reports how many samples
+    were bad, which is the first question a corrupted-capture debug
+    session asks.
+    """
+    arr = np.asarray(x)
+    finite = np.isfinite(arr)
+    if not finite.all():
+        bad = int(arr.size - np.count_nonzero(finite))
+        raise ValueError(
+            f"{name} contains {bad} non-finite of {arr.size} samples")
+    return arr
+
+
 def ensure_shape(array, shape, name="array"):
     """Raise ``ValueError`` unless ``array.shape == shape``."""
     arr = np.asarray(array)

@@ -1,0 +1,51 @@
+"""Shared test configuration: a per-test timeout with graceful fallback.
+
+CI installs ``pytest-timeout`` and passes ``--timeout=120`` so a hung
+test (a non-converging flush loop, a runaway fault schedule) fails fast
+instead of stalling the whole job.  Environments without the plugin
+(the option would otherwise be unknown) get a minimal SIGALRM-based
+substitute so the same command line works everywhere.  The fallback is
+POSIX-only and skips silently elsewhere — it is a safety net, not a
+precision instrument.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import signal
+
+import pytest
+
+_HAVE_PLUGIN = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if _HAVE_PLUGIN:
+        return                      # the real plugin owns --timeout
+    parser.addoption(
+        "--timeout", type=float, default=0.0,
+        help="per-test timeout in seconds (SIGALRM fallback; "
+             "0 disables)")
+
+
+@pytest.fixture(autouse=True)
+def _timeout_guard(request):
+    if _HAVE_PLUGIN:
+        yield
+        return
+    limit = request.config.getoption("--timeout", default=0.0)
+    if not limit or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {limit:.0f}s timeout (SIGALRM fallback)")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(int(max(limit, 1)))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,87 @@
+"""Deterministic fault schedules: seeds, labels, chunking invariance."""
+
+import numpy as np
+import pytest
+
+from repro.faults import BurstProcess, FaultSchedule, PacketLossProcess
+
+
+class TestFaultSchedule:
+    def test_same_seed_same_stream(self):
+        a = FaultSchedule(7).stream("clip").random(32)
+        b = FaultSchedule(7).stream("clip").random(32)
+        assert np.array_equal(a, b)
+
+    def test_labels_decorrelate_streams(self):
+        sched = FaultSchedule(7)
+        a = sched.stream("clip").random(64)
+        b = sched.stream("drops").random(64)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = FaultSchedule(1).stream("x").random(32)
+        b = FaultSchedule(2).stream("x").random(32)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_fresh_each_call(self):
+        sched = FaultSchedule(3)
+        assert np.array_equal(sched.stream("x").random(8),
+                              sched.stream("x").random(8))
+
+    def test_integer_and_tuple_labels(self):
+        sched = FaultSchedule(5)
+        a = sched.stream("loss", 3).random(8)
+        b = sched.stream("loss", 4).random(8)
+        assert not np.array_equal(a, b)
+
+    def test_bernoulli_reproducible(self):
+        p1 = FaultSchedule(11).bernoulli(0.5, "loss", 7)
+        p2 = FaultSchedule(11).bernoulli(0.5, "loss", 7)
+        assert p1 == p2
+
+
+class TestBurstProcess:
+    def test_mask_is_chunking_invariant(self):
+        whole = FaultSchedule(9).bursts("drops", 5e-3, 8).mask(0, 4000)
+        proc = FaultSchedule(9).bursts("drops", 5e-3, 8)
+        parts, pos = [], 0
+        for size in (1, 37, 251, 1000, 2711):
+            parts.append(proc.mask(pos, size))
+            pos += size
+        assert np.array_equal(whole, np.concatenate(parts))
+
+    def test_zero_rate_never_fires(self):
+        proc = FaultSchedule(1).bursts("never", 0.0, 16)
+        assert not proc.mask(0, 10000).any()
+
+    def test_rate_sets_burst_frequency(self):
+        proc = FaultSchedule(2).bursts("often", 1e-2, 1)
+        frac = np.mean(proc.mask(0, 100000))
+        assert 0.003 < frac < 0.03
+
+    def test_mean_duration_lengthens_bursts(self):
+        short = np.mean(FaultSchedule(3).bursts("a", 1e-3, 1).mask(0, 50000))
+        long = np.mean(FaultSchedule(3).bursts("a", 1e-3, 32).mask(0, 50000))
+        assert long > 3 * short
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            BurstProcess(np.random.default_rng(0), -1.0)
+
+
+class TestPacketLossProcess:
+    def test_deterministic_per_index(self):
+        sched = FaultSchedule(21)
+        loss = PacketLossProcess(sched, 0.5)
+        first = [loss.lost(i) for i in range(50)]
+        second = [loss.lost(i) for i in range(50)]
+        assert first == second
+
+    def test_loss_rate_matches_probability(self):
+        loss = PacketLossProcess(FaultSchedule(22), 0.3)
+        frac = np.mean([loss.lost(i) for i in range(2000)])
+        assert 0.25 < frac < 0.35
+
+    def test_zero_probability_delivers_all(self):
+        loss = PacketLossProcess(FaultSchedule(23), 0.0)
+        assert all(loss.delivered(i) for i in range(100))

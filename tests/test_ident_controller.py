@@ -114,3 +114,62 @@ class TestUplinkDecisions:
         ctl = RelayController()
         decision = ctl.decide_uplink(np.zeros(16, dtype=complex), now_s=0.0)
         assert not decision.relay
+
+
+class TestChannelsWithRetry:
+    def _fresh_controller(self):
+        ctl = RelayController()
+        ctl.register_client("alice")
+        return ctl
+
+    def test_fresh_channels_need_no_polls(self, controller):
+        ctl, _ = controller
+        channels, attempts = ctl.channels_with_retry("alice", now_s=0.01)
+        assert channels is not None
+        assert attempts == []
+
+    def test_stale_state_triggers_polls_with_backoff(self):
+        ctl = self._fresh_controller()
+        times = []
+
+        def poll(client_id, t):
+            times.append(t)
+            return False                       # replies keep getting lost
+
+        channels, attempts = ctl.channels_with_retry(
+            "alice", now_s=1.0, poll=poll, max_retries=3,
+            initial_backoff_s=0.01, backoff_factor=2.0)
+        assert channels is None
+        assert len(attempts) == 3
+        assert all(not delivered for _, delivered in attempts)
+        gaps = np.diff(times)
+        assert gaps[1] == pytest.approx(2 * gaps[0])   # exponential
+
+    def test_delivered_poll_recovers_channels(self):
+        ctl = self._fresh_controller()
+        rng = make_rng(21)
+        h = _h(rng)
+
+        def poll(client_id, t):
+            # The reply arrives on the second attempt; the handler
+            # feeds it into the controller exactly as the real poll
+            # path would.
+            if len(calls) == 1:
+                ctl.observe_ap_packet(h, t)
+                ctl.observe_sounding(client_id, h, h, t)
+                calls.append(t)
+                return True
+            calls.append(t)
+            return False
+
+        calls = []
+        channels, attempts = ctl.channels_with_retry(
+            "alice", now_s=0.0, poll=poll, max_retries=3)
+        assert channels is not None
+        assert [d for _, d in attempts] == [False, True]
+
+    def test_no_poll_callable_returns_none(self):
+        ctl = self._fresh_controller()
+        channels, attempts = ctl.channels_with_retry("alice", now_s=0.0)
+        assert channels is None
+        assert attempts == []

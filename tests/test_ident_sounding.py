@@ -90,3 +90,49 @@ class TestClientTracking:
         rng = make_rng(7)
         proto.record_ap_packet(_h(rng), 0.0)
         assert proto.known_clients() == []
+
+
+class TestNeverArrivedReports:
+    """Regression: polling a client before any reply must not raise."""
+
+    def test_report_age_is_infinite_when_missing(self, proto):
+        import math
+        age = proto.report_age_s(("ap", "ghost"), now_s=1.0)
+        assert math.isinf(age) and age > 0
+
+    def test_client_polled_before_any_reply(self, proto):
+        import math
+        # The regression scenario: the relay asks about a client that
+        # has never answered a sounding poll.  The answer is "infinitely
+        # stale", never an exception.
+        assert math.isinf(proto.client_age_s("newcomer", now_s=0.5))
+        assert proto.channels_for("newcomer", now_s=0.5) is None
+
+    def test_partial_triple_is_still_infinite(self, proto):
+        import math
+        rng = make_rng(11)
+        proto.record_ap_packet(_h(rng), now_s=0.0)   # backhaul only
+        assert math.isinf(proto.client_age_s("c9", now_s=0.1))
+
+    def test_full_triple_gives_finite_worst_age(self, proto):
+        rng = make_rng(12)
+        proto.record_ap_packet(_h(rng), now_s=0.00)
+        proto.record_poll_reply("c1", _h(rng), _h(rng), now_s=0.04)
+        # Worst ingredient is the 0.00 s backhaul report.
+        assert proto.client_age_s("c1", now_s=0.10) == pytest.approx(0.10)
+
+    def test_never_classmethod_is_infinitely_old(self):
+        import math
+        from repro.ident.sounding import ChannelReport
+        report = ChannelReport.never(("ap", "c1"))
+        assert math.isinf(report.age_s(0.0))
+        assert report.channel.size == 0
+
+    def test_age_does_not_apply_staleness_cutoff(self, proto):
+        rng = make_rng(13)
+        proto.record_poll_reply("c1", _h(rng), _h(rng), now_s=0.0)
+        # Far beyond the staleness cutoff: channels_for refuses, but
+        # the raw age is still reported for the health monitor.
+        assert proto.channels_for("c1", now_s=9.0) is None
+        age = proto.report_age_s(("ap", "c1"), now_s=9.0)
+        assert age == pytest.approx(9.0)

@@ -1,0 +1,72 @@
+"""The fault-sweep experiment: supervision must pay for itself."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import fault_sweep_experiment
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fault_sweep_experiment(fault_rates=(0.0, 0.2, 0.4),
+                                  num_clients=4, num_steps=50, seed=0)
+
+
+class TestThroughputOrdering:
+    def test_no_faults_arms_agree(self, sweep):
+        assert sweep["supervised"][0] == pytest.approx(
+            sweep["unsupervised"][0])
+        assert sweep["supervised"][0] == pytest.approx(sweep["nominal_ff"])
+
+    def test_supervised_never_worse_than_unsupervised(self, sweep):
+        assert (sweep["supervised"] >= sweep["unsupervised"] - 1e-9).all()
+
+    def test_supervised_strictly_better_under_heavy_faults(self, sweep):
+        assert sweep["supervised"][-1] > 1.5 * sweep["unsupervised"][-1]
+
+    def test_supervised_never_below_half_duplex(self, sweep):
+        assert (sweep["supervised"] >= sweep["half_duplex"] - 1e-9).all()
+
+    def test_selected_clients_prefer_the_relay(self, sweep):
+        assert sweep["nominal_ff"] > sweep["half_duplex"][0]
+
+    def test_faults_do_hurt(self, sweep):
+        assert sweep["unsupervised"][-1] < 0.5 * sweep["unsupervised"][0]
+
+
+class TestEventLog:
+    def test_no_events_without_faults(self, sweep):
+        assert sweep["event_counts"][0] == {}
+
+    def test_ladder_fully_exercised(self, sweep):
+        merged = {}
+        for counts in sweep["event_counts"]:
+            for kind, n in counts.items():
+                merged[kind] = merged.get(kind, 0) + n
+        for kind in ("fault-detected", "retune-started", "retune-succeeded",
+                     "gain-reduced", "fallback-half-duplex", "recovered"):
+            assert merged.get(kind, 0) > 0, f"missing {kind}"
+
+    def test_more_faults_more_events(self, sweep):
+        totals = [sum(c.values()) for c in sweep["event_counts"]]
+        assert totals[0] < totals[1] <= totals[2] * 2
+
+    def test_sample_log_is_returned(self, sweep):
+        assert sweep["sample_events"]
+        assert any("fault-detected" in line for line in sweep["sample_events"])
+
+
+class TestReproducibility:
+    def test_same_seed_same_results(self, sweep):
+        again = fault_sweep_experiment(fault_rates=(0.0, 0.2, 0.4),
+                                       num_clients=4, num_steps=50, seed=0)
+        assert np.array_equal(sweep["supervised"], again["supervised"])
+        assert np.array_equal(sweep["unsupervised"], again["unsupervised"])
+        assert sweep["event_counts"] == again["event_counts"]
+        assert sweep["sample_events"] == again["sample_events"]
+
+    def test_different_seed_differs(self, sweep):
+        other = fault_sweep_experiment(fault_rates=(0.0, 0.2, 0.4),
+                                       num_clients=4, num_steps=50, seed=1)
+        assert not np.array_equal(sweep["supervised"][1:],
+                                  other["supervised"][1:])

@@ -193,3 +193,93 @@ class TestFrequencyResponseStage:
         stage = FrequencyResponseStage(lambda f: np.ones(np.size(f)), FS)
         with pytest.raises(ValueError):
             stage.process_block(np.zeros((2, 2, 2), dtype=complex))
+
+
+class _TrippingStage(Stage):
+    """Raises on the Nth processed block while armed; counts resets."""
+
+    def __init__(self, trip_on=2):
+        self.name = "tripwire"
+        self.trip_on = trip_on
+        self.armed = False
+        self.calls = 0
+        self.resets = 0
+
+    def reset(self):
+        self.resets += 1
+        self.calls = 0
+
+    def process_block(self, x):
+        self.calls += 1
+        if self.armed and self.calls >= self.trip_on:
+            raise RuntimeError("injected mid-chain failure")
+        return x
+
+
+class TestChainFailureRecovery:
+    """A chain must be fully reusable after a mid-chain stage raises."""
+
+    def _chain(self, trip_on=2):
+        tripwire = _TrippingStage(trip_on)
+        stage = FrequencyResponseStage(
+            lambda f: np.exp(-2j * np.pi * f * 50e-9), FS, block_size=256)
+        return Chain([stage, tripwire, GainStage(3.0)]), tripwire
+
+    def test_reset_after_midchain_raise_restores_output(self):
+        chain, tripwire = self._chain(trip_on=2)
+        rng = np.random.default_rng(29)
+        x = rng.normal(size=1500) + 1j * rng.normal(size=1500)
+        chain.reset()
+        reference = _stream(chain, x, [1500])
+
+        chain.reset()
+        tripwire.armed = True
+        with pytest.raises(RuntimeError, match="injected"):
+            for block in _chunks(x, [300]):     # trips on second block
+                chain.process_block(block)
+
+        tripwire.armed = False
+        chain.reset()                           # must clear stale state
+        again = _stream(chain, x, [1500])
+        assert _rms(again, reference) <= 1e-12
+
+    def test_reset_reaches_every_stage_past_the_failure(self):
+        chain, tripwire = self._chain(trip_on=1)
+        tripwire.armed = True
+        with pytest.raises(RuntimeError):
+            chain.process_block(np.ones(64, dtype=complex))
+        resets_before = tripwire.resets
+        chain.reset()
+        assert tripwire.resets == resets_before + 1
+
+    def test_flush_after_failed_run_does_not_leak_old_samples(self):
+        chain, tripwire = self._chain(trip_on=2)
+        rng = np.random.default_rng(31)
+        x = rng.normal(size=600) + 1j * rng.normal(size=600)
+        chain.reset()
+        tripwire.armed = True
+        with pytest.raises(RuntimeError):
+            for block in _chunks(x, [300]):
+                chain.process_block(block)
+        tripwire.armed = False
+        chain.reset()
+        # A pristine chain flushes to (at most) pure zeros — any energy
+        # here is state leaked from the failed run.
+        tail = chain.flush()
+        assert np.all(tail == 0)
+
+    def test_interrupted_chain_is_reusable_for_new_stream(self):
+        chain, tripwire = self._chain(trip_on=3)
+        rng = np.random.default_rng(37)
+        a = rng.normal(size=900) + 1j * rng.normal(size=900)
+        b = rng.normal(size=900) + 1j * rng.normal(size=900)
+        chain.reset()
+        ref_b = _stream(chain, b, [900])
+        chain.reset()
+        tripwire.armed = True
+        with pytest.raises(RuntimeError):
+            for block in _chunks(a, [300]):
+                chain.process_block(block)
+        tripwire.armed = False
+        chain.reset()
+        assert _rms(_stream(chain, b, [900]), ref_b) <= 1e-12

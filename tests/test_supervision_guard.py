@@ -1,0 +1,92 @@
+"""GuardedStage: containment of non-finite and over-envelope blocks."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.chain import Chain, FunctionStage, GainStage
+from repro.supervision import (
+    GuardedStage,
+    RelayHealthMonitor,
+    StageHealthError,
+)
+
+
+def _nan_stage():
+    def poison(x):
+        y = np.array(x, copy=True)
+        y[..., ::7] = np.nan
+        return y
+    return FunctionStage(poison, name="poison")
+
+
+@pytest.fixture
+def noise():
+    rng = np.random.default_rng(1)
+    return rng.standard_normal(256) + 1j * rng.standard_normal(256)
+
+
+class TestFiniteness:
+    def test_sanitize_zeroes_bad_samples(self, noise):
+        guard = GuardedStage(_nan_stage(), policy="sanitize")
+        y = guard.process_block(noise)
+        assert np.isfinite(y).all()
+        assert (y[::7] == 0).all()
+        assert guard.nonfinite_blocks == 1
+
+    def test_raise_policy_raises(self, noise):
+        guard = GuardedStage(_nan_stage(), policy="raise")
+        with pytest.raises(StageHealthError) as err:
+            guard.process_block(noise)
+        assert err.value.stage_name == "poison"
+        assert err.value.reason == "non-finite output"
+
+    def test_clean_blocks_pass_through(self, noise):
+        guard = GuardedStage(GainStage(0.0), policy="raise")
+        assert np.allclose(guard.process_block(noise), noise)
+        assert guard.trip_count == 0
+
+
+class TestPowerEnvelope:
+    def test_over_envelope_rescaled(self, noise):
+        guard = GuardedStage(GainStage(40.0), max_power_db=10.0)
+        y = guard.process_block(noise)
+        power_db = 10 * np.log10(np.mean(np.abs(y) ** 2))
+        assert power_db <= 10.0 + 1e-9
+        assert guard.envelope_blocks == 1
+
+    def test_under_envelope_untouched(self, noise):
+        guard = GuardedStage(GainStage(0.0), max_power_db=30.0)
+        assert np.allclose(guard.process_block(noise), noise)
+
+    def test_raise_policy_on_envelope(self, noise):
+        guard = GuardedStage(GainStage(40.0), max_power_db=10.0,
+                             policy="raise")
+        with pytest.raises(StageHealthError):
+            guard.process_block(noise)
+
+
+class TestIntegration:
+    def test_reports_to_monitor(self, noise):
+        mon = RelayHealthMonitor(max_guard_trip_rate=0.1, alpha=1.0)
+        guard = GuardedStage(_nan_stage(), monitor=mon)
+        guard.process_block(noise)
+        assert "guard_trip_rate" in mon.violations()
+
+    def test_delegates_attributes_and_latency(self):
+        inner = GainStage(3.0, name="amp")
+        guard = GuardedStage(inner)
+        assert guard.name == "guarded-amp"
+        assert guard.latency_samples == inner.latency_samples
+        assert guard.gain_db == 3.0          # delegated attribute
+
+    def test_composes_in_chain_and_resets(self, noise):
+        guard = GuardedStage(_nan_stage())
+        chain = Chain([guard, GainStage(0.0)])
+        y = chain.run(noise)
+        assert np.isfinite(y).all()
+        chain.reset()
+        assert guard.blocks == 0
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            GuardedStage(GainStage(0.0), policy="ignore")

@@ -1,0 +1,81 @@
+"""Health metrics (EWMA) and the monitor's threshold verdicts."""
+
+import math
+
+import pytest
+
+from repro.supervision import EwmaMetric, RelayHealthMonitor
+
+
+class TestEwmaMetric:
+    def test_starts_empty(self):
+        assert EwmaMetric().value is None
+
+    def test_first_sample_assigns(self):
+        m = EwmaMetric(alpha=0.3)
+        assert m.update(4.0) == 4.0
+
+    def test_smooths_toward_samples(self):
+        m = EwmaMetric(alpha=0.5)
+        m.update(0.0)
+        assert m.update(1.0) == pytest.approx(0.5)
+        assert m.update(1.0) == pytest.approx(0.75)
+
+    def test_infinite_sample_dominates_then_recovers(self):
+        m = EwmaMetric(alpha=0.1)
+        m.update(1.0)
+        assert math.isinf(m.update(math.inf))
+        # A later finite sample must pull the metric back to finite.
+        assert m.update(2.0) == 2.0
+
+    def test_reset_forgets(self):
+        m = EwmaMetric()
+        m.update(5.0)
+        m.reset()
+        assert m.value is None
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaMetric(alpha=0.0)
+
+
+class TestRelayHealthMonitor:
+    def test_clean_start_is_healthy(self):
+        assert RelayHealthMonitor().healthy
+
+    def test_residual_violation(self):
+        mon = RelayHealthMonitor(max_residual_si_db=-20.0, alpha=1.0)
+        mon.observe(residual_si_db=-10.0)
+        assert "residual_si_db" in mon.violations()
+        assert not mon.healthy
+
+    def test_single_glitch_is_smoothed(self):
+        mon = RelayHealthMonitor(max_clip_fraction=0.05, alpha=0.3)
+        mon.observe(clip_fraction=0.0)
+        mon.observe(clip_fraction=0.1)     # one bad block
+        assert mon.healthy                 # EWMA still below threshold
+        for _ in range(10):
+            mon.observe(clip_fraction=0.1)  # sustained fault crosses
+        assert "clip_fraction" in mon.violations()
+
+    def test_guard_ok_feeds_trip_rate(self):
+        mon = RelayHealthMonitor(max_guard_trip_rate=0.1, alpha=1.0)
+        mon.observe(guard_ok=False)
+        assert "guard_trip_rate" in mon.violations()
+        mon.observe(guard_ok=True)
+        assert mon.healthy
+
+    def test_infinite_sounding_age(self):
+        mon = RelayHealthMonitor()
+        mon.observe(sounding_age_s=math.inf)
+        assert "sounding_age_s" in mon.violations()
+
+    def test_reset_metric_clears_one(self):
+        mon = RelayHealthMonitor(alpha=1.0)
+        mon.observe(residual_si_db=-5.0, clip_fraction=0.5)
+        mon.reset_metric("residual_si_db")
+        assert mon.violations() == ("clip_fraction",)
+
+    def test_snapshot_lists_all_metrics(self):
+        snap = RelayHealthMonitor().snapshot()
+        assert set(snap) == set(RelayHealthMonitor.METRICS)

@@ -1,0 +1,190 @@
+"""The degradation ladder: re-tune -> gain backoff -> fallback -> recover."""
+
+import numpy as np
+import pytest
+
+from repro.supervision import (
+    RelayHealthMonitor,
+    RelaySupervisor,
+    SupervisorEventKind as K,
+    SupervisorPolicy,
+    SupervisorState as S,
+)
+
+
+def _policy(**overrides):
+    base = dict(retune_backoff_s=0.05, retune_backoff_max_s=0.4,
+                retune_retry_budget=2, gain_step_db=6.0,
+                max_gain_backoff_db=12.0, escalation_hold_s=0.1,
+                recovery_hold_s=0.2, fallback_sounding_age_s=0.5)
+    base.update(overrides)
+    return SupervisorPolicy(**base)
+
+
+def _supervisor(retune=None, **policy_overrides):
+    return RelaySupervisor(monitor=RelayHealthMonitor(alpha=1.0),
+                           policy=_policy(**policy_overrides),
+                           retune=retune)
+
+
+class TestHealthyOperation:
+    def test_stays_active_and_silent(self):
+        sup = _supervisor()
+        for t in range(10):
+            sup.monitor.observe(residual_si_db=-50.0, clip_fraction=0.0)
+            assert sup.step(t * 0.05) is S.ACTIVE
+        assert sup.events == []
+        assert sup.relaying
+
+
+class TestRetuneRung:
+    def test_successful_retune_recovers_immediately(self):
+        calls = []
+        sup = _supervisor(retune=lambda t: calls.append(t) or True)
+        sup.monitor.observe(residual_si_db=-10.0)
+        assert sup.step(0.0) is S.ACTIVE     # retuned within the step
+        assert len(calls) == 1
+        kinds = sup.event_kinds()
+        assert kinds == (K.FAULT_DETECTED, K.RETUNE_STARTED,
+                         K.RETUNE_SUCCEEDED)
+
+    def test_failed_retunes_back_off_exponentially(self):
+        times = []
+        sup = _supervisor(retune=lambda t: times.append(t) or False,
+                          retune_retry_budget=3)
+        t = 0.0
+        while len(times) < 3 and t < 2.0:
+            sup.monitor.observe(residual_si_db=-10.0)
+            sup.step(t)
+            t += 0.01
+        gaps = np.diff(times)
+        assert gaps[1] >= 2 * gaps[0] - 0.011   # doubling backoff
+
+    def test_exhausted_budget_escalates(self):
+        sup = _supervisor(retune=lambda t: False, retune_retry_budget=1,
+                          escalation_hold_s=0.0)
+        for i in range(30):
+            sup.monitor.observe(residual_si_db=-10.0)
+            sup.step(i * 0.1)
+        kinds = set(sup.event_kinds())
+        assert K.RETUNE_FAILED in kinds
+        assert K.GAIN_REDUCED in kinds
+
+    def test_no_retune_callback_skips_rung(self):
+        sup = _supervisor()
+        sup.monitor.observe(residual_si_db=-10.0)
+        sup.step(0.0)
+        sup.step(1.0)
+        assert sup.state is S.REDUCED_GAIN
+        assert K.RETUNE_STARTED not in sup.event_kinds()
+
+
+class TestGainAndFallbackRungs:
+    def test_ladder_reaches_half_duplex(self):
+        sup = _supervisor()
+        for i in range(20):
+            sup.monitor.observe(clip_fraction=0.3)
+            sup.step(i * 0.2)
+        assert sup.state is S.HALF_DUPLEX
+        assert not sup.relaying
+        kinds = sup.event_kinds()
+        reduced = kinds.index(K.GAIN_REDUCED)
+        fell = kinds.index(K.FALLBACK_HALF_DUPLEX)
+        assert reduced < fell                      # gain rung first
+        assert sup.gain_backoff_db == 12.0         # both rungs used
+
+    def test_stale_sounding_mutes_immediately(self):
+        sup = _supervisor()
+        sup.monitor.observe(sounding_age_s=2.0)
+        sup.step(0.0)
+        assert sup.state is S.HALF_DUPLEX
+        assert K.GAIN_REDUCED not in sup.event_kinds()
+
+    def test_retune_still_possible_after_fallback(self):
+        attempts = []
+        sup = _supervisor(retune=lambda t: attempts.append(t) or
+                          (len(attempts) >= 4),
+                          retune_retry_budget=1, escalation_hold_s=0.0)
+        t, i = 0.0, 0
+        while sup.state is not S.HALF_DUPLEX and i < 50:
+            sup.monitor.observe(residual_si_db=-10.0)
+            sup.step(t)
+            t += 0.1
+            i += 1
+        assert sup.state is S.HALF_DUPLEX
+        # Keep stepping: the muted relay keeps retrying and comes back.
+        while sup.state is S.HALF_DUPLEX and t < 20.0:
+            sup.monitor.observe(residual_si_db=-10.0)
+            sup.step(t)
+            t += 0.1
+        assert sup.state is S.ACTIVE
+
+
+class TestRecovery:
+    def test_recovers_after_hold(self):
+        sup = _supervisor()
+        for i in range(20):
+            sup.monitor.observe(clip_fraction=0.3)
+            sup.step(i * 0.2)
+        assert sup.state is S.HALF_DUPLEX
+        t = 4.0
+        while sup.state is not S.ACTIVE and t < 8.0:
+            sup.monitor.observe(clip_fraction=0.0)
+            sup.step(t)
+            t += 0.05
+        assert sup.state is S.ACTIVE
+        assert sup.gain_backoff_db == 0.0
+        kinds = sup.event_kinds()
+        assert kinds.index(K.GAIN_RESTORED) < kinds.index(K.RECOVERED)
+
+    def test_short_clean_spell_does_not_recover(self):
+        sup = _supervisor(recovery_hold_s=10.0)
+        for i in range(20):
+            sup.monitor.observe(clip_fraction=0.3)
+            sup.step(i * 0.2)
+        sup.monitor.observe(clip_fraction=0.0)
+        sup.step(4.1)
+        sup.step(4.2)
+        assert sup.state is S.HALF_DUPLEX
+
+
+class TestGuardBlock:
+    def test_sanitises_and_logs(self):
+        sup = _supervisor()
+        block = np.ones(64, dtype=complex)
+        block[3] = np.nan
+        y = sup.guard_block(block, 0.01)
+        assert np.isfinite(y).all()
+        assert K.BLOCK_SANITISED in sup.event_kinds()
+
+    def test_applies_gain_backoff(self):
+        sup = _supervisor()
+        sup.gain_backoff_db = 6.0
+        sup.state = S.REDUCED_GAIN
+        y = sup.guard_block(np.ones(16, dtype=complex), 0.01)
+        assert np.allclose(np.abs(y), 10 ** (-6 / 20))
+
+    def test_mutes_in_half_duplex(self):
+        sup = _supervisor()
+        for i in range(20):
+            sup.monitor.observe(clip_fraction=0.3)
+            sup.step(i * 0.2)
+        y = sup.guard_block(np.ones(16, dtype=complex), 0.01)
+        assert np.array_equal(y, np.zeros(16, dtype=complex))
+
+    def test_advances_clock(self):
+        sup = _supervisor()
+        sup.guard_block(np.ones(8, dtype=complex), 0.25)
+        assert sup.now_s == pytest.approx(0.25)
+
+
+class TestEventLog:
+    def test_events_are_ordered_and_typed(self):
+        sup = _supervisor(retune=lambda t: True)
+        sup.monitor.observe(residual_si_db=-10.0)
+        sup.step(0.5)
+        log = sup.event_log()
+        assert "fault-detected" in log
+        assert "retune-succeeded" in log
+        times = [e.time_s for e in sup.events]
+        assert times == sorted(times)

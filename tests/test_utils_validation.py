@@ -5,6 +5,7 @@ import pytest
 
 from repro.utils import (
     ensure_complex_1d,
+    ensure_finite,
     ensure_in_range,
     ensure_positive,
     ensure_shape,
@@ -56,3 +57,21 @@ class TestEnsureShape:
     def test_rejects_mismatch(self):
         with pytest.raises(ValueError):
             ensure_shape(np.zeros(4), (5,))
+
+
+class TestEnsureFinite:
+    def test_accepts_finite_complex(self):
+        x = np.array([1 + 1j, 2.0, -3j])
+        assert ensure_finite(x) is not None
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="1 non-finite of 3"):
+            ensure_finite(np.array([1.0, np.nan, 2.0]), "stream")
+
+    def test_rejects_inf_in_imaginary_part(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            ensure_finite(np.array([1.0 + 1j * np.inf, 0.0]))
+
+    def test_error_names_the_argument(self):
+        with pytest.raises(ValueError, match="rx_block"):
+            ensure_finite(np.array([np.inf]), "rx_block")
