@@ -1,0 +1,114 @@
+"""Benchmark the repro.exec sweep engine: serial vs parallel vs warm cache.
+
+Runs ``overall_gains_experiment`` three ways — serial cold, threaded
+cold, then again against the now-warm result cache — verifies all three
+produce bit-identical arrays, and writes the wall times and speedups to
+a JSON baseline (``BENCH_sweep.json`` at the repo root by default).
+
+Doubles as a CI gate: ``--min-warm-speedup X`` exits non-zero when the
+warm-cache rerun is not at least ``X`` times faster than the cold run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py
+    PYTHONPATH=src python benchmarks/bench_sweep.py \
+        --clients 12 --jobs 2 --min-warm-speedup 2.0 --out /tmp/bench.json
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.exec import ResultCache, last_sweep_stats
+from repro.netsim.experiments import overall_gains_experiment
+
+ARRAY_KEYS = ("ap_only", "half_duplex", "fastforward")
+
+
+def _timed(label, fn):
+    start = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - start
+    stats = last_sweep_stats()
+    print(f"  {label:<14} {wall:8.3f} s   [{stats.summary() if stats else '-'}]")
+    return wall, result
+
+
+def run(clients, jobs, seed):
+    print(f"sweep benchmark: overall_gains_experiment("
+          f"num_clients={clients}, seed={seed}), jobs={jobs}")
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(os.path.join(tmp, "cache"))
+        serial_s, serial = _timed(
+            "serial cold", lambda: overall_gains_experiment(
+                num_clients=clients, seed=seed, jobs=1))
+        parallel_s, parallel = _timed(
+            "parallel cold", lambda: overall_gains_experiment(
+                num_clients=clients, seed=seed, jobs=jobs,
+                backend="thread", cache=cache))
+        warm_s, warm = _timed(
+            "parallel warm", lambda: overall_gains_experiment(
+                num_clients=clients, seed=seed, jobs=jobs,
+                backend="thread", cache=cache))
+        cache_stats = cache.stats
+
+    for key in ARRAY_KEYS:
+        if not (np.array_equal(serial[key], parallel[key])
+                and np.array_equal(serial[key], warm[key])):
+            raise SystemExit(f"FAIL: {key!r} differs across execution modes")
+    print("  results bit-identical across serial / parallel / warm cache")
+
+    return {
+        "experiment": "overall_gains_experiment",
+        "num_clients": clients,
+        "seed": seed,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "warm_cache_s": round(warm_s, 4),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "warm_cache_speedup": round(serial_s / warm_s, 2),
+        "cache": {"hits": cache_stats.hits, "misses": cache_stats.misses,
+                  "stores": cache_stats.stores},
+        "machine": {"python": platform.python_version(),
+                    "cpus": os.cpu_count()},
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=60)
+    parser.add_argument("--jobs", type=int, default=min(4, os.cpu_count() or 1))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_sweep.json"))
+    parser.add_argument("--min-warm-speedup", type=float, default=0.0,
+                        help="fail unless warm cache is at least this "
+                             "many times faster than the cold serial run")
+    args = parser.parse_args(argv)
+
+    record = run(args.clients, args.jobs, args.seed)
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  wrote {args.out}")
+    print(f"  warm-cache speedup: {record['warm_cache_speedup']:.1f}x "
+          f"(parallel: {record['parallel_speedup']:.2f}x)")
+
+    if args.min_warm_speedup and \
+            record["warm_cache_speedup"] < args.min_warm_speedup:
+        print(f"FAIL: warm-cache speedup {record['warm_cache_speedup']:.1f}x "
+              f"< required {args.min_warm_speedup:.1f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

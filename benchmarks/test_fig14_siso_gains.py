@@ -6,8 +6,6 @@ benefit the most, since lifting 2-8 dB SNR to 15-20 dB unlocks several
 modulation steps, while high-SNR clients saturate (concave capacity).
 """
 
-import numpy as np
-
 from benchmarks.conftest import cdf_row, print_table, run_once
 from repro.netsim import siso_gains_experiment
 

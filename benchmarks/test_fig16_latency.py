@@ -6,8 +6,6 @@ when processing latency exceeds ~300 ns — the relayed copy turns into
 inter-symbol interference.
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_table, run_once
 from repro.netsim import latency_sweep_experiment
 

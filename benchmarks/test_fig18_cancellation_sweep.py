@@ -10,8 +10,6 @@ relay->client attenuations at 70-100 dB, so the §3.5 noise-safety cap
 knee sits lower than the paper's (see EXPERIMENTS.md).
 """
 
-import numpy as np
-
 from benchmarks.conftest import print_table, run_once
 from repro.netsim import cancellation_sweep_experiment
 

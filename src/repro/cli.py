@@ -11,6 +11,8 @@ gains          Fig. 12: relative throughput gains (three schemes)
 latency        Fig. 16: median gain vs processing latency
 fingerprint    Fig. 21: uplink identification error rates
 faults         fault sweep: supervised vs unsupervised degradation
+sweep          any experiment through the parallel engine
+               (``--jobs``, on-disk result cache, checkpoint/resume)
 =============  =====================================================
 """
 
@@ -112,6 +114,95 @@ def _cmd_faults(args):
             print(f"  {line}")
 
 
+#: ``repro sweep`` experiment registry: name -> (runner factory, printer).
+SWEEP_EXPERIMENTS = ("gains", "siso", "uplink", "scenarios", "latency",
+                     "no-cnf", "cancellation", "faults", "coverage")
+
+
+def _sweep_kwargs(args):
+    cache = False if args.no_cache else args.cache
+    return {"jobs": args.jobs, "backend": args.backend, "cache": cache,
+            "checkpoint": args.checkpoint}
+
+
+def _run_sweep_experiment(args):
+    from repro import netsim
+
+    kw = _sweep_kwargs(args)
+    name = args.experiment
+    if name == "gains":
+        data = netsim.overall_gains_experiment(
+            num_clients=args.clients, seed=args.seed, **kw)
+        print(f"clients: {data['ap_only'].size}")
+        print(f"  median FF vs AP-only : {data['median_ff_vs_ap']:.2f}x")
+        print(f"  median FF vs HD mesh : {data['median_ff_vs_hd']:.2f}x")
+    elif name == "siso":
+        data = netsim.siso_gains_experiment(
+            num_clients=args.clients, seed=args.seed, **kw)
+        print(f"clients: {data['ap_only'].size}")
+        print(f"  median FF vs HD mesh : {data['median_ff_vs_hd']:.2f}x")
+        print(f"  p90 FF vs HD mesh    : {data['tail_ff_vs_hd']:.2f}x")
+    elif name == "uplink":
+        data = netsim.uplink_gains_experiment(
+            num_clients=args.clients, seed=args.seed, **kw)
+        print(f"clients: {data['ap_only'].size}")
+        print(f"  median FF vs AP-only : {data['median_ff_vs_ap']:.2f}x")
+    elif name == "scenarios":
+        data = netsim.scenario_class_experiment(
+            num_clients=args.clients, seed=args.seed, **kw)
+        for klass, count in data["counts"].items():
+            gains = data[klass]
+            med = f"{np.median(gains):.2f}x" if gains.size else "-"
+            print(f"  {klass:<22} {count:3d} clients, median gain {med}")
+    elif name == "latency":
+        data = netsim.latency_sweep_experiment(
+            num_clients=args.clients, seed=args.seed, **kw)
+        for lat, gain in zip(data["latency_ns"], data["median_gain"]):
+            print(f"  {int(lat):4d} ns: median gain {gain:.2f}x")
+    elif name == "no-cnf":
+        data = netsim.no_cnf_experiment(
+            num_clients=args.clients, seed=args.seed, **kw)
+        print(f"  median FF vs HD mesh : {data['median_ff_vs_hd']:.2f}x")
+        print(f"  median AF vs HD mesh : {data['median_af_vs_hd']:.2f}x")
+    elif name == "cancellation":
+        data = netsim.cancellation_sweep_experiment(
+            num_clients=args.clients, seed=args.seed, **kw)
+        for canc, gain in zip(data["cancellation_db"], data["median_gain"]):
+            print(f"  {int(canc):4d} dB: median gain {gain:.2f}x")
+    elif name == "faults":
+        data = netsim.fault_sweep_experiment(
+            num_clients=args.clients, seed=args.seed, **kw)
+        for i, rate in enumerate(data["fault_rate"]):
+            print(f"  rate {rate:.2f}: supervised "
+                  f"{data['supervised'][i]:.1f} M, unsupervised "
+                  f"{data['unsupervised'][i]:.1f} M")
+    elif name == "coverage":
+        from repro.netsim import Testbed, coverage_heatmap, paper_scenarios
+
+        testbed = Testbed(paper_scenarios()[0], seed=args.seed)
+        data = coverage_heatmap(testbed, spacing_m=args.spacing,
+                                seed=args.seed, **kw)
+        print(f"  {len(data.positions)} grid points, median improvement "
+              f"{data.median_improvement_db():.1f} dB")
+    else:                            # pragma: no cover - argparse guards
+        raise SystemExit(f"unknown sweep experiment {name!r}")
+    return data
+
+
+def _cmd_sweep(args):
+    from repro.exec import last_sweep_stats
+
+    _run_sweep_experiment(args)
+    stats = last_sweep_stats()
+    if stats is not None:
+        print(f"engine: {stats.summary()}")
+        if stats.cache is not None:
+            cs = stats.cache.stats
+            print(f"cache : {cs.hits} hits, {cs.misses} misses, "
+                  f"{cs.stores} stores, {cs.invalidations} invalidations "
+                  f"({cs.hit_rate:.0%} hit rate)")
+
+
 def build_parser():
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -156,6 +247,29 @@ def build_parser():
     faults.add_argument("--events", action="store_true",
                         help="print the sample supervisor event log")
     faults.set_defaults(func=_cmd_faults)
+
+    sweep = sub.add_parser(
+        "sweep", help="run any experiment through the parallel engine")
+    sweep.add_argument("experiment", choices=SWEEP_EXPERIMENTS)
+    sweep.add_argument("--clients", type=int, default=24,
+                       help="Monte-Carlo client count (default 24)")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="parallel workers (default: REPRO_JOBS or 1)")
+    sweep.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default=None,
+                       help="executor backend (default: by job count)")
+    sweep.add_argument("--cache", default=None, metavar="DIR",
+                       help="result-cache directory "
+                            "(default: REPRO_CACHE or off)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache even if REPRO_CACHE "
+                            "is set")
+    sweep.add_argument("--checkpoint", default=None, metavar="FILE",
+                       help="sweep manifest enabling resume after "
+                            "interruption")
+    sweep.add_argument("--spacing", type=float, default=2.0,
+                       help="grid spacing in metres (coverage only)")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

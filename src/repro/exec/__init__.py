@@ -1,0 +1,60 @@
+"""``repro.exec`` — the sharded parallel experiment engine.
+
+The evaluation layer's Monte-Carlo sweeps (Figs. 12-18 and the coverage
+heatmaps) decompose into pure, seeded work units.  This subpackage
+provides the execution substrate they all share:
+
+* :class:`Task` / :func:`task_fn` — the task model: registered
+  functions plus canonicalised params plus a deterministic per-task
+  seed, so shard layout never changes results;
+* :func:`run_sweep` — the sharded executor (serial / thread / process
+  backends, chunked dispatch, ordered reassembly);
+* :class:`ResultCache` — content-addressed on-disk result caching
+  under ``.repro-cache/`` with hit/miss/invalidation stats;
+* :class:`SweepManifest` — incremental checkpoints so interrupted
+  sweeps resume from completed shards.
+"""
+
+from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache, ResultCacheStats
+from repro.exec.executor import (
+    BACKENDS,
+    SweepResult,
+    SweepStats,
+    default_backend,
+    default_jobs,
+    last_sweep_stats,
+    resolve_cache,
+    run_sweep,
+)
+from repro.exec.hashing import canonicalize, digest
+from repro.exec.manifest import SweepManifest, sweep_id
+from repro.exec.task import (
+    Task,
+    registered_task_fns,
+    resolve_task_fn,
+    spawn_seeds,
+    task_fn,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "ResultCacheStats",
+    "SweepManifest",
+    "SweepResult",
+    "SweepStats",
+    "Task",
+    "canonicalize",
+    "default_backend",
+    "default_jobs",
+    "digest",
+    "last_sweep_stats",
+    "registered_task_fns",
+    "resolve_cache",
+    "resolve_task_fn",
+    "run_sweep",
+    "spawn_seeds",
+    "sweep_id",
+    "task_fn",
+]

@@ -1,0 +1,293 @@
+"""The sharded sweep executor: serial, thread and process backends.
+
+``run_sweep`` takes an ordered list of :class:`~repro.exec.task.Task`
+work units and returns their results *in task order*, whatever the
+backend, job count or chunk layout — parallel output is bit-identical
+to serial because each task's RNG is fixed by its seed and reassembly
+is positional.
+
+Dispatch is chunked: pending tasks are sliced into contiguous chunks
+(default ~4 chunks per worker) so per-future overhead stays small for
+fine-grained tasks.  With a cache, hits are resolved up front and only
+misses are dispatched; completed results are stored as they arrive.
+With a checkpoint, every completion is appended to the sweep manifest
+so an interrupted sweep resumes from its completed shards.
+
+Environment defaults (so existing entry points — the benchmarks, the
+CLI, plain ``pytest`` — can be routed through the engine without
+signature churn):
+
+=================  ====================================================
+``REPRO_JOBS``     default worker count (``jobs=None``)
+``REPRO_BACKEND``  default backend (``serial`` / ``thread`` / ``process``)
+``REPRO_CACHE``    default cache dir; ``0``/``off`` disables, ``1`` uses
+                   ``.repro-cache/``
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import importlib
+import math
+import os
+import time
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.exec.manifest import SweepManifest
+from repro.exec.task import resolve_task_fn
+
+BACKENDS = ("serial", "thread", "process")
+
+_FALSEY = {"", "0", "off", "none", "false", "no"}
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def default_jobs():
+    """Worker count when ``jobs=None``: ``REPRO_JOBS`` or 1."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    jobs = int(raw)
+    if jobs < 1:
+        raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+    return jobs
+
+
+def default_backend(jobs):
+    """Backend when ``backend=None``: ``REPRO_BACKEND``, else by jobs."""
+    raw = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if raw:
+        if raw not in BACKENDS:
+            raise ValueError(f"REPRO_BACKEND must be one of {BACKENDS}, "
+                             f"got {raw!r}")
+        return raw
+    return "serial" if jobs <= 1 else "thread"
+
+
+def resolve_cache(cache):
+    """Coerce a ``cache=`` argument into a :class:`ResultCache` or ``None``.
+
+    Accepts ``None`` (consult ``REPRO_CACHE``), booleans, a directory
+    path, or an existing cache instance.
+    """
+    if cache is None:
+        raw = os.environ.get("REPRO_CACHE", "").strip()
+        if raw.lower() in _FALSEY:
+            return None
+        if raw.lower() in {"1", "on", "true", "yes"}:
+            return ResultCache(DEFAULT_CACHE_DIR)
+        return ResultCache(raw)
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is True:
+        return ResultCache(DEFAULT_CACHE_DIR)
+    if cache is False:
+        return None
+    if isinstance(cache, (str, Path)):
+        return ResultCache(cache)
+    raise TypeError(f"cache must be None, bool, path or ResultCache, "
+                    f"got {type(cache).__qualname__}")
+
+
+@dataclass
+class SweepStats:
+    """What one ``run_sweep`` call actually did."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    resumed: int = 0
+    chunks: int = 0
+    jobs: int = 1
+    backend: str = "serial"
+    wall_s: float = 0.0
+    cache: Optional[object] = field(default=None, repr=False)
+
+    def summary(self):
+        """One-line human summary (CLI / benchmark output)."""
+        parts = [f"{self.total} tasks", f"{self.executed} executed",
+                 f"{self.cache_hits} cache hits"]
+        if self.resumed:
+            parts.append(f"{self.resumed} resumed")
+        parts.append(f"backend={self.backend} jobs={self.jobs}")
+        parts.append(f"{self.wall_s:.2f}s")
+        return ", ".join(parts)
+
+
+@dataclass
+class SweepResult:
+    """Ordered results plus execution statistics."""
+
+    results: List
+    stats: SweepStats
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self):
+        return len(self.results)
+
+    def __getitem__(self, item):
+        return self.results[item]
+
+
+_LAST_STATS: List[SweepStats] = []
+
+
+def last_sweep_stats():
+    """Stats of the most recent ``run_sweep`` in this process, if any."""
+    return _LAST_STATS[-1] if _LAST_STATS else None
+
+
+def _run_chunk(items):
+    """Execute one chunk of ``(index, module, fn_name, params, seed)``.
+
+    Runs in a worker (thread or process).  The defining module is
+    imported first so spawned processes populate the task registry
+    before resolving the function name.
+    """
+    out = []
+    for index, module, fn_name, params, seed in items:
+        importlib.import_module(module)
+        fn, _ = resolve_task_fn(fn_name)
+        if seed is None:
+            out.append((index, fn(**params)))
+        else:
+            out.append((index, fn(**params,
+                                  rng=np.random.default_rng(seed))))
+    return out
+
+
+def _chunked(pending, jobs, chunk_size):
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(pending) / (jobs * 4)))
+    chunk_size = max(1, int(chunk_size))
+    return [pending[i:i + chunk_size]
+            for i in range(0, len(pending), chunk_size)]
+
+
+def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
+              chunk_size=None):
+    """Run ``tasks`` and return a :class:`SweepResult` in task order.
+
+    ``jobs``/``backend``/``cache`` default from the environment (see
+    module docstring).  ``checkpoint`` names a manifest file enabling
+    resume; it implies the default cache when none is configured, since
+    resumable results must be persisted somewhere.
+    """
+    tasks = list(tasks)
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    backend = default_backend(jobs) if backend is None else str(backend)
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, "
+                         f"got {backend!r}")
+    cache = resolve_cache(cache)
+    if checkpoint is not None and cache is None:
+        cache = ResultCache(DEFAULT_CACHE_DIR)
+
+    stats = SweepStats(total=len(tasks), jobs=jobs, backend=backend,
+                       cache=cache)
+    start = time.perf_counter()
+    results = [None] * len(tasks)
+    done = [False] * len(tasks)
+
+    keys = None
+    if cache is not None:
+        keys = [task.cache_key() for task in tasks]
+
+    manifest = None
+    if checkpoint is not None:
+        manifest = SweepManifest.open(checkpoint, keys)
+        for index, key in manifest.completed.items():
+            if index >= len(tasks) or keys[index] != key:
+                continue
+            hit = cache.get(key, default=_MISSING)
+            if hit is not _MISSING:
+                results[index] = hit
+                done[index] = True
+                stats.resumed += 1
+
+    if cache is not None:
+        for index, task in enumerate(tasks):
+            if done[index]:
+                continue
+            hit = cache.get(keys[index], default=_MISSING)
+            if hit is not _MISSING:
+                results[index] = hit
+                done[index] = True
+                stats.cache_hits += 1
+                if manifest is not None:
+                    manifest.record(index, keys[index])
+
+    pending = []
+    for index, task in enumerate(tasks):
+        if done[index]:
+            continue
+        fn, _ = resolve_task_fn(task.fn)
+        pending.append((index, fn.__module__, task.fn,
+                        dict(task.params), task.seed))
+
+    def _complete(index, value):
+        results[index] = value
+        done[index] = True
+        stats.executed += 1
+        if cache is not None:
+            fn, version = resolve_task_fn(tasks[index].fn)
+            cache.put(keys[index], value, fn=tasks[index].fn,
+                      version=version)
+        if manifest is not None:
+            manifest.record(index, keys[index])
+
+    try:
+        if backend == "serial" or jobs == 1 or len(pending) <= 1:
+            stats.backend = "serial" if jobs == 1 else backend
+            for item in pending:
+                for index, value in _run_chunk([item]):
+                    _complete(index, value)
+            stats.chunks = len(pending)
+        else:
+            chunks = _chunked(pending, jobs, chunk_size)
+            stats.chunks = len(chunks)
+            pool_cls = (ThreadPoolExecutor if backend == "thread"
+                        else ProcessPoolExecutor)
+            with pool_cls(max_workers=jobs) as pool:
+                futures = [pool.submit(_run_chunk, chunk)
+                           for chunk in chunks]
+                done_set, _ = wait(futures, return_when=FIRST_EXCEPTION)
+                # Record whatever completed (even if another chunk
+                # failed) so the checkpoint keeps its progress, then
+                # surface the first error in submission order.
+                for future in futures:
+                    if future in done_set and future.exception() is None:
+                        for index, value in future.result():
+                            _complete(index, value)
+                for future in futures:
+                    if future in done_set:
+                        future.result()     # raises the chunk's error
+    finally:
+        if manifest is not None:
+            manifest.close()
+        stats.wall_s = time.perf_counter() - start
+        _LAST_STATS.append(stats)
+        del _LAST_STATS[:-1]
+
+    return SweepResult(results=results, stats=stats)

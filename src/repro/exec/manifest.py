@@ -1,0 +1,105 @@
+"""Sweep manifests: incremental checkpoints for resumable sweeps.
+
+A manifest is a JSON-lines file.  The first line is a header binding
+the file to one specific sweep — the digest of every task's cache key,
+in order — and each subsequent line records one completed task
+(``{"i": index, "key": cache_key}``).  Lines are flushed as they are
+written, so a sweep killed at any point leaves a prefix of valid lines;
+a truncated or half-written trailing line is ignored on load.
+
+On resume, completed indices whose results are still in the cache are
+restored without re-execution; everything else re-runs.  A header that
+does not match the current sweep (different tasks, params or seeds)
+starts the manifest over — a checkpoint can never graft results from a
+different sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.exec.hashing import digest
+
+
+def sweep_id(keys):
+    """Identity of a sweep: the ordered digest of its task keys."""
+    return digest(["sweep", list(keys)])
+
+
+class SweepManifest:
+    """An append-only completion log for one sweep."""
+
+    def __init__(self, path, sweep, total):
+        self.path = Path(path)
+        self.sweep = sweep
+        self.total = int(total)
+        self.completed = {}
+        self._fh = None
+
+    @classmethod
+    def open(cls, path, keys):
+        """Open (or create) the manifest for the sweep defined by ``keys``.
+
+        Returns a manifest whose ``completed`` maps already-recorded
+        task indices to their cache keys — empty when the file is new
+        or belongs to a different sweep.
+        """
+        manifest = cls(path, sweep_id(keys), len(keys))
+        prior = manifest._read_existing()
+        manifest.path.parent.mkdir(parents=True, exist_ok=True)
+        if prior is None:
+            # Fresh file (or stale header): restart from scratch.
+            manifest._fh = open(manifest.path, "w", encoding="utf-8")
+            manifest._append({"sweep": manifest.sweep,
+                              "total": manifest.total})
+        else:
+            manifest.completed = prior
+            manifest._fh = open(manifest.path, "a", encoding="utf-8")
+        return manifest
+
+    def _read_existing(self):
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except FileNotFoundError:
+            return None
+        if not lines:
+            return None
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return None
+        if header.get("sweep") != self.sweep:
+            return None
+        completed = {}
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+                completed[int(record["i"])] = record["key"]
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                break               # half-written tail: ignore the rest
+        return completed
+
+    def _append(self, record):
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, index, key):
+        """Mark task ``index`` complete (durable immediately)."""
+        if index in self.completed:
+            return
+        self.completed[index] = key
+        self._append({"i": int(index), "key": key})
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -4,6 +4,19 @@ Every runner returns a plain dict of arrays/statistics so that the
 benchmark layer can print the paper's rows and the test layer can
 assert the qualitative shape (who wins, roughly by how much, where the
 crossovers fall).
+
+All Monte-Carlo sweeps run through :mod:`repro.exec`: each experiment
+decomposes into pure per-client task functions (registered below with
+``@task_fn``), fans them out over the configured backend, and
+reassembles results in task order.  Per-task RNGs are fixed by seeds
+derived exactly as the original serial loops derived them, so
+
+* ``jobs=4`` output is bit-identical to ``jobs=1`` output, and
+* every ported sweep reproduces the seed implementation's numbers.
+
+Each runner accepts ``jobs=``, ``cache=``, ``backend=`` and
+``checkpoint=`` keywords (``None`` defers to the ``REPRO_JOBS`` /
+``REPRO_CACHE`` / ``REPRO_BACKEND`` environment defaults).
 """
 
 from __future__ import annotations
@@ -13,6 +26,7 @@ import numpy as np
 from repro.core.baselines import AmplifyForwardRelay, half_duplex_throughput_mbps
 from repro.core.latency import LatencyBudget
 from repro.core.relay import FastForwardRelay, RelayConfig
+from repro.exec import Task, run_sweep, task_fn
 from repro.netsim.metrics import median_gain, percentile_gain, relative_gains
 from repro.netsim.testbed import Testbed, paper_scenarios
 from repro.netsim.throughput import (
@@ -20,9 +34,10 @@ from repro.netsim.throughput import (
     ap_only_siso_rate,
     ff_mimo_rate,
     ff_siso_rate,
+    usable_streams,
 )
 from repro.phy.rates import effective_snr_db
-from repro.utils.rng import child_rngs
+from repro.utils.rng import child_rngs, child_seeds
 from repro.utils.units import power_to_db
 
 
@@ -34,14 +49,174 @@ def _hd_mimo_rate(testbed, client, rng, direct_rate):
     return half_duplex_throughput_mbps(direct_rate, r1, r2)
 
 
-def _collect_clients(testbed, num_clients, seed):
-    """Client positions plus one child RNG per client."""
-    positions = testbed.client_positions(num_clients, rng=seed)
-    return positions, child_rngs(seed + 1, num_clients)
+# ---------------------------------------------------------------------------
+# Shared sweep scaffolding
+# ---------------------------------------------------------------------------
 
+def _collect_clients(testbed, num_clients, seed):
+    """Client positions plus one child seed per client.
+
+    ``numpy.random.default_rng(seed_i)`` rebuilds exactly the generator
+    the historical ``child_rngs`` path produced, so a task carrying the
+    integer seed reproduces the serial loop's channel draws bit-for-bit.
+    """
+    positions = testbed.client_positions(num_clients, rng=seed)
+    return positions, child_seeds(seed + 1, num_clients)
+
+
+def _client_tasks(fn_name, scenarios, num_clients, seed, stream, extra=None):
+    """One engine task per (scenario, client).
+
+    The per-client scaffolding every sweep used to duplicate — scenario
+    ``i`` gets testbed seed ``seed + i``, its clients come from
+    ``_collect_clients(testbed, count, seed + stream + i)`` — hoisted
+    into one helper so all experiments derive per-client seeds the same
+    way (and keep the seed implementation's exact numbers).
+    """
+    tasks = []
+    for s_idx, scenario in enumerate(scenarios):
+        testbed = Testbed(scenario, seed=seed + s_idx)
+        count = max(1, num_clients // len(scenarios))
+        positions, seeds = _collect_clients(testbed, count,
+                                            seed + stream + s_idx)
+        for client, client_seed in zip(positions, seeds):
+            params = {"scenario": scenario, "testbed_seed": seed + s_idx,
+                      "client": client}
+            if extra:
+                params.update(extra)
+            tasks.append(Task(fn_name, params, seed=client_seed))
+    return tasks
+
+
+def _sub_checkpoint(checkpoint, label):
+    """A per-phase manifest path for experiments that run >1 sweep."""
+    return None if checkpoint is None else f"{checkpoint}.{label}"
+
+
+# ---------------------------------------------------------------------------
+# Per-client task functions (pure, seeded; registered with the engine)
+# ---------------------------------------------------------------------------
+
+@task_fn("netsim.overall-gains-client", version="1")
+def _overall_gains_client(scenario, testbed_seed, client, relay_config=None,
+                          rng=None):
+    """Figs. 12/13/15 work unit: the three schemes' rates for one client."""
+    testbed = Testbed(scenario, seed=testbed_seed)
+    m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
+    delay = testbed.extra_path_delay_s(client)
+
+    direct_rate = ap_only_mimo_rate(m_sd)
+    hd_rate = _hd_mimo_rate(testbed, client, rng, direct_rate)
+
+    cfg = relay_config or RelayConfig(params=testbed.params)
+    relay = FastForwardRelay(cfg)
+    relay.configure_mimo_link(m_sd, m_sr, m_rd)
+    ff_rate = ff_mimo_rate(relay, delay)
+
+    # Diagnostics for the Fig. 15 classes.
+    noise = 10.0 ** (-90.0 / 10.0)
+    n_rx = m_sd.shape[1]
+    cov = np.broadcast_to(noise * np.eye(n_rx),
+                          (m_sd.shape[0], n_rx, n_rx)).copy()
+    streams = usable_streams(m_sd, cov)
+    band_snr = effective_snr_db(power_to_db(np.maximum(
+        np.einsum("sij,sij->s", m_sd, m_sd.conj()).real
+        * 10.0 ** (20.0 / 10.0) / (n_rx * noise), 1e-30)))
+    return {"ap": float(direct_rate), "hd": float(hd_rate),
+            "ff": float(ff_rate), "snr": float(band_snr),
+            "streams": int(streams)}
+
+
+@task_fn("netsim.siso-gains-client", version="1")
+def _siso_gains_client(scenario, testbed_seed, client, rng=None):
+    """Fig. 14 work unit: SISO AP/HD/FF rates for one client."""
+    testbed = Testbed(scenario, seed=testbed_seed)
+    h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
+    delay = testbed.extra_path_delay_s(client)
+
+    direct_rate = ap_only_siso_rate(h_sd)
+    r1 = ap_only_siso_rate(h_sr)
+    # relay->client hop reuses the rd channel.
+    r2 = ap_only_siso_rate(h_rd)
+    hd_rate = half_duplex_throughput_mbps(direct_rate, r1, r2)
+
+    relay = FastForwardRelay(RelayConfig(params=testbed.params))
+    relay.configure_siso_link(h_sd, h_sr, h_rd)
+    return {"ap": float(direct_rate), "hd": float(hd_rate),
+            "ff": float(ff_siso_rate(relay, delay))}
+
+
+@task_fn("netsim.uplink-gains-client", version="1")
+def _uplink_gains_client(scenario, testbed_seed, client,
+                         client_tx_power_dbm=15.0, rng=None):
+    """Uplink work unit: reciprocal roles, client-power budget."""
+    testbed = Testbed(scenario, seed=testbed_seed)
+    h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
+    delay = testbed.extra_path_delay_s(client)
+    # Uplink roles: direct is reciprocal; source->relay is the
+    # client->relay channel (= h_rd), relay->dest is relay->AP
+    # (= h_sr by reciprocity).
+    cfg = RelayConfig(params=testbed.params,
+                      tx_power_dbm=client_tx_power_dbm)
+    relay = FastForwardRelay(cfg)
+    relay.configure_siso_link(h_sd, h_rd, h_sr)
+    return {"ff": float(ff_siso_rate(relay, delay)),
+            "ap": float(ap_only_siso_rate(
+                h_sd, tx_power_dbm=client_tx_power_dbm))}
+
+
+@task_fn("netsim.latency-client", version="1")
+def _latency_client(scenario, testbed_seed, client, extra_buffering_s,
+                    rng=None):
+    """Fig. 16 work unit: FF vs HD at one buffering depth."""
+    testbed = Testbed(scenario, seed=testbed_seed)
+    budget = LatencyBudget(adc_dac_s=50e-9, cnf_digital_s=50e-9,
+                           extra_buffering_s=0.0)
+    budget = budget.with_extra_buffering(extra_buffering_s)
+    m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
+    delay = testbed.extra_path_delay_s(client)
+    direct_rate = ap_only_mimo_rate(m_sd)
+    hd_rate = _hd_mimo_rate(testbed, client, rng, direct_rate)
+    cfg = RelayConfig(params=testbed.params, latency=budget)
+    relay = FastForwardRelay(cfg)
+    relay.configure_mimo_link(m_sd, m_sr, m_rd)
+    return {"ff": float(ff_mimo_rate(relay, delay)), "hd": float(hd_rate)}
+
+
+@task_fn("netsim.no-cnf-client", version="1")
+def _no_cnf_client(scenario, testbed_seed, client, rng=None):
+    """Fig. 17 work unit: the blind amplify-and-forward repeater."""
+    testbed = Testbed(scenario, seed=testbed_seed)
+    m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
+    delay = testbed.extra_path_delay_s(client)
+    relay = AmplifyForwardRelay(RelayConfig(params=testbed.params))
+    relay.configure_mimo_link(m_sd, m_sr, m_rd)
+    return {"af": float(ff_mimo_rate(relay, delay))}
+
+
+@task_fn("netsim.cancellation-client", version="1")
+def _cancellation_client(scenario, testbed_seed, client, cancellation_db,
+                         rng=None):
+    """Fig. 18 work unit: FF vs HD at one cancellation depth."""
+    testbed = Testbed(scenario, seed=testbed_seed)
+    m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
+    delay = testbed.extra_path_delay_s(client)
+    direct_rate = ap_only_mimo_rate(m_sd)
+    hd_rate = _hd_mimo_rate(testbed, client, rng, direct_rate)
+    cfg = RelayConfig(params=testbed.params,
+                      cancellation_db=float(cancellation_db))
+    relay = FastForwardRelay(cfg)
+    relay.configure_mimo_link(m_sd, m_sr, m_rd)
+    return {"ff": float(ff_mimo_rate(relay, delay)), "hd": float(hd_rate)}
+
+
+# ---------------------------------------------------------------------------
+# Experiment runners
+# ---------------------------------------------------------------------------
 
 def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
-                             relay_config=None):
+                             relay_config=None, jobs=None, cache=None,
+                             backend=None, checkpoint=None):
     """Figs. 12/13/15 data: per-client rates for the three schemes (2x2).
 
     Returns arrays ``ap_only``, ``half_duplex``, ``fastforward`` (Mbps)
@@ -49,44 +224,19 @@ def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
     streams) for the Fig. 15 classification.
     """
     scenarios = scenarios if scenarios is not None else paper_scenarios()
-    ap_rates, hd_rates, ff_rates = [], [], []
-    direct_snrs, direct_streams = [], []
-    for s_idx, scenario in enumerate(scenarios):
-        testbed = Testbed(scenario, seed=seed + s_idx)
-        count = max(1, num_clients // len(scenarios))
-        positions, rngs = _collect_clients(testbed, count, seed + 100 + s_idx)
-        for client, rng in zip(positions, rngs):
-            m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
-            delay = testbed.extra_path_delay_s(client)
-
-            direct_rate = ap_only_mimo_rate(m_sd)
-            ap_rates.append(direct_rate)
-            hd_rates.append(_hd_mimo_rate(testbed, client, rng, direct_rate))
-
-            cfg = relay_config or RelayConfig(params=testbed.params)
-            relay = FastForwardRelay(cfg)
-            relay.configure_mimo_link(m_sd, m_sr, m_rd)
-            ff_rates.append(ff_mimo_rate(relay, delay))
-
-            # Diagnostics for the Fig. 15 classes.
-            from repro.netsim.throughput import usable_streams
-
-            noise = 10.0 ** (-90.0 / 10.0)
-            n_rx = m_sd.shape[1]
-            cov = np.broadcast_to(noise * np.eye(n_rx),
-                                  (m_sd.shape[0], n_rx, n_rx)).copy()
-            direct_streams.append(usable_streams(m_sd, cov))
-            band_snr = effective_snr_db(power_to_db(np.maximum(
-                np.einsum("sij,sij->s", m_sd, m_sd.conj()).real
-                * 10.0 ** (20.0 / 10.0) / (n_rx * noise), 1e-30)))
-            direct_snrs.append(band_snr)
+    extra = {"relay_config": relay_config} if relay_config is not None else None
+    tasks = _client_tasks("netsim.overall-gains-client", scenarios,
+                          num_clients, seed, stream=100, extra=extra)
+    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
+                     checkpoint=checkpoint).results
 
     out = {
-        "ap_only": np.asarray(ap_rates),
-        "half_duplex": np.asarray(hd_rates),
-        "fastforward": np.asarray(ff_rates),
-        "direct_snr_db": np.asarray(direct_snrs),
-        "direct_streams": np.asarray(direct_streams, dtype=int),
+        "ap_only": np.asarray([r["ap"] for r in rows]),
+        "half_duplex": np.asarray([r["hd"] for r in rows]),
+        "fastforward": np.asarray([r["ff"] for r in rows]),
+        "direct_snr_db": np.asarray([r["snr"] for r in rows]),
+        "direct_streams": np.asarray([r["streams"] for r in rows],
+                                     dtype=int),
     }
     out["ff_gain_vs_hd"] = relative_gains(out["fastforward"], out["half_duplex"])
     out["ap_gain_vs_hd"] = relative_gains(out["ap_only"], out["half_duplex"])
@@ -96,33 +246,19 @@ def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
     return out
 
 
-def siso_gains_experiment(num_clients=60, seed=0, scenarios=None):
+def siso_gains_experiment(num_clients=60, seed=0, scenarios=None, jobs=None,
+                          cache=None, backend=None, checkpoint=None):
     """Fig. 14 data: SISO AP/relay/client — pure SNR-gain territory."""
     scenarios = scenarios if scenarios is not None else paper_scenarios()
-    ap_rates, hd_rates, ff_rates = [], [], []
-    for s_idx, scenario in enumerate(scenarios):
-        testbed = Testbed(scenario, seed=seed + s_idx)
-        count = max(1, num_clients // len(scenarios))
-        positions, rngs = _collect_clients(testbed, count, seed + 200 + s_idx)
-        for client, rng in zip(positions, rngs):
-            h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
-            delay = testbed.extra_path_delay_s(client)
-
-            direct_rate = ap_only_siso_rate(h_sd)
-            ap_rates.append(direct_rate)
-            r1 = ap_only_siso_rate(h_sr)
-            # relay->client hop reuses the rd channel.
-            r2 = ap_only_siso_rate(h_rd)
-            hd_rates.append(half_duplex_throughput_mbps(direct_rate, r1, r2))
-
-            relay = FastForwardRelay(RelayConfig(params=testbed.params))
-            relay.configure_siso_link(h_sd, h_sr, h_rd)
-            ff_rates.append(ff_siso_rate(relay, delay))
+    tasks = _client_tasks("netsim.siso-gains-client", scenarios,
+                          num_clients, seed, stream=200)
+    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
+                     checkpoint=checkpoint).results
 
     out = {
-        "ap_only": np.asarray(ap_rates),
-        "half_duplex": np.asarray(hd_rates),
-        "fastforward": np.asarray(ff_rates),
+        "ap_only": np.asarray([r["ap"] for r in rows]),
+        "half_duplex": np.asarray([r["hd"] for r in rows]),
+        "fastforward": np.asarray([r["ff"] for r in rows]),
     }
     out["ff_gain_vs_hd"] = relative_gains(out["fastforward"], out["half_duplex"])
     out["median_ff_vs_hd"] = median_gain(out["fastforward"], out["half_duplex"])
@@ -131,7 +267,9 @@ def siso_gains_experiment(num_clients=60, seed=0, scenarios=None):
     return out
 
 
-def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0):
+def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0,
+                            jobs=None, cache=None, backend=None,
+                            checkpoint=None):
     """Uplink (client -> AP) gains — "the relay can be used to improve
     the link from the client to the AP as well" (§1, footnote 1).
 
@@ -141,28 +279,14 @@ def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0):
     re-derived for the relay->AP path (the paper's footnote: "the
     amplification applied is different in both directions").
     """
-    scenarios = paper_scenarios()
-    ap_rates, ff_rates = [], []
-    for s_idx, scenario in enumerate(scenarios):
-        testbed = Testbed(scenario, seed=seed + s_idx)
-        count = max(1, num_clients // len(scenarios))
-        positions, rngs = _collect_clients(testbed, count, seed + 700 + s_idx)
-        for client, rng in zip(positions, rngs):
-            h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
-            delay = testbed.extra_path_delay_s(client)
-            # Uplink roles: direct is reciprocal; source->relay is the
-            # client->relay channel (= h_rd), relay->dest is relay->AP
-            # (= h_sr by reciprocity).
-            cfg = RelayConfig(params=testbed.params,
-                              tx_power_dbm=client_tx_power_dbm)
-            relay = FastForwardRelay(cfg)
-            relay.configure_siso_link(h_sd, h_rd, h_sr)
-            ff_rates.append(ff_siso_rate(relay, delay))
-            ap_rates.append(ap_only_siso_rate(
-                h_sd, tx_power_dbm=client_tx_power_dbm))
+    tasks = _client_tasks(
+        "netsim.uplink-gains-client", paper_scenarios(), num_clients, seed,
+        stream=700, extra={"client_tx_power_dbm": client_tx_power_dbm})
+    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
+                     checkpoint=checkpoint).results
     out = {
-        "ap_only": np.asarray(ap_rates),
-        "fastforward": np.asarray(ff_rates),
+        "ap_only": np.asarray([r["ap"] for r in rows]),
+        "fastforward": np.asarray([r["ff"] for r in rows]),
     }
     nz = out["ap_only"] > 0
     out["median_ff_vs_ap"] = float(np.median(
@@ -172,13 +296,16 @@ def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0):
     return out
 
 
-def scenario_class_experiment(num_clients=90, seed=0):
+def scenario_class_experiment(num_clients=90, seed=0, jobs=None, cache=None,
+                              backend=None, checkpoint=None):
     """Fig. 15: gains partitioned by (SNR, rank) client class.
 
     Classes: a) low SNR + low rank (edge); b) medium/high SNR + low
     rank (pinhole); c) high SNR + full rank (near AP).
     """
-    data = overall_gains_experiment(num_clients=num_clients, seed=seed)
+    data = overall_gains_experiment(num_clients=num_clients, seed=seed,
+                                    jobs=jobs, cache=cache, backend=backend,
+                                    checkpoint=checkpoint)
     snr = data["direct_snr_db"]
     streams = data["direct_streams"]
     gains = {}
@@ -200,62 +327,57 @@ def scenario_class_experiment(num_clients=90, seed=0):
 
 
 def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
-                             num_clients=40, seed=0):
+                             num_clients=40, seed=0, jobs=None, cache=None,
+                             backend=None, checkpoint=None):
     """Fig. 16: median throughput gain vs relay processing latency.
 
     Extra buffering is added to the relay's budget; past the CP the
     relayed copy turns into inter-symbol interference and the gain
     collapses below 1 (worse than no relay).
+
+    All (latency, client) pairs form one task list, so the whole sweep
+    shards across workers at once.
     """
     scenarios = paper_scenarios()
     results = {"latency_ns": np.asarray(latencies_ns, dtype=float)}
-    medians = []
+    base = LatencyBudget(adc_dac_s=50e-9, cnf_digital_s=50e-9,
+                         extra_buffering_s=0.0).total_s()
+    tasks, spans = [], []
     for extra_ns in latencies_ns:
-        ff_rates, hd_rates = [], []
-        budget = LatencyBudget(adc_dac_s=50e-9, cnf_digital_s=50e-9,
-                               extra_buffering_s=0.0)
         # The sweep interprets the x-axis as *total* processing latency,
         # matching the paper ("vary the processing delay at the FF relay
         # from 100ns to 400ns"): the base budget is ~100 ns.
-        base = budget.total_s()
         extra = max(extra_ns * 1e-9 - base, 0.0)
-        budget = budget.with_extra_buffering(extra)
-        for s_idx, scenario in enumerate(scenarios):
-            testbed = Testbed(scenario, seed=seed + s_idx)
-            count = max(1, num_clients // len(scenarios))
-            positions, rngs = _collect_clients(testbed, count,
-                                               seed + 300 + s_idx)
-            for client, rng in zip(positions, rngs):
-                m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
-                delay = testbed.extra_path_delay_s(client)
-                direct_rate = ap_only_mimo_rate(m_sd)
-                hd_rates.append(_hd_mimo_rate(testbed, client, rng,
-                                              direct_rate))
-                cfg = RelayConfig(params=testbed.params, latency=budget)
-                relay = FastForwardRelay(cfg)
-                relay.configure_mimo_link(m_sd, m_sr, m_rd)
-                ff_rates.append(ff_mimo_rate(relay, delay))
-        medians.append(median_gain(np.asarray(ff_rates), np.asarray(hd_rates)))
+        lat_tasks = _client_tasks(
+            "netsim.latency-client", scenarios, num_clients, seed,
+            stream=300, extra={"extra_buffering_s": extra})
+        spans.append((len(tasks), len(tasks) + len(lat_tasks)))
+        tasks.extend(lat_tasks)
+    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
+                     checkpoint=checkpoint).results
+
+    medians = []
+    for lo, hi in spans:
+        ff = np.asarray([r["ff"] for r in rows[lo:hi]])
+        hd = np.asarray([r["hd"] for r in rows[lo:hi]])
+        medians.append(median_gain(ff, hd))
     results["median_gain"] = np.asarray(medians)
     return results
 
 
-def no_cnf_experiment(num_clients=60, seed=0):
+def no_cnf_experiment(num_clients=60, seed=0, jobs=None, cache=None,
+                      backend=None, checkpoint=None):
     """Fig. 17: the blind amplify-and-forward repeater vs FastForward."""
-    data = overall_gains_experiment(num_clients=num_clients, seed=seed)
-    scenarios = paper_scenarios()
-    af_rates = []
-    for s_idx, scenario in enumerate(scenarios):
-        testbed = Testbed(scenario, seed=seed + s_idx)
-        count = max(1, num_clients // len(scenarios))
-        positions, rngs = _collect_clients(testbed, count, seed + 100 + s_idx)
-        for client, rng in zip(positions, rngs):
-            m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
-            delay = testbed.extra_path_delay_s(client)
-            relay = AmplifyForwardRelay(RelayConfig(params=testbed.params))
-            relay.configure_mimo_link(m_sd, m_sr, m_rd)
-            af_rates.append(ff_mimo_rate(relay, delay))
-    data["amplify_forward"] = np.asarray(af_rates)
+    data = overall_gains_experiment(
+        num_clients=num_clients, seed=seed, jobs=jobs, cache=cache,
+        backend=backend, checkpoint=_sub_checkpoint(checkpoint, "overall"))
+    # Stream 100 on purpose: the repeater sees the same clients and
+    # channel draws as the FastForward arm above.
+    tasks = _client_tasks("netsim.no-cnf-client", paper_scenarios(),
+                          num_clients, seed, stream=100)
+    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
+                     checkpoint=_sub_checkpoint(checkpoint, "af")).results
+    data["amplify_forward"] = np.asarray([r["af"] for r in rows])
     data["af_gain_vs_hd"] = relative_gains(data["amplify_forward"],
                                            data["half_duplex"])
     data["median_af_vs_hd"] = median_gain(data["amplify_forward"],
@@ -264,36 +386,30 @@ def no_cnf_experiment(num_clients=60, seed=0):
 
 
 def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110),
-                                  num_clients=40, seed=0):
+                                  num_clients=40, seed=0, jobs=None,
+                                  cache=None, backend=None, checkpoint=None):
     """Fig. 18: median gain vs the cancellation the relay achieves.
 
     Cancellation caps amplification (minus the loop margin); dead-spot
     clients lose the most when the cap drops.
     """
     scenarios = paper_scenarios()
-    medians = []
-    tails = []
+    tasks, spans = [], []
     for canc in cancellations_db:
-        ff_rates, hd_rates = [], []
-        for s_idx, scenario in enumerate(scenarios):
-            testbed = Testbed(scenario, seed=seed + s_idx)
-            count = max(1, num_clients // len(scenarios))
-            positions, rngs = _collect_clients(testbed, count,
-                                               seed + 400 + s_idx)
-            for client, rng in zip(positions, rngs):
-                m_sd, m_sr, m_rd = testbed.mimo_triple(client, rng)
-                delay = testbed.extra_path_delay_s(client)
-                direct_rate = ap_only_mimo_rate(m_sd)
-                hd_rates.append(_hd_mimo_rate(testbed, client, rng,
-                                              direct_rate))
-                cfg = RelayConfig(params=testbed.params,
-                                  cancellation_db=float(canc))
-                relay = FastForwardRelay(cfg)
-                relay.configure_mimo_link(m_sd, m_sr, m_rd)
-                ff_rates.append(ff_mimo_rate(relay, delay))
-        medians.append(median_gain(np.asarray(ff_rates), np.asarray(hd_rates)))
-        tails.append(percentile_gain(np.asarray(ff_rates),
-                                     np.asarray(hd_rates), 80))
+        c_tasks = _client_tasks(
+            "netsim.cancellation-client", scenarios, num_clients, seed,
+            stream=400, extra={"cancellation_db": float(canc)})
+        spans.append((len(tasks), len(tasks) + len(c_tasks)))
+        tasks.extend(c_tasks)
+    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
+                     checkpoint=checkpoint).results
+
+    medians, tails = [], []
+    for lo, hi in spans:
+        ff = np.asarray([r["ff"] for r in rows[lo:hi]])
+        hd = np.asarray([r["hd"] for r in rows[lo:hi]])
+        medians.append(median_gain(ff, hd))
+        tails.append(percentile_gain(ff, hd, 80))
     return {
         "cancellation_db": np.asarray(cancellations_db, dtype=float),
         "median_gain": np.asarray(medians),
@@ -401,10 +517,165 @@ def _degraded_siso_rate(relay, cfg, cancellation_db, gain_backoff_db,
     return siso_rate_mbps(10.0 * np.log10(np.maximum(snr, 1e-30)))
 
 
+@task_fn("netsim.fault-client-probe", version="1")
+def _fault_client_probe(scenario, testbed_seed, client, rng=None):
+    """Fault-sweep phase 1: channels and baseline rates for one client."""
+    testbed = Testbed(scenario, seed=testbed_seed)
+    h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
+    delay = testbed.extra_path_delay_s(client)
+    direct = ap_only_siso_rate(h_sd)
+    hd = half_duplex_throughput_mbps(direct, ap_only_siso_rate(h_sr),
+                                     ap_only_siso_rate(h_rd))
+    cfg = RelayConfig(params=testbed.params, use_decomposition=False)
+    relay = FastForwardRelay(cfg)
+    relay.configure_siso_link(h_sd, h_sr, h_rd)
+    ff = ff_siso_rate(relay, delay)
+    return {"h_sd": h_sd, "h_sr": h_sr, "h_rd": h_rd,
+            "delay": float(delay), "direct": float(direct),
+            "hd": float(hd), "ff": float(ff)}
+
+
+@task_fn("netsim.fault-client-run", version="1")
+def _fault_client_run(ofdm_params, h_sd, h_sr, h_rd, delay, hd_rate,
+                      fault_rates, num_steps, schedule_seed, si_jump_db,
+                      clip_burst_steps, clip_fraction, retune_success_prob):
+    """Fault-sweep phase 2: time-step one client over every fault rate.
+
+    Both arms see the *identical* fault trace (one seeded uniform draw
+    per step, thresholded by the rate, so higher rates are supersets).
+    Returns per-rate mean throughput for both arms, per-rate supervisor
+    event counts and the last rate's event log.
+    """
+    from repro.faults import FaultSchedule
+    from repro.ident.sounding import DEFAULT_SOUNDING_INTERVAL_S
+    from repro.supervision import (
+        RelayHealthMonitor,
+        RelaySupervisor,
+        SupervisorPolicy,
+    )
+
+    step_s = DEFAULT_SOUNDING_INTERVAL_S
+    fault_rates = np.asarray(fault_rates, dtype=float)
+    n_sc = h_sd.size
+
+    schedule = FaultSchedule(schedule_seed)
+    # One uniform draw per step per process, independent of the
+    # rate: event at step t iff u[t] < p(rate), so a higher rate's
+    # fault trace is a superset of a lower rate's.
+    u_jump = schedule.stream("si-jump").random(num_steps)
+    u_clip = schedule.stream("clip").random(num_steps)
+    u_loss = schedule.stream("poll-loss").random(num_steps)
+    u_retune = schedule.stream("retune").random(4 * num_steps)
+    # The air drifts regardless of faults: a per-tone phase walk on
+    # the relay hops (the direct path stays put so the baselines
+    # are constant).
+    drift_rng = schedule.stream("drift")
+    phase_sr = np.cumsum(0.15 * drift_rng.standard_normal(
+        (num_steps, n_sc)), axis=0)
+    phase_rd = np.cumsum(0.15 * drift_rng.standard_normal(
+        (num_steps, n_sc)), axis=0)
+
+    supervised = np.zeros(fault_rates.size)
+    unsupervised = np.zeros(fault_rates.size)
+    event_counts = [dict() for _ in fault_rates]
+    sample_events = []
+
+    for r_idx, rate in enumerate(fault_rates):
+        p_jump = p_clip = 0.25 * rate
+        p_loss = min(2.0 * rate, 0.95)
+
+        cfg = RelayConfig(params=ofdm_params, use_decomposition=False)
+        relay = FastForwardRelay(cfg)
+        relay.configure_siso_link(h_sd, h_sr, h_rd)
+        nominal_canc = cfg.cancellation_db
+
+        sup_state = {"canc": nominal_canc}
+        retune_calls = [0]
+
+        def attempt_retune(now_s):
+            ok = bool(u_retune[retune_calls[0] % u_retune.size]
+                      < retune_success_prob)
+            retune_calls[0] += 1
+            if ok:
+                sup_state["canc"] = nominal_canc
+            return ok
+
+        policy = SupervisorPolicy(
+            retune_backoff_s=0.6 * step_s,
+            retune_backoff_max_s=4.0 * step_s,
+            retune_retry_budget=2,
+            gain_step_db=6.0, max_gain_backoff_db=6.0,
+            escalation_hold_s=0.5 * step_s,
+            recovery_hold_s=1.2 * step_s,
+            fallback_sounding_age_s=0.5)
+        sup = RelaySupervisor(
+            monitor=RelayHealthMonitor(alpha=1.0),
+            policy=policy, retune=attempt_retune)
+
+        unsup_canc = nominal_canc
+        clip_left = 0
+        age_steps = 0
+        sup_sum = unsup_sum = 0.0
+        for t in range(num_steps):
+            now = (t + 1) * step_s
+            true_triple = (h_sd, h_sr * np.exp(1j * phase_sr[t]),
+                           h_rd * np.exp(1j * phase_rd[t]))
+            # Fault processes for this step.
+            if u_jump[t] < p_jump:
+                sup_state["canc"] = nominal_canc - si_jump_db
+                unsup_canc = nominal_canc - si_jump_db
+            if u_clip[t] < p_clip and clip_left == 0:
+                clip_left = clip_burst_steps
+            clip_now = clip_fraction if clip_left > 0 else 0.0
+            clip_left = max(clip_left - 1, 0)
+            if u_loss[t] < p_loss:
+                age_steps += 1
+            else:
+                age_steps = 0
+                # A delivered poll re-tunes the constructive filter
+                # onto the current air (both arms benefit equally).
+                relay.configure_siso_link(*true_triple)
+
+            residual_sup = -50.0 + (nominal_canc - sup_state["canc"])
+            residual_unsup = -50.0 + (nominal_canc - unsup_canc)
+
+            # Supervised arm: observe, walk the ladder, then serve.
+            sup.monitor.observe(residual_si_db=residual_sup,
+                                clip_fraction=clip_now,
+                                sounding_age_s=age_steps * step_s)
+            sup.step(now)
+            if not sup.relaying:
+                sup_sum += hd_rate
+            else:
+                # Gain backoff unloads the converters too.
+                eff_clip = clip_now * 10.0 ** (-sup.gain_backoff_db / 10.0)
+                sup_sum += _degraded_siso_rate(
+                    relay, cfg, sup_state["canc"], sup.gain_backoff_db,
+                    eff_clip, delay, true_triple)
+
+            # Unsupervised arm: same trace, no remedy, ever.
+            unsup_sum += _degraded_siso_rate(
+                relay, cfg, unsup_canc, 0.0, clip_now, delay,
+                true_triple)
+
+        supervised[r_idx] = sup_sum / num_steps
+        unsupervised[r_idx] = unsup_sum / num_steps
+        for event in sup.events:
+            key = event.kind.value
+            event_counts[r_idx][key] = event_counts[r_idx].get(key, 0) + 1
+        if r_idx == fault_rates.size - 1:
+            sample_events = [str(event) for event in sup.events]
+
+    return {"supervised": supervised, "unsupervised": unsupervised,
+            "event_counts": event_counts, "sample_events": sample_events}
+
+
 def fault_sweep_experiment(fault_rates=(0.0, 0.1, 0.2, 0.4), num_clients=5,
                            num_steps=60, seed=0, scenario=None,
                            si_jump_db=35.0, clip_burst_steps=6,
-                           clip_fraction=0.25, retune_success_prob=0.8):
+                           clip_fraction=0.25, retune_success_prob=0.8,
+                           jobs=None, cache=None, backend=None,
+                           checkpoint=None):
     """Throughput vs fault rate, with and without the supervisor.
 
     The fault-injection counterpart of the gains experiments: SISO
@@ -423,152 +694,59 @@ def fault_sweep_experiment(fault_rates=(0.0, 0.1, 0.2, 0.4), num_clients=5,
     per-rate mean throughputs for both arms plus the half-duplex and
     AP-only baselines, per-rate supervisor event counts, and a sample
     event log — everything reproducible from ``seed``.
-    """
-    from repro.faults import FaultSchedule
-    from repro.ident.sounding import DEFAULT_SOUNDING_INTERVAL_S
-    from repro.netsim.throughput import ap_only_siso_rate
-    from repro.supervision import (
-        RelayHealthMonitor,
-        RelaySupervisor,
-        SupervisorPolicy,
-    )
 
+    Runs as two engine phases: a per-client channel/baseline probe,
+    then — after the §6 selectivity cut — one time-stepped simulation
+    task per selected client covering every fault rate.
+    """
     scenario = scenario if scenario is not None else paper_scenarios()[1]
     testbed = Testbed(scenario, seed=seed)
-    step_s = DEFAULT_SOUNDING_INTERVAL_S
     fault_rates = np.asarray(fault_rates, dtype=float)
 
-    # -- clients: only those the relay constructively serves (§6) ----------
-    positions, rngs = _collect_clients(testbed, num_clients, seed + 600)
-    clients = []
-    for client, rng in zip(positions, rngs):
-        h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
-        delay = testbed.extra_path_delay_s(client)
-        direct = ap_only_siso_rate(h_sd)
-        hd = half_duplex_throughput_mbps(direct, ap_only_siso_rate(h_sr),
-                                         ap_only_siso_rate(h_rd))
-        cfg = RelayConfig(params=testbed.params, use_decomposition=False)
-        relay = FastForwardRelay(cfg)
-        relay.configure_siso_link(h_sd, h_sr, h_rd)
-        ff = ff_siso_rate(relay, delay)
-        clients.append({"triple": (h_sd, h_sr, h_rd), "delay": delay,
-                        "direct": direct, "hd": hd, "ff": ff})
+    # -- phase 1: only clients the relay constructively serves (§6) --------
+    positions, seeds = _collect_clients(testbed, num_clients, seed + 600)
+    probe_tasks = [
+        Task("netsim.fault-client-probe",
+             {"scenario": scenario, "testbed_seed": seed, "client": client},
+             seed=client_seed)
+        for client, client_seed in zip(positions, seeds)
+    ]
+    clients = run_sweep(probe_tasks, jobs=jobs, backend=backend, cache=cache,
+                        checkpoint=_sub_checkpoint(checkpoint,
+                                                   "probe")).results
     selected = [c for c in clients if c["ff"] >= 1.3 * max(c["hd"], 1e-9)]
     if not selected:
         selected = [max(clients,
                         key=lambda c: c["ff"] / max(c["hd"], 1e-9))]
 
+    # -- phase 2: the time-stepped two-arm simulation per client -----------
+    run_tasks = [
+        Task("netsim.fault-client-run",
+             {"ofdm_params": testbed.params, "h_sd": c["h_sd"],
+              "h_sr": c["h_sr"], "h_rd": c["h_rd"], "delay": c["delay"],
+              "hd_rate": c["hd"], "fault_rates": tuple(float(r)
+                                                       for r in fault_rates),
+              "num_steps": int(num_steps),
+              "schedule_seed": seed * 7919 + 13 + c_idx,
+              "si_jump_db": float(si_jump_db),
+              "clip_burst_steps": int(clip_burst_steps),
+              "clip_fraction": float(clip_fraction),
+              "retune_success_prob": float(retune_success_prob)})
+        for c_idx, c in enumerate(selected)
+    ]
+    runs = run_sweep(run_tasks, jobs=jobs, backend=backend, cache=cache,
+                     checkpoint=_sub_checkpoint(checkpoint, "run")).results
+
     supervised = np.zeros(fault_rates.size)
     unsupervised = np.zeros(fault_rates.size)
     event_counts = [dict() for _ in fault_rates]
-    sample_events = []
-
-    n_sc = selected[0]["triple"][0].size
-    for c_idx, client in enumerate(selected):
-        h_sd, h_sr0, h_rd0 = client["triple"]
-        delay = client["delay"]
-        schedule = FaultSchedule(seed * 7919 + 13 + c_idx)
-        # One uniform draw per step per process, independent of the
-        # rate: event at step t iff u[t] < p(rate), so a higher rate's
-        # fault trace is a superset of a lower rate's.
-        u_jump = schedule.stream("si-jump").random(num_steps)
-        u_clip = schedule.stream("clip").random(num_steps)
-        u_loss = schedule.stream("poll-loss").random(num_steps)
-        u_retune = schedule.stream("retune").random(4 * num_steps)
-        # The air drifts regardless of faults: a per-tone phase walk on
-        # the relay hops (the direct path stays put so the baselines
-        # are constant).
-        drift_rng = schedule.stream("drift")
-        phase_sr = np.cumsum(0.15 * drift_rng.standard_normal(
-            (num_steps, n_sc)), axis=0)
-        phase_rd = np.cumsum(0.15 * drift_rng.standard_normal(
-            (num_steps, n_sc)), axis=0)
-
-        for r_idx, rate in enumerate(fault_rates):
-            p_jump = p_clip = 0.25 * rate
-            p_loss = min(2.0 * rate, 0.95)
-
-            cfg = RelayConfig(params=testbed.params, use_decomposition=False)
-            relay = FastForwardRelay(cfg)
-            relay.configure_siso_link(h_sd, h_sr0, h_rd0)
-            nominal_canc = cfg.cancellation_db
-
-            sup_state = {"canc": nominal_canc}
-            retune_calls = [0]
-
-            def attempt_retune(now_s):
-                ok = bool(u_retune[retune_calls[0] % u_retune.size]
-                          < retune_success_prob)
-                retune_calls[0] += 1
-                if ok:
-                    sup_state["canc"] = nominal_canc
-                return ok
-
-            policy = SupervisorPolicy(
-                retune_backoff_s=0.6 * step_s,
-                retune_backoff_max_s=4.0 * step_s,
-                retune_retry_budget=2,
-                gain_step_db=6.0, max_gain_backoff_db=6.0,
-                escalation_hold_s=0.5 * step_s,
-                recovery_hold_s=1.2 * step_s,
-                fallback_sounding_age_s=0.5)
-            sup = RelaySupervisor(
-                monitor=RelayHealthMonitor(alpha=1.0),
-                policy=policy, retune=attempt_retune)
-
-            unsup_canc = nominal_canc
-            clip_left = 0
-            age_steps = 0
-            sup_sum = unsup_sum = 0.0
-            for t in range(num_steps):
-                now = (t + 1) * step_s
-                true_triple = (h_sd, h_sr0 * np.exp(1j * phase_sr[t]),
-                               h_rd0 * np.exp(1j * phase_rd[t]))
-                # Fault processes for this step.
-                if u_jump[t] < p_jump:
-                    sup_state["canc"] = nominal_canc - si_jump_db
-                    unsup_canc = nominal_canc - si_jump_db
-                if u_clip[t] < p_clip and clip_left == 0:
-                    clip_left = clip_burst_steps
-                clip_now = clip_fraction if clip_left > 0 else 0.0
-                clip_left = max(clip_left - 1, 0)
-                if u_loss[t] < p_loss:
-                    age_steps += 1
-                else:
-                    age_steps = 0
-                    # A delivered poll re-tunes the constructive filter
-                    # onto the current air (both arms benefit equally).
-                    relay.configure_siso_link(*true_triple)
-
-                residual_sup = -50.0 + (nominal_canc - sup_state["canc"])
-                residual_unsup = -50.0 + (nominal_canc - unsup_canc)
-
-                # Supervised arm: observe, walk the ladder, then serve.
-                sup.monitor.observe(residual_si_db=residual_sup,
-                                    clip_fraction=clip_now,
-                                    sounding_age_s=age_steps * step_s)
-                sup.step(now)
-                if not sup.relaying:
-                    sup_sum += client["hd"]
-                else:
-                    # Gain backoff unloads the converters too.
-                    eff_clip = clip_now * 10.0 ** (-sup.gain_backoff_db / 10.0)
-                    sup_sum += _degraded_siso_rate(
-                        relay, cfg, sup_state["canc"], sup.gain_backoff_db,
-                        eff_clip, delay, true_triple)
-
-                # Unsupervised arm: same trace, no remedy, ever.
-                unsup_sum += _degraded_siso_rate(
-                    relay, cfg, unsup_canc, 0.0, clip_now, delay,
-                    true_triple)
-
-            supervised[r_idx] += sup_sum / num_steps
-            unsupervised[r_idx] += unsup_sum / num_steps
-            for event in sup.events:
-                key = event.kind.value
-                event_counts[r_idx][key] = event_counts[r_idx].get(key, 0) + 1
-            if r_idx == fault_rates.size - 1 and c_idx == 0:
-                sample_events = [str(event) for event in sup.events]
+    for run in runs:
+        supervised += np.asarray(run["supervised"])
+        unsupervised += np.asarray(run["unsupervised"])
+        for r_idx, counts in enumerate(run["event_counts"]):
+            for key, n in counts.items():
+                event_counts[r_idx][key] = event_counts[r_idx].get(key, 0) + n
+    sample_events = list(runs[0]["sample_events"]) if runs else []
 
     n_sel = len(selected)
     return {

@@ -1,4 +1,9 @@
-"""Coverage heatmaps: the Fig. 1 (SNR) and Fig. 2 (MIMO streams) maps."""
+"""Coverage heatmaps: the Fig. 1 (SNR) and Fig. 2 (MIMO streams) maps.
+
+The grid sweep runs through :mod:`repro.exec` — one task per grid
+point, seeded exactly as the historical serial loop — so it shards
+across workers and caches per-point results like every other sweep.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +12,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.relay import FastForwardRelay, RelayConfig
+from repro.exec import Task, run_sweep, task_fn
 from repro.netsim.testbed import Testbed
 from repro.netsim.throughput import snr_field_db, usable_streams
 from repro.phy.rates import effective_snr_db
-from repro.utils.rng import child_rngs
+from repro.utils.rng import child_seeds
 
 
 @dataclass
@@ -33,7 +39,32 @@ class HeatmapResult:
         return float(np.mean(field >= num_streams))
 
 
-def coverage_heatmap(testbed: Testbed, spacing_m=1.0, seed=0):
+@task_fn("netsim.coverage-point", version="1")
+def _coverage_point(testbed, point, rng=None):
+    """Both coverage fields (SNR and streams) at one grid point."""
+    h_sd, h_sr, h_rd = testbed.siso_triple(point, rng)
+    snr_ap = snr_field_db(h_sd)
+    relay = FastForwardRelay(RelayConfig(params=testbed.params))
+    relay.configure_siso_link(h_sd, h_sr, h_rd)
+    delay = testbed.extra_path_delay_s(point)
+    snr_ff = effective_snr_db(relay.destination_snr_db(delay))
+
+    m_sd, m_sr, m_rd = testbed.mimo_triple(point, rng)
+    noise = 10.0 ** (-90.0 / 10.0)
+    n_rx = m_sd.shape[1]
+    direct_cov = np.broadcast_to(noise * np.eye(n_rx),
+                                 (m_sd.shape[0], n_rx, n_rx)).copy()
+    streams_ap = usable_streams(m_sd, direct_cov)
+    mrelay = FastForwardRelay(RelayConfig(params=testbed.params))
+    mrelay.configure_mimo_link(m_sd, m_sr, m_rd)
+    h_eff, noise_cov = mrelay.mimo_effective_channels(delay)
+    streams_ff = usable_streams(h_eff, noise_cov)
+    return {"snr_ap": float(snr_ap), "snr_ff": float(snr_ff),
+            "streams_ap": int(streams_ap), "streams_ff": int(streams_ff)}
+
+
+def coverage_heatmap(testbed: Testbed, spacing_m=1.0, seed=0, jobs=None,
+                     cache=None, backend=None, checkpoint=None):
     """Sweep a grid of client positions; compute both coverage fields.
 
     For each point: the AP-only effective SNR and usable MIMO stream
@@ -41,35 +72,19 @@ def coverage_heatmap(testbed: Testbed, spacing_m=1.0, seed=0):
     client.
     """
     grid = testbed.scenario.floorplan.grid(spacing_m=spacing_m)
-    rngs = child_rngs(seed, len(grid))
-    snr_ap = np.empty(len(grid))
-    snr_ff = np.empty(len(grid))
-    streams_ap = np.empty(len(grid), dtype=int)
-    streams_ff = np.empty(len(grid), dtype=int)
-
-    for i, (point, rng) in enumerate(zip(grid, rngs)):
-        h_sd, h_sr, h_rd = testbed.siso_triple(point, rng)
-        snr_ap[i] = snr_field_db(h_sd)
-        relay = FastForwardRelay(RelayConfig(params=testbed.params))
-        relay.configure_siso_link(h_sd, h_sr, h_rd)
-        delay = testbed.extra_path_delay_s(point)
-        snr_ff[i] = effective_snr_db(relay.destination_snr_db(delay))
-
-        m_sd, m_sr, m_rd = testbed.mimo_triple(point, rng)
-        noise = 10.0 ** (-90.0 / 10.0)
-        n_rx = m_sd.shape[1]
-        direct_cov = np.broadcast_to(noise * np.eye(n_rx),
-                                     (m_sd.shape[0], n_rx, n_rx)).copy()
-        streams_ap[i] = usable_streams(m_sd, direct_cov)
-        mrelay = FastForwardRelay(RelayConfig(params=testbed.params))
-        mrelay.configure_mimo_link(m_sd, m_sr, m_rd)
-        h_eff, noise_cov = mrelay.mimo_effective_channels(delay)
-        streams_ff[i] = usable_streams(h_eff, noise_cov)
+    seeds = child_seeds(seed, len(grid))
+    tasks = [Task("netsim.coverage-point",
+                  {"testbed": testbed, "point": point}, seed=point_seed)
+             for point, point_seed in zip(grid, seeds)]
+    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
+                     checkpoint=checkpoint).results
 
     return HeatmapResult(
         positions=grid,
-        snr_ap_only_db=snr_ap,
-        snr_with_ff_db=snr_ff,
-        streams_ap_only=streams_ap,
-        streams_with_ff=streams_ff,
+        snr_ap_only_db=np.asarray([r["snr_ap"] for r in rows]),
+        snr_with_ff_db=np.asarray([r["snr_ff"] for r in rows]),
+        streams_ap_only=np.asarray([r["streams_ap"] for r in rows],
+                                   dtype=int),
+        streams_with_ff=np.asarray([r["streams_ff"] for r in rows],
+                                   dtype=int),
     )

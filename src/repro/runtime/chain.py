@@ -26,7 +26,7 @@ accounts against the OFDM cyclic prefix.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -80,6 +80,20 @@ class SpectralKernel:
     sample_rate_hz: float
     _spectra: dict = field(default_factory=dict, repr=False)
 
+    def __post_init__(self):
+        self._spectra_lock = threading.Lock()
+
+    def __getstate__(self):
+        # Kernels ride along when sweep tasks are shipped to process
+        # workers; locks don't pickle, so rebuild one on arrival.
+        state = self.__dict__.copy()
+        state.pop("_spectra_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._spectra_lock = threading.Lock()
+
     @property
     def length(self):
         """Number of FIR taps."""
@@ -96,13 +110,21 @@ class SpectralKernel:
         return self.fir.ndim == 3
 
     def spectrum(self, fft_size):
-        """The kernel's FFT at ``fft_size`` bins (memoised per size)."""
+        """The kernel's FFT at ``fft_size`` bins (memoised per size).
+
+        Thread-safe: a cached kernel is shared by every stage (and, with
+        the thread-backed sweep executor, every worker) that processes
+        the same link, so concurrent first calls must not duplicate or
+        tear the memo.
+        """
         if fft_size < self.length:
             raise ValueError(
                 f"fft_size {fft_size} shorter than kernel ({self.length})")
-        if fft_size not in self._spectra:
-            self._spectra[fft_size] = np.fft.fft(self.fir, fft_size, axis=-1)
-        return self._spectra[fft_size]
+        with self._spectra_lock:
+            if fft_size not in self._spectra:
+                self._spectra[fft_size] = np.fft.fft(self.fir, fft_size,
+                                                     axis=-1)
+            return self._spectra[fft_size]
 
 
 def design_windowed_kernel(response_fn, sample_rate_hz, flat_fraction=0.35,
@@ -217,7 +239,13 @@ _GLOBAL_CACHE = KernelCache()
 
 
 def kernel_cache():
-    """The process-wide kernel cache shared by all spectral stages."""
+    """The process-wide kernel cache shared by all spectral stages.
+
+    Per-process by construction: sweep workers spawned by
+    :mod:`repro.exec` each build (or fork-inherit a snapshot of) their
+    own cache, and every mutation is lock-guarded, so parallel sweeps
+    cannot corrupt it — results stay independent of worker layout.
+    """
     return _GLOBAL_CACHE
 
 

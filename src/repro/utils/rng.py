@@ -22,14 +22,25 @@ def make_rng(seed_or_rng=None):
     return np.random.default_rng(seed_or_rng)
 
 
+def child_seeds(seed_or_rng, count):
+    """Draw ``count`` independent integer child seeds.
+
+    The seed material behind :func:`child_rngs`, exposed separately so
+    sweeps can ship a plain integer per task to worker threads and
+    processes and rebuild the exact generator there:
+    ``numpy.random.default_rng(child_seeds(s, n)[i])`` is bit-identical
+    to ``child_rngs(s, n)[i]``.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = make_rng(seed_or_rng)
+    return [int(s) for s in root.integers(0, 2**63 - 1, size=count)]
+
+
 def child_rngs(seed_or_rng, count):
     """Spawn ``count`` independent child generators.
 
     Used when an experiment fans out over many locations/trials and each
     needs its own reproducible stream regardless of evaluation order.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    root = make_rng(seed_or_rng)
-    seeds = root.integers(0, 2**63 - 1, size=count)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in child_seeds(seed_or_rng, count)]

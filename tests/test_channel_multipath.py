@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.channel import MultipathChannel, exponential_pdp, rayleigh_taps, rician_taps
-from repro.utils import make_rng, signal_power
+from repro.utils import make_rng
 
 
 class TestPdp:

@@ -44,3 +44,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "median gain" in out
         assert "100 ns" in out and "500 ns" in out
+
+
+class TestSweepCommand:
+    def test_all_experiments_parse(self):
+        parser = build_parser()
+        for name in ("gains", "siso", "uplink", "scenarios", "latency",
+                     "no-cnf", "cancellation", "faults", "coverage"):
+            args = parser.parse_args(["sweep", name])
+            assert callable(args.func)
+
+    def test_sweep_gains_prints_engine_stats(self, capsys):
+        assert main(["sweep", "gains", "--clients", "3", "--jobs", "2",
+                     "--backend", "thread"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:" in out
+        assert "backend=thread jobs=2" in out
+
+    def test_sweep_cache_stats_printed(self, capsys, tmp_path):
+        argv = ["sweep", "gains", "--clients", "3",
+                "--cache", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        assert "0 hits" in capsys.readouterr().out
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 misses" in out and "100% hit rate" in out
+
+    def test_sweep_checkpoint_written(self, capsys, tmp_path):
+        manifest = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "coverage", "--spacing", "8",
+                     "--cache", str(tmp_path / "cache"),
+                     "--checkpoint", str(manifest)]) == 0
+        assert manifest.exists()
+        assert len(manifest.read_text().splitlines()) > 1

@@ -1,6 +1,5 @@
 """Latency budget and ISI penalty (§3.2, §5.4)."""
 
-import numpy as np
 import pytest
 
 from repro.core import LatencyBudget, isi_effective_snr, isi_useful_fraction

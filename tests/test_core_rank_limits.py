@@ -3,7 +3,6 @@ dimensions, it can increase the MIMO rank at the destination at most by
 K" (§3.2)."""
 
 import numpy as np
-import pytest
 
 from repro.core import FastForwardRelay, RelayConfig
 from repro.netsim.throughput import usable_streams

@@ -1,0 +1,95 @@
+"""The content-addressed result cache: round-trips, stats, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.exec import ResultCache
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_scalar_tree(self, cache):
+        value = {"a": 1, "b": 2.5, "c": "x", "d": None, "e": True,
+                 "f": [1, 2, {"g": 3}]}
+        cache.put("k" * 64, value)
+        assert cache.get("k" * 64) == value
+
+    def test_arrays_bit_identical(self, cache):
+        rng = np.random.default_rng(0)
+        value = {"real": rng.standard_normal(17),
+                 "cplx": rng.standard_normal(5) + 1j * rng.standard_normal(5),
+                 "ints": np.arange(4, dtype=np.int64),
+                 "nested": [np.zeros((2, 3)), {"deep": np.ones(2)}]}
+        cache.put("a" * 64, value)
+        out = cache.get("a" * 64)
+        for key in ("real", "cplx", "ints"):
+            assert out[key].dtype == value[key].dtype
+            assert np.array_equal(out[key], value[key])
+        assert np.array_equal(out["nested"][0], value["nested"][0])
+        assert np.array_equal(out["nested"][1]["deep"],
+                              value["nested"][1]["deep"])
+
+    def test_tuples_survive(self, cache):
+        cache.put("t" * 64, {"pair": (1, 2.0), "unit": ("x",)})
+        out = cache.get("t" * 64)
+        assert out["pair"] == (1, 2.0) and isinstance(out["pair"], tuple)
+
+    def test_complex_scalars(self, cache):
+        cache.put("c" * 64, {"z": 1.5 - 2.5j})
+        assert cache.get("c" * 64)["z"] == 1.5 - 2.5j
+
+    def test_uncacheable_type_rejected(self, cache):
+        with pytest.raises(TypeError, match="cannot cache"):
+            cache.put("u" * 64, {"bad": object()})
+
+
+class TestStats:
+    def test_hit_miss_store_counts(self, cache):
+        assert cache.get("m" * 64) is None
+        cache.put("m" * 64, {"v": 1})
+        assert cache.get("m" * 64) == {"v": 1}
+        s = cache.stats
+        assert (s.hits, s.misses, s.stores) == (1, 1, 1)
+        assert s.hit_rate == 0.5
+
+    def test_len_counts_entries(self, cache):
+        assert len(cache) == 0
+        cache.put("x" * 64, {"v": 1})
+        cache.put("y" * 64, {"v": 2})
+        assert len(cache) == 2
+
+
+class TestCorruptionAndInvalidation:
+    def test_corrupt_entry_is_invalidated(self, cache):
+        key = "z" * 64
+        cache.put(key, {"v": 1})
+        path = cache._path(key)
+        path.write_bytes(b"not an npz file")
+        assert cache.get(key) is None
+        assert cache.stats.invalidations == 1
+        assert not path.exists()
+
+    def test_invalidate_all(self, cache):
+        cache.put("p" * 64, {"v": 1}, fn="fn.a", version="1")
+        cache.put("q" * 64, {"v": 2}, fn="fn.b", version="1")
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_invalidate_by_fn(self, cache):
+        cache.put("p" * 64, {"v": 1}, fn="fn.a", version="1")
+        cache.put("q" * 64, {"v": 2}, fn="fn.b", version="1")
+        assert cache.invalidate(fn="fn.a") == 1
+        assert cache.get("q" * 64) == {"v": 2}
+
+    def test_version_changes_key(self):
+        # A bumped task version changes the content address itself, so
+        # stale results can never be returned for new code.
+        from repro.exec import digest
+
+        key_v1 = digest(["task", "fn", "1", {"x": 1}, 0])
+        key_v2 = digest(["task", "fn", "2", {"x": 1}, 0])
+        assert key_v1 != key_v2

@@ -1,0 +1,123 @@
+"""Checkpoint/resume: sweep manifests and interrupted-sweep recovery."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ResultCache,
+    SweepManifest,
+    Task,
+    run_sweep,
+    sweep_id,
+    task_fn,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_env_cache(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+
+
+@task_fn("test.manifest.draw", version="1")
+def _draw(n, rng=None):
+    return {"v": rng.standard_normal(n)}
+
+
+def _tasks(count=8):
+    return [Task("test.manifest.draw", {"n": 5}, seed=i)
+            for i in range(count)]
+
+
+class TestManifestFile:
+    def test_records_survive_reopen(self, tmp_path):
+        keys = [t.cache_key() for t in _tasks()]
+        path = tmp_path / "m.jsonl"
+        with SweepManifest.open(path, keys) as m:
+            m.record(0, keys[0])
+            m.record(3, keys[3])
+        with SweepManifest.open(path, keys) as m:
+            assert m.completed == {0: keys[0], 3: keys[3]}
+
+    def test_different_sweep_restarts(self, tmp_path):
+        keys_a = [t.cache_key() for t in _tasks(4)]
+        keys_b = [t.cache_key() for t in _tasks(5)]
+        path = tmp_path / "m.jsonl"
+        with SweepManifest.open(path, keys_a) as m:
+            m.record(1, keys_a[1])
+        with SweepManifest.open(path, keys_b) as m:
+            assert m.completed == {}
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["sweep"] == sweep_id(keys_b)
+
+    def test_half_written_tail_ignored(self, tmp_path):
+        keys = [t.cache_key() for t in _tasks(4)]
+        path = tmp_path / "m.jsonl"
+        with SweepManifest.open(path, keys) as m:
+            m.record(0, keys[0])
+            m.record(1, keys[1])
+        with open(path, "a") as fh:
+            fh.write('{"i": 2, "ke')           # the kill mid-write
+        with SweepManifest.open(path, keys) as m:
+            assert m.completed == {0: keys[0], 1: keys[1]}
+
+    def test_duplicate_record_ignored(self, tmp_path):
+        keys = [t.cache_key() for t in _tasks(2)]
+        path = tmp_path / "m.jsonl"
+        with SweepManifest.open(path, keys) as m:
+            m.record(0, keys[0])
+            m.record(0, keys[0])
+        assert len(path.read_text().splitlines()) == 2   # header + 1
+
+
+class TestResume:
+    def test_full_resume_skips_execution(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        manifest = tmp_path / "m.jsonl"
+        tasks = _tasks()
+        first = run_sweep(tasks, cache=cache, checkpoint=manifest)
+        again = run_sweep(tasks, cache=cache, checkpoint=manifest)
+        assert again.stats.executed == 0
+        assert again.stats.resumed == len(tasks)
+        for a, b in zip(first.results, again.results):
+            assert np.array_equal(a["v"], b["v"])
+
+    def test_resume_after_kill_is_identical(self, tmp_path):
+        # Simulate a sweep killed mid-flight: keep only a prefix of the
+        # manifest, then rerun — output must be bit-identical.
+        cache = ResultCache(tmp_path / "c")
+        manifest = tmp_path / "m.jsonl"
+        tasks = _tasks()
+        first = run_sweep(tasks, cache=cache, checkpoint=manifest)
+
+        lines = manifest.read_text().splitlines()
+        manifest.write_text("\n".join(lines[:4]) + "\n")   # header + 3
+
+        again = run_sweep(tasks, cache=ResultCache(tmp_path / "c"),
+                          checkpoint=manifest)
+        assert again.stats.resumed == 3
+        for a, b in zip(first.results, again.results):
+            assert np.array_equal(a["v"], b["v"])
+
+    def test_resume_with_lost_cache_entry_reruns(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        manifest = tmp_path / "m.jsonl"
+        tasks = _tasks(4)
+        first = run_sweep(tasks, cache=cache, checkpoint=manifest)
+        # Drop one cached result: the manifest says done, the cache
+        # disagrees — the task must re-run, not return garbage.
+        cache._path(tasks[2].cache_key()).unlink()
+        again = run_sweep(tasks, cache=ResultCache(tmp_path / "c"),
+                          checkpoint=manifest)
+        assert again.stats.executed == 1
+        for a, b in zip(first.results, again.results):
+            assert np.array_equal(a["v"], b["v"])
+
+    def test_checkpoint_implies_cache(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = run_sweep(_tasks(3), checkpoint=tmp_path / "m.jsonl")
+        assert out.stats.cache is not None
+        assert (tmp_path / ".repro-cache").is_dir()

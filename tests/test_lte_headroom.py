@@ -6,7 +6,6 @@ buffered non-causal cancellation of prior work fits inside LTE's CP.
 """
 
 import numpy as np
-import pytest
 
 from repro.channel import PropagationModel, fig1_home
 from repro.core import FastForwardRelay, LatencyBudget, RelayConfig

@@ -1,6 +1,5 @@
 """PHY validation: simulated error rates vs closed-form theory."""
 
-import numpy as np
 import pytest
 
 from repro.phy.analysis import (
