@@ -26,6 +26,19 @@ Subpackages
 ``repro.ident``
     Source/destination identification: PN signatures, STF channel
     fingerprints, sounding, CSI feedback, and the relay control plane.
+``repro.runtime``
+    The streaming relay runtime: composable block-processing stages,
+    chains, cached spectral kernels, per-stage instrumentation.
+``repro.faults`` / ``repro.supervision``
+    Fault injection (seeded schedules, impairment stages) and the
+    self-healing relay supervisor with its degradation ladder.
+``repro.exec``
+    The sharded sweep executor: serial/thread/process backends, a
+    content-addressed result cache, checkpoint/resume.
+``repro.telemetry``
+    Unified metrics, tracing and profiling: an ambient collector,
+    deterministic cross-worker merging, JSONL / summary-table /
+    Chrome-trace export.
 ``repro.netsim``
     Testbeds, throughput models, per-figure experiment runners, and
     design-choice ablations.

@@ -13,6 +13,9 @@ fingerprint    Fig. 21: uplink identification error rates
 faults         fault sweep: supervised vs unsupervised degradation
 sweep          any experiment through the parallel engine
                (``--jobs``, on-disk result cache, checkpoint/resume)
+report         any sweep experiment under a telemetry collector:
+               per-stage/per-shard summary tables, JSONL and Chrome
+               trace exports (``--jsonl``, ``--trace``, ``--csv``)
 =============  =====================================================
 """
 
@@ -203,6 +206,38 @@ def _cmd_sweep(args):
                   f"({cs.hit_rate:.0%} hit rate)")
 
 
+def _cmd_report(args):
+    from repro.telemetry import (
+        TelemetryCollector,
+        read_jsonl,
+        summary_table,
+        use_collector,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if args.from_file is not None:
+        payload = read_jsonl(args.from_file)
+    else:
+        if args.experiment is None:
+            raise SystemExit(
+                "repro report: give an experiment to run, or --from FILE "
+                "to render a saved JSONL export")
+        collector = TelemetryCollector(origin="repro-report")
+        with use_collector(collector):
+            _run_sweep_experiment(args)
+        payload = collector.payload()
+        print()
+    print(summary_table(payload, fmt="csv" if args.csv else "markdown"))
+    if args.jsonl is not None:
+        n = write_jsonl(payload, args.jsonl)
+        print(f"\nwrote {n} JSONL records to {args.jsonl}")
+    if args.trace is not None:
+        n = write_chrome_trace(payload, args.trace)
+        print(f"wrote {n} trace events to {args.trace} "
+              f"(load in chrome://tracing or https://ui.perfetto.dev)")
+
+
 def build_parser():
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -251,26 +286,49 @@ def build_parser():
     sweep = sub.add_parser(
         "sweep", help="run any experiment through the parallel engine")
     sweep.add_argument("experiment", choices=SWEEP_EXPERIMENTS)
-    sweep.add_argument("--clients", type=int, default=24,
-                       help="Monte-Carlo client count (default 24)")
-    sweep.add_argument("--jobs", type=int, default=None,
-                       help="parallel workers (default: REPRO_JOBS or 1)")
-    sweep.add_argument("--backend", choices=["serial", "thread", "process"],
-                       default=None,
-                       help="executor backend (default: by job count)")
-    sweep.add_argument("--cache", default=None, metavar="DIR",
-                       help="result-cache directory "
-                            "(default: REPRO_CACHE or off)")
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="disable the result cache even if REPRO_CACHE "
-                            "is set")
-    sweep.add_argument("--checkpoint", default=None, metavar="FILE",
-                       help="sweep manifest enabling resume after "
-                            "interruption")
-    sweep.add_argument("--spacing", type=float, default=2.0,
-                       help="grid spacing in metres (coverage only)")
+    _add_sweep_args(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report", help="run a sweep experiment under a telemetry "
+                       "collector and render the summary tables")
+    report.add_argument("experiment", nargs="?", choices=SWEEP_EXPERIMENTS,
+                        help="experiment to run (omit with --from)")
+    _add_sweep_args(report)
+    report.add_argument("--from", dest="from_file", default=None,
+                        metavar="FILE",
+                        help="render a previously saved JSONL export "
+                             "instead of running an experiment")
+    report.add_argument("--jsonl", default=None, metavar="FILE",
+                        help="also write the raw telemetry as JSONL")
+    report.add_argument("--trace", default=None, metavar="FILE",
+                        help="also write a Chrome trace-event JSON file")
+    report.add_argument("--csv", action="store_true",
+                        help="emit CSV rows instead of Markdown tables")
+    report.set_defaults(func=_cmd_report)
     return parser
+
+
+def _add_sweep_args(parser):
+    """Engine options shared by the ``sweep`` and ``report`` commands."""
+    parser.add_argument("--clients", type=int, default=24,
+                        help="Monte-Carlo client count (default 24)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel workers (default: REPRO_JOBS or 1)")
+    parser.add_argument("--backend", choices=["serial", "thread", "process"],
+                        default=None,
+                        help="executor backend (default: by job count)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="result-cache directory "
+                             "(default: REPRO_CACHE or off)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache even if REPRO_CACHE "
+                             "is set")
+    parser.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="sweep manifest enabling resume after "
+                             "interruption")
+    parser.add_argument("--spacing", type=float, default=2.0,
+                        help="grid spacing in metres (coverage only)")
 
 
 def main(argv=None):

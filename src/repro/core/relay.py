@@ -43,6 +43,7 @@ from repro.core.cnf_filter import (
 from repro.core.decomposition import decompose_cnf_filter
 from repro.core.latency import ISI_ICI_FACTOR, LatencyBudget, isi_useful_fraction
 from repro.phy.params import OfdmParams, WIFI_20MHZ
+from repro.telemetry.collector import current_collector
 from repro.utils.units import db_to_linear, db_to_power, power_to_db
 from repro.utils.validation import ensure_finite
 
@@ -568,7 +569,8 @@ class FastForwardRelay:
                 max(residual) if residual else None)
 
     def process(self, iq_stream, sample_rate_hz=None, cfo_hz=0.0, *,
-                block_size=4096, trace=None, faults=None, supervisor=None):
+                block_size=4096, trace=None, faults=None, supervisor=None,
+                telemetry=None):
         """Produce the relay's transmit waveform for a received stream.
 
         SISO only.  Applies, in order: CFO correction, the digital
@@ -594,25 +596,42 @@ class FastForwardRelay:
         readings into its health monitor, and applies the current
         remedy — gain backoff or half-duplex muting.  Without a
         supervisor, non-finite *input* raises ``ValueError``.
+
+        ``telemetry`` optionally names the
+        :class:`repro.telemetry.TelemetryCollector` to record into;
+        by default the ambient collector is used, which is the
+        zero-cost null collector unless one is installed.  When a live
+        collector is in effect and no explicit ``trace`` was given, a
+        telemetry-fed :class:`~repro.runtime.chain.ChainTrace` is
+        created so per-stage counters and wall-time histograms flow
+        without the caller wiring anything.
         """
         if self._mode != "siso":
             raise RuntimeError("sample-level processing requires a SISO link")
         sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
+        tel = telemetry if telemetry is not None else current_collector()
+        if tel.enabled and trace is None:
+            from repro.runtime.chain import ChainTrace
+
+            trace = ChainTrace(collector=tel, energy=False)
         x = np.asarray(iq_stream, dtype=complex)
         x = self._admit_stream(x, supervisor)
         chain = self._memoised_chain("siso", sample_rate_hz, cfo_hz,
                                      block_size)
-        y = self._run_with_faults(chain, faults, x, trace)
-        if supervisor is None:
-            return y
-        clip_fraction, residual_si_db = self._harvest_health(faults)
-        return supervisor.guard_block(
-            y, duration_s=x.size / sample_rate_hz,
-            clip_fraction=clip_fraction, residual_si_db=residual_si_db)
+        with tel.span("relay.process", mode="siso"):
+            y = self._run_with_faults(chain, faults, x, trace)
+            if supervisor is not None:
+                clip_fraction, residual_si_db = self._harvest_health(faults)
+                y = supervisor.guard_block(
+                    y, duration_s=x.size / sample_rate_hz,
+                    clip_fraction=clip_fraction,
+                    residual_si_db=residual_si_db)
+        tel.counter("relay.samples", mode="siso").inc(int(x.size))
+        return y
 
     def process_mimo(self, iq_streams, sample_rate_hz=None, cfo_hz=0.0, *,
                      block_size=4096, trace=None, faults=None,
-                     supervisor=None):
+                     supervisor=None, telemetry=None):
         """Produce the K relay transmit streams for K received streams.
 
         MIMO only.  Applies the per-subcarrier unitary filters
@@ -620,8 +639,8 @@ class FastForwardRelay:
         amplification, with optional CFO correct/restore around the
         processing.  ``iq_streams`` is (K, n_samples).  Like
         :meth:`process`, a one-shot wrapper over :meth:`make_mimo_chain`
-        accepting the same ``trace``, ``faults`` and ``supervisor``
-        keywords.
+        accepting the same ``trace``, ``faults``, ``supervisor`` and
+        ``telemetry`` keywords.
 
         Note: unlike the SISO path, these are the *ideal* per-subcarrier
         filters — no latency-constrained decomposition is applied, so
@@ -633,6 +652,11 @@ class FastForwardRelay:
             raise RuntimeError(
                 "sample-level MIMO processing requires a MIMO link")
         sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
+        tel = telemetry if telemetry is not None else current_collector()
+        if tel.enabled and trace is None:
+            from repro.runtime.chain import ChainTrace
+
+            trace = ChainTrace(collector=tel, energy=False)
         x = np.atleast_2d(np.asarray(iq_streams, dtype=complex))
         k = self._mimo_f0.shape[1]
         if x.shape[0] != k:
@@ -641,10 +665,13 @@ class FastForwardRelay:
         x = self._admit_stream(x, supervisor)
         chain = self._memoised_chain("mimo", sample_rate_hz, cfo_hz,
                                      block_size)
-        y = self._run_with_faults(chain, faults, x, trace)
-        if supervisor is None:
-            return y
-        clip_fraction, residual_si_db = self._harvest_health(faults)
-        return supervisor.guard_block(
-            y, duration_s=x.shape[-1] / sample_rate_hz,
-            clip_fraction=clip_fraction, residual_si_db=residual_si_db)
+        with tel.span("relay.process", mode="mimo"):
+            y = self._run_with_faults(chain, faults, x, trace)
+            if supervisor is not None:
+                clip_fraction, residual_si_db = self._harvest_health(faults)
+                y = supervisor.guard_block(
+                    y, duration_s=x.shape[-1] / sample_rate_hz,
+                    clip_fraction=clip_fraction,
+                    residual_si_db=residual_si_db)
+        tel.counter("relay.samples", mode="mimo").inc(int(x.shape[-1]))
+        return y

@@ -46,6 +46,12 @@ import numpy as np
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.exec.manifest import SweepManifest
 from repro.exec.task import resolve_task_fn
+from repro.telemetry.collector import (
+    TelemetryCollector,
+    current_collector,
+    use_collector,
+)
+from repro.telemetry.timing import NS_PER_S, timed_call
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -156,23 +162,63 @@ def last_sweep_stats():
     return _LAST_STATS[-1] if _LAST_STATS else None
 
 
-def _run_chunk(items):
-    """Execute one chunk of ``(index, module, fn_name, params, seed)``.
+def _execute_item(item):
+    """Run one ``(index, module, fn_name, params, seed)`` work unit.
 
-    Runs in a worker (thread or process).  The defining module is
-    imported first so spawned processes populate the task registry
-    before resolving the function name.
+    The defining module is imported first so spawned processes populate
+    the task registry before resolving the function name.
     """
+    index, module, fn_name, params, seed = item
+    importlib.import_module(module)
+    fn, _ = resolve_task_fn(fn_name)
+    if seed is None:
+        return index, fn(**params)
+    return index, fn(**params, rng=np.random.default_rng(seed))
+
+
+def _run_chunk(items, collect=False, shard=None):
+    """Execute one chunk; returns ``(results, telemetry_payload)``.
+
+    Runs in a worker (thread or process).  When ``collect`` is set the
+    chunk gets its own :class:`~repro.telemetry.TelemetryCollector`,
+    installed thread-locally so parallel shards never race on shared
+    state and anything the task functions record lands in the shard's
+    collector.  The payload (a plain dict — it crosses the process
+    boundary) is merged back in the parent in deterministic task order.
+    """
+    if not collect:
+        return [_execute_item(item) for item in items], None
+    collector = TelemetryCollector(origin=f"shard-{shard}")
     out = []
-    for index, module, fn_name, params, seed in items:
-        importlib.import_module(module)
-        fn, _ = resolve_task_fn(fn_name)
-        if seed is None:
-            out.append((index, fn(**params)))
-        else:
-            out.append((index, fn(**params,
-                                  rng=np.random.default_rng(seed))))
-    return out
+    with use_collector(collector), \
+            collector.span("exec.shard", shard=shard, tasks=len(items)):
+        for item in items:
+            fn_name = item[2]
+            pair, wall_s = timed_call(_execute_item, item)
+            out.append(pair)
+            collector.counter("exec.tasks.completed", fn=fn_name).inc()
+            collector.histogram("exec.task.wall_ns", unit="ns",
+                                fn=fn_name).observe(wall_s * NS_PER_S)
+    return out, collector.payload()
+
+
+def _record_sweep_telemetry(tel, stats, cache):
+    """Fold sweep-level stats (and cache stats) into the collector."""
+    if not tel.enabled:
+        return
+    tel.counter("exec.tasks.total").inc(stats.total)
+    tel.counter("exec.tasks.executed").inc(stats.executed)
+    tel.counter("exec.tasks.cache_hits").inc(stats.cache_hits)
+    tel.counter("exec.tasks.resumed").inc(stats.resumed)
+    tel.gauge("exec.sweep.wall_s", unit="s").set(stats.wall_s)
+    tel.gauge("exec.sweep.chunks", unit="layout").set(stats.chunks)
+    if cache is not None:
+        cache_stats = cache.stats
+        tel.gauge("exec.cache.hits").set(cache_stats.hits)
+        tel.gauge("exec.cache.misses").set(cache_stats.misses)
+        tel.gauge("exec.cache.stores").set(cache_stats.stores)
+        tel.gauge("exec.cache.invalidations").set(cache_stats.invalidations)
+        tel.gauge("exec.cache.hit_rate").set(cache_stats.hit_rate)
 
 
 def _chunked(pending, jobs, chunk_size):
@@ -257,36 +303,48 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
         if manifest is not None:
             manifest.record(index, keys[index])
 
+    tel = current_collector()
+    collect = tel.enabled
+
     try:
-        if backend == "serial" or jobs == 1 or len(pending) <= 1:
-            stats.backend = "serial" if jobs == 1 else backend
-            for item in pending:
-                for index, value in _run_chunk([item]):
-                    _complete(index, value)
-            stats.chunks = len(pending)
-        else:
-            chunks = _chunked(pending, jobs, chunk_size)
-            stats.chunks = len(chunks)
-            pool_cls = (ThreadPoolExecutor if backend == "thread"
-                        else ProcessPoolExecutor)
-            with pool_cls(max_workers=jobs) as pool:
-                futures = [pool.submit(_run_chunk, chunk)
-                           for chunk in chunks]
-                done_set, _ = wait(futures, return_when=FIRST_EXCEPTION)
-                # Record whatever completed (even if another chunk
-                # failed) so the checkpoint keeps its progress, then
-                # surface the first error in submission order.
-                for future in futures:
-                    if future in done_set and future.exception() is None:
-                        for index, value in future.result():
-                            _complete(index, value)
-                for future in futures:
-                    if future in done_set:
-                        future.result()     # raises the chunk's error
+        with tel.span("exec.sweep", backend=backend, jobs=jobs):
+            if backend == "serial" or jobs == 1 or len(pending) <= 1:
+                stats.backend = "serial" if jobs == 1 else backend
+                for shard, item in enumerate(pending):
+                    out, payload = _run_chunk([item], collect=collect,
+                                              shard=shard)
+                    tel.merge(payload)
+                    for index, value in out:
+                        _complete(index, value)
+                stats.chunks = len(pending)
+            else:
+                chunks = _chunked(pending, jobs, chunk_size)
+                stats.chunks = len(chunks)
+                pool_cls = (ThreadPoolExecutor if backend == "thread"
+                            else ProcessPoolExecutor)
+                with pool_cls(max_workers=jobs) as pool:
+                    futures = [pool.submit(_run_chunk, chunk, collect, shard)
+                               for shard, chunk in enumerate(chunks)]
+                    done_set, _ = wait(futures, return_when=FIRST_EXCEPTION)
+                    # Record whatever completed (even if another chunk
+                    # failed) so the checkpoint keeps its progress, then
+                    # surface the first error in submission order.
+                    # Merging telemetry in submission (= task) order is
+                    # what keeps the merged aggregate backend-invariant.
+                    for future in futures:
+                        if future in done_set and future.exception() is None:
+                            out, payload = future.result()
+                            tel.merge(payload)
+                            for index, value in out:
+                                _complete(index, value)
+                    for future in futures:
+                        if future in done_set:
+                            future.result()     # raises the chunk's error
     finally:
         if manifest is not None:
             manifest.close()
         stats.wall_s = time.perf_counter() - start
+        _record_sweep_telemetry(tel, stats, cache)
         _LAST_STATS.append(stats)
         del _LAST_STATS[:-1]
 

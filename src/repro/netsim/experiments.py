@@ -21,6 +21,8 @@ Each runner accepts ``jobs=``, ``cache=``, ``backend=`` and
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.core.baselines import AmplifyForwardRelay, half_duplex_throughput_mbps
@@ -29,6 +31,7 @@ from repro.core.relay import FastForwardRelay, RelayConfig
 from repro.exec import Task, run_sweep, task_fn
 from repro.netsim.metrics import median_gain, percentile_gain, relative_gains
 from repro.netsim.testbed import Testbed, paper_scenarios
+from repro.telemetry.collector import current_collector
 from repro.netsim.throughput import (
     ap_only_mimo_rate,
     ap_only_siso_rate,
@@ -214,6 +217,24 @@ def _cancellation_client(scenario, testbed_seed, client, cancellation_db,
 # Experiment runners
 # ---------------------------------------------------------------------------
 
+def _traced(name):
+    """Wrap a runner in a ``netsim.experiment`` telemetry span.
+
+    Zero-cost through the ambient null collector; with a live collector
+    installed (``repro report``, or any ``use_collector`` block) each
+    experiment run shows up as one top-level span enclosing its sweep.
+    """
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with current_collector().span("netsim.experiment",
+                                          experiment=name):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+@_traced("overall-gains")
 def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
                              relay_config=None, jobs=None, cache=None,
                              backend=None, checkpoint=None):
@@ -246,6 +267,7 @@ def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
     return out
 
 
+@_traced("siso-gains")
 def siso_gains_experiment(num_clients=60, seed=0, scenarios=None, jobs=None,
                           cache=None, backend=None, checkpoint=None):
     """Fig. 14 data: SISO AP/relay/client — pure SNR-gain territory."""
@@ -267,6 +289,7 @@ def siso_gains_experiment(num_clients=60, seed=0, scenarios=None, jobs=None,
     return out
 
 
+@_traced("uplink-gains")
 def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0,
                             jobs=None, cache=None, backend=None,
                             checkpoint=None):
@@ -296,6 +319,7 @@ def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0,
     return out
 
 
+@_traced("scenario-classes")
 def scenario_class_experiment(num_clients=90, seed=0, jobs=None, cache=None,
                               backend=None, checkpoint=None):
     """Fig. 15: gains partitioned by (SNR, rank) client class.
@@ -326,6 +350,7 @@ def scenario_class_experiment(num_clients=90, seed=0, jobs=None, cache=None,
     return gains
 
 
+@_traced("latency-sweep")
 def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
                              num_clients=40, seed=0, jobs=None, cache=None,
                              backend=None, checkpoint=None):
@@ -365,6 +390,7 @@ def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
     return results
 
 
+@_traced("no-cnf")
 def no_cnf_experiment(num_clients=60, seed=0, jobs=None, cache=None,
                       backend=None, checkpoint=None):
     """Fig. 17: the blind amplify-and-forward repeater vs FastForward."""
@@ -385,6 +411,7 @@ def no_cnf_experiment(num_clients=60, seed=0, jobs=None, cache=None,
     return data
 
 
+@_traced("cancellation-sweep")
 def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110),
                                   num_clients=40, seed=0, jobs=None,
                                   cache=None, backend=None, checkpoint=None):
@@ -417,6 +444,7 @@ def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110
     }
 
 
+@_traced("fingerprint")
 def fingerprint_experiment(num_locations=100, num_clients=4,
                            packets_per_client=50, seed=0,
                            threshold=None, snr_db=18.0, drift=0.18):
@@ -670,6 +698,7 @@ def _fault_client_run(ofdm_params, h_sd, h_sr, h_rd, delay, hd_rate,
             "event_counts": event_counts, "sample_events": sample_events}
 
 
+@_traced("fault-sweep")
 def fault_sweep_experiment(fault_rates=(0.0, 0.1, 0.2, 0.4), num_clients=5,
                            num_steps=60, seed=0, scenario=None,
                            si_jump_db=35.0, clip_burst_steps=6,

@@ -15,6 +15,7 @@ from repro.core.relay import FastForwardRelay, RelayConfig
 from repro.exec import Task, run_sweep, task_fn
 from repro.netsim.testbed import Testbed
 from repro.netsim.throughput import snr_field_db, usable_streams
+from repro.telemetry.collector import current_collector
 from repro.phy.rates import effective_snr_db
 from repro.utils.rng import child_seeds
 
@@ -71,6 +72,15 @@ def coverage_heatmap(testbed: Testbed, spacing_m=1.0, seed=0, jobs=None,
     count, and the same with a FastForward relay configured for that
     client.
     """
+    with current_collector().span("netsim.experiment",
+                                  experiment="coverage"):
+        return _coverage_heatmap(testbed, spacing_m=spacing_m, seed=seed,
+                                 jobs=jobs, cache=cache, backend=backend,
+                                 checkpoint=checkpoint)
+
+
+def _coverage_heatmap(testbed, spacing_m, seed, jobs, cache, backend,
+                      checkpoint):
     grid = testbed.scenario.floorplan.grid(spacing_m=spacing_m)
     seeds = child_seeds(seed, len(grid))
     tasks = [Task("netsim.coverage-point",

@@ -25,11 +25,11 @@ accounts against the OFDM cyclic prefix.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry.timing import timed_call
 from repro.utils.units import db_to_linear, power_to_db
 
 
@@ -147,11 +147,25 @@ class ChainTrace:
     (or to :meth:`repro.core.relay.FastForwardRelay.process` via the
     ``trace`` keyword) and read :attr:`stages` afterwards.  One trace
     may span many blocks and many runs; call :meth:`clear` to start over.
+
+    A trace doubles as the runtime's telemetry adapter: construct it
+    with a :class:`repro.telemetry.TelemetryCollector` and every stage
+    invocation additionally feeds per-stage counters and a wall-time
+    histogram (``runtime.stage.*``) into that collector.
+
+    ``energy=False`` skips the in/out power accumulation — two
+    full-array reductions per stage per block, by far the costliest
+    part of tracing.  The telemetry auto-wiring uses this mode so
+    always-on instrumentation stays within its overhead budget;
+    ``gain_db``/``power_in``/``power_out`` then read as empty.
     """
 
-    def __init__(self):
+    def __init__(self, collector=None, energy=True):
         self.stages = {}
         self._order = []
+        self.energy = bool(energy)
+        self.collector = collector if (
+            collector is not None and collector.enabled) else None
 
     def clear(self):
         """Drop all accumulated statistics."""
@@ -174,12 +188,20 @@ class ChainTrace:
         x_out = np.asarray(x_out)
         stats.samples_in += x_in.shape[-1] if x_in.ndim else 0
         stats.samples_out += x_out.shape[-1] if x_out.ndim else 0
-        if x_in.size:
-            stats.energy_in += float(np.sum(np.abs(x_in) ** 2)) \
-                / (x_in.shape[0] if x_in.ndim == 2 else 1)
-        if x_out.size:
-            stats.energy_out += float(np.sum(np.abs(x_out) ** 2)) \
-                / (x_out.shape[0] if x_out.ndim == 2 else 1)
+        if self.energy:
+            if x_in.size:
+                stats.energy_in += float(np.sum(np.abs(x_in) ** 2)) \
+                    / (x_in.shape[0] if x_in.ndim == 2 else 1)
+            if x_out.size:
+                stats.energy_out += float(np.sum(np.abs(x_out) ** 2)) \
+                    / (x_out.shape[0] if x_out.ndim == 2 else 1)
+        if self.collector is not None:
+            tel = self.collector
+            tel.counter("runtime.stage.calls", stage=name).inc()
+            tel.counter("runtime.stage.samples", stage=name).inc(
+                x_in.shape[-1] if x_in.ndim else 0)
+            tel.histogram("runtime.stage.wall_ns", unit="ns",
+                          stage=name).observe(wall_s * 1e9)
 
     @property
     def total_wall_s(self):
@@ -232,9 +254,8 @@ class Chain(Stage):
     def _timed(self, trace, label, fn, x):
         if trace is None:
             return fn(x)
-        t0 = time.perf_counter()
-        y = fn(x)
-        trace.record(label, time.perf_counter() - t0, x, y)
+        y, wall_s = timed_call(fn, x)
+        trace.record(label, wall_s, x, y)
         return y
 
     def process_block(self, x, trace=None):
@@ -254,10 +275,9 @@ class Chain(Stage):
             if carry is not None and carry.size:
                 parts.append(self._timed(trace, label,
                                          stage.process_block, carry))
-            t0 = time.perf_counter()
-            tail = stage.flush()
+            tail, flush_s = timed_call(stage.flush)
             if trace is not None and np.asarray(tail).size:
-                trace.record(label, time.perf_counter() - t0,
+                trace.record(label, flush_s,
                              _empty_like_stream(np.asarray(tail)), tail)
             parts.append(tail)
             hint = carry if carry is not None else np.asarray(parts[-1])

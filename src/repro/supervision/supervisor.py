@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.supervision.health import RelayHealthMonitor
+from repro.telemetry.collector import current_collector
 from repro.utils.units import db_to_linear
 
 
@@ -115,15 +116,22 @@ class RelaySupervisor:
         retune` in injected-fault tests).  None disables rung 1.
     on_event:
         Optional callback invoked with each :class:`SupervisorEvent`.
+    telemetry:
+        Optional :class:`repro.telemetry.TelemetryCollector`.  Every
+        ladder transition increments a ``supervision.transitions``
+        counter labelled by event kind and appends a structured
+        telemetry event mirroring the typed log.  Defaults to the
+        ambient collector (a zero-cost no-op unless one is installed).
     """
 
     def __init__(self, monitor: RelayHealthMonitor = None,
                  policy: SupervisorPolicy = None, retune=None,
-                 on_event=None, now_s=0.0):
+                 on_event=None, now_s=0.0, telemetry=None):
         self.monitor = monitor or RelayHealthMonitor()
         self.policy = policy or SupervisorPolicy()
         self._retune = retune
         self._on_event = on_event
+        self._telemetry = telemetry
         self.state = SupervisorState.ACTIVE
         self.gain_backoff_db = 0.0
         self.events = []
@@ -161,6 +169,12 @@ class RelaySupervisor:
         event = SupervisorEvent(time_s=self._now_s, kind=kind,
                                 state=self.state, detail=detail or {})
         self.events.append(event)
+        tel = self._telemetry if self._telemetry is not None \
+            else current_collector()
+        if tel.enabled:
+            tel.counter("supervision.transitions", kind=kind.value).inc()
+            tel.event("supervision.transition", kind=kind.value,
+                      state=self.state.value)
         if self._on_event is not None:
             self._on_event(event)
         return event

@@ -1,0 +1,93 @@
+"""repro.telemetry — unified metrics, tracing and profiling.
+
+One subsystem for every measurement the repo makes:
+
+* **Metrics** — label-aware counters, gauges and fixed-bucket
+  log-spaced histograms (:mod:`repro.telemetry.metrics`).
+* **Tracing** — nested wall-clock spans via a context-manager API
+  (:mod:`repro.telemetry.spans`)::
+
+      tel = TelemetryCollector()
+      with tel.span("cnf.filter", mode="siso"):
+          ...
+
+* **Collection** — :class:`TelemetryCollector` accumulates everything;
+  ``current_collector()`` / ``use_collector`` provide the ambient
+  collector instrumented code reads, and :class:`NullCollector` keeps
+  the uninstrumented hot path zero-cost.  Worker collectors serialise
+  to plain-dict payloads and merge deterministically
+  (:mod:`repro.telemetry.collector`).
+* **Export** — JSONL event streams, Markdown/CSV summary tables and
+  Chrome trace-event JSON (:mod:`repro.telemetry.export`), with schema
+  validators in :mod:`repro.telemetry.validate`.
+
+Instrumented entry points: ``relay.process(..., telemetry=tel)``,
+``exec.run_sweep`` (per-shard collectors), the supervision ladder, the
+netsim experiment runners, and the ``repro report`` CLI subcommand.
+"""
+
+from repro.telemetry.collector import (
+    PAYLOAD_VERSION,
+    NullCollector,
+    TelemetryCollector,
+    current_collector,
+    set_collector,
+    use_collector,
+)
+from repro.telemetry.export import (
+    chrome_trace,
+    read_jsonl,
+    summary_csv,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_EDGES,
+    NONDETERMINISTIC_UNITS,
+    TIME_UNITS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_spaced_edges,
+)
+from repro.telemetry.spans import NULL_SPAN, NullSpan, SpanRecorder
+from repro.telemetry.timing import NS_PER_S, now_ns, timed_call
+from repro.telemetry.validate import (
+    TelemetrySchemaError,
+    validate_chrome_trace,
+    validate_jsonl,
+)
+
+__all__ = [
+    "PAYLOAD_VERSION",
+    "NullCollector",
+    "TelemetryCollector",
+    "current_collector",
+    "set_collector",
+    "use_collector",
+    "chrome_trace",
+    "read_jsonl",
+    "summary_csv",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+    "DEFAULT_EDGES",
+    "NONDETERMINISTIC_UNITS",
+    "TIME_UNITS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "log_spaced_edges",
+    "NULL_SPAN",
+    "NullSpan",
+    "SpanRecorder",
+    "NS_PER_S",
+    "now_ns",
+    "timed_call",
+    "TelemetrySchemaError",
+    "validate_chrome_trace",
+    "validate_jsonl",
+]

@@ -1,0 +1,265 @@
+"""Exporters: JSONL event streams, summary tables, Chrome traces.
+
+Three views of one payload (see :meth:`repro.telemetry.collector.
+TelemetryCollector.payload`):
+
+* **JSONL** — one self-describing JSON object per line (a ``meta``
+  header, then ``counter`` / ``gauge`` / ``histogram`` / ``span`` /
+  ``event`` records).  Round-trips through :func:`read_jsonl`, so a
+  run's telemetry can be archived and re-rendered later
+  (``repro report --from run.jsonl``).
+* **Summary tables** — Markdown (default) or CSV: spans grouped by
+  (name, labels) with count/total/mean/max, then every counter, gauge
+  and histogram (with bucket-estimated p50/p95).
+* **Chrome trace-event JSON** — the ``traceEvents`` array format
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev: one
+  complete (``ph: "X"``) event per span, one instant (``ph: "i"``)
+  event per structured event, plus process-name metadata rows keyed by
+  the recording pid.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+
+def _as_payload(payload_or_collector):
+    if hasattr(payload_or_collector, "payload"):
+        return payload_or_collector.payload()
+    return payload_or_collector
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+def iter_jsonl_records(payload):
+    """Yield the typed record dicts of the JSONL representation."""
+    payload = _as_payload(payload)
+    yield {"type": "meta", "version": payload.get("version", 1),
+           "origin": payload.get("origin", "main")}
+    for kind in ("counter", "gauge", "histogram"):
+        for item in payload.get(kind + "s", ()):
+            yield {"type": kind, **item}
+    for rec in payload.get("spans", ()):
+        yield {"type": "span", **rec}
+    for ev in payload.get("events", ()):
+        yield {"type": "event", **ev}
+
+
+def write_jsonl(payload, path):
+    """Write the payload as one JSON object per line; returns the count."""
+    records = list(iter_jsonl_records(payload))
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_jsonl(path):
+    """Rebuild a payload dict from a :func:`write_jsonl` file."""
+    payload = {"version": 1, "origin": "main", "counters": [], "gauges": [],
+               "histograms": [], "spans": [], "events": []}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type")
+            if kind == "meta":
+                payload["version"] = record.get("version", 1)
+                payload["origin"] = record.get("origin", "main")
+            elif kind in ("counter", "gauge", "histogram"):
+                payload[kind + "s"].append(record)
+            elif kind == "span":
+                payload["spans"].append(record)
+            elif kind == "event":
+                payload["events"].append(record)
+            else:
+                raise ValueError(f"unknown telemetry record type {kind!r}")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Summary tables
+# ---------------------------------------------------------------------------
+
+def _fmt_labels(labels):
+    return " ".join(f"{k}={labels[k]}" for k in sorted(labels)) or "-"
+
+
+def _group_spans(payload):
+    groups = {}
+    for rec in payload.get("spans", ()):
+        key = (rec["name"], _fmt_labels(rec.get("labels", {})))
+        g = groups.setdefault(key, {"count": 0, "total_ns": 0, "max_ns": 0})
+        g["count"] += 1
+        g["total_ns"] += rec["dur_ns"]
+        g["max_ns"] = max(g["max_ns"], rec["dur_ns"])
+    return groups
+
+
+def _span_rows(payload):
+    rows = []
+    for (name, labels), g in sorted(_group_spans(payload).items()):
+        rows.append((name, labels, g["count"],
+                     f"{g['total_ns'] / 1e6:.3f}",
+                     f"{g['total_ns'] / g['count'] / 1e6:.3f}",
+                     f"{g['max_ns'] / 1e6:.3f}"))
+    return rows
+
+
+def _scalar_rows(payload, kind):
+    rows = []
+    for item in payload.get(kind, ()):
+        value = item["value"]
+        shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+        rows.append((item["name"], _fmt_labels(item.get("labels", {})),
+                     shown))
+    return rows
+
+
+def _hist_percentile(item, q):
+    count = item["count"]
+    if not count:
+        return 0.0
+    target = count * q / 100.0
+    running = 0
+    edges = item["edges"]
+    for i, n in enumerate(item["counts"]):
+        running += n
+        if running >= target and n:
+            upper = edges[i] if i < len(edges) else item["max"]
+            return min(max(upper, item["min"]), item["max"])
+    return item["max"]
+
+
+def _hist_rows(payload):
+    rows = []
+    for item in payload.get("histograms", ()):
+        count = item["count"]
+        mean = item["total"] / count if count else 0.0
+        rows.append((item["name"], _fmt_labels(item.get("labels", {})),
+                     count, f"{mean:.4g}",
+                     f"{_hist_percentile(item, 50):.4g}",
+                     f"{_hist_percentile(item, 95):.4g}",
+                     f"{(item['max'] if count else 0.0):.4g}"))
+    return rows
+
+
+_SECTIONS = (
+    ("Spans", _span_rows,
+     ("span", "labels", "count", "total ms", "mean ms", "max ms")),
+    ("Counters", lambda p: _scalar_rows(p, "counters"),
+     ("counter", "labels", "value")),
+    ("Gauges", lambda p: _scalar_rows(p, "gauges"),
+     ("gauge", "labels", "value")),
+    ("Histograms", _hist_rows,
+     ("histogram", "labels", "count", "mean", "p50", "p95", "max")),
+)
+
+
+def _markdown_table(header, rows):
+    cells = [tuple(str(c) for c in row) for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(header)]
+    out = ["| " + " | ".join(h.ljust(w) for h, w in zip(header, widths))
+           + " |",
+           "|" + "|".join("-" * (w + 2) for w in widths) + "|"]
+    for row in cells:
+        out.append("| " + " | ".join(c.ljust(w)
+                                     for c, w in zip(row, widths)) + " |")
+    return "\n".join(out)
+
+
+def summary_table(payload, fmt="markdown"):
+    """Render the payload as a human-readable summary.
+
+    ``fmt`` is ``markdown`` (aligned pipe tables per section) or
+    ``csv`` (flat ``section,name,labels,...`` rows).
+    """
+    payload = _as_payload(payload)
+    if fmt == "csv":
+        return summary_csv(payload)
+    if fmt != "markdown":
+        raise ValueError(f"fmt must be 'markdown' or 'csv', got {fmt!r}")
+    parts = [f"# Telemetry report — origin: {payload.get('origin', 'main')}"]
+    for title, rows_fn, header in _SECTIONS:
+        rows = rows_fn(payload)
+        if not rows:
+            continue
+        parts.append(f"\n## {title}\n")
+        parts.append(_markdown_table(header, rows))
+    if len(parts) == 1:
+        parts.append("\n(no telemetry recorded)")
+    return "\n".join(parts)
+
+
+def summary_csv(payload):
+    """The summary as flat CSV rows: ``section`` + the section columns."""
+    import csv
+
+    payload = _as_payload(payload)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["section", "name", "labels",
+                     "c1", "c2", "c3", "c4", "c5"])
+    for title, rows_fn, _header in _SECTIONS:
+        for row in rows_fn(payload):
+            padded = (list(row) + [""] * 7)[:7]
+            writer.writerow([title.lower()] + padded)
+    return buf.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events
+# ---------------------------------------------------------------------------
+
+def chrome_trace(payload):
+    """The payload as a Chrome trace-event dict (``traceEvents`` array).
+
+    Timestamps are microseconds relative to each collector's epoch;
+    span nesting renders naturally because complete events at the same
+    pid/tid stack by time containment.
+    """
+    payload = _as_payload(payload)
+    events = []
+    named_pids = set()
+
+    def _name_pid(pid, origin):
+        if pid in named_pids:
+            return
+        named_pids.add(pid)
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": origin}})
+
+    default_origin = payload.get("origin", "main")
+    for rec in payload.get("spans", ()):
+        pid = int(rec.get("pid", 0))
+        _name_pid(pid, rec.get("origin") or default_origin)
+        args = dict(rec.get("labels", {}))
+        args["depth"] = rec.get("depth", 0)
+        events.append({"name": rec["name"], "cat": "span", "ph": "X",
+                       "ts": rec["ts_ns"] / 1e3, "dur": rec["dur_ns"] / 1e3,
+                       "pid": pid, "tid": int(rec.get("tid", 0)),
+                       "args": args})
+    for ev in payload.get("events", ()):
+        pid = int(ev.get("pid", 0))
+        _name_pid(pid, ev.get("origin") or default_origin)
+        events.append({"name": ev["name"], "cat": "event", "ph": "i",
+                       "s": "t", "ts": ev["time_ns"] / 1e3,
+                       "pid": pid, "tid": int(ev.get("tid", 0)),
+                       "args": dict(ev.get("labels", {}))})
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"origin": default_origin,
+                          "exporter": "repro.telemetry"}}
+
+
+def write_chrome_trace(payload, path):
+    """Write :func:`chrome_trace` JSON to ``path``; returns event count."""
+    trace = chrome_trace(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return len(trace["traceEvents"])

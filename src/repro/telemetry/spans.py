@@ -1,0 +1,82 @@
+"""Nested wall-clock spans over ``perf_counter_ns``.
+
+A span brackets a region of work::
+
+    with tel.span("cnf.filter", mode="siso"):
+        ...
+
+Finished spans are stored as plain dicts (JSON-able, picklable) with
+timestamps relative to the owning collector's epoch, a nesting depth
+maintained per thread, and the recording pid/tid — exactly the fields
+the Chrome trace-event exporter needs.  Spans measure wall time, so
+they are *excluded* from the deterministic telemetry snapshot; they
+exist for the trace view and the summary tables.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.telemetry.timing import now_ns
+
+
+class NullSpan:
+    """The zero-cost span: a reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+#: The singleton every no-op ``span()`` call returns (no allocation).
+NULL_SPAN = NullSpan()
+
+
+class SpanRecorder:
+    """Accumulates finished span records with per-thread nesting depth."""
+
+    def __init__(self, epoch_ns):
+        self.epoch_ns = int(epoch_ns)
+        self.records = []
+        self._tls = threading.local()
+
+    def start(self, name, labels):
+        """An unopened :class:`ActiveSpan` (enter it with ``with``)."""
+        return ActiveSpan(self, name, labels)
+
+
+class ActiveSpan:
+    """One live span; records itself into the recorder on exit."""
+
+    __slots__ = ("_recorder", "name", "labels", "_start_ns", "_depth")
+
+    def __init__(self, recorder, name, labels):
+        self._recorder = recorder
+        self.name = str(name)
+        self.labels = labels
+
+    def __enter__(self):
+        tls = self._recorder._tls
+        self._depth = getattr(tls, "depth", 0)
+        tls.depth = self._depth + 1
+        self._start_ns = now_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end_ns = now_ns()
+        self._recorder._tls.depth = self._depth
+        self._recorder.records.append({
+            "name": self.name,
+            "labels": dict(self.labels),
+            "ts_ns": self._start_ns - self._recorder.epoch_ns,
+            "dur_ns": end_ns - self._start_ns,
+            "depth": self._depth,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        })
+        return False

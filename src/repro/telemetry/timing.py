@@ -1,0 +1,33 @@
+"""The one timing primitive every instrumented path shares.
+
+Before this module existed the codebase bracketed hot calls with
+``time.perf_counter()`` in three independent places (the chain's block
+path, the chain's flush path, the sweep executor).  All wall-clock
+measurement now flows through :func:`now_ns` / :func:`timed_call`, built
+on ``time.perf_counter_ns`` — the monotonic, integer-nanosecond clock
+telemetry spans use — so every subsystem reports time on the same axis.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Nanoseconds per second — the one conversion constant.
+NS_PER_S = 1_000_000_000
+
+
+def now_ns():
+    """The monotonic telemetry clock (integer nanoseconds)."""
+    return time.perf_counter_ns()
+
+
+def timed_call(fn, *args):
+    """Run ``fn(*args)`` and return ``(result, wall_seconds)``.
+
+    The shared bracketing helper: one ``perf_counter_ns`` pair around
+    the call, elapsed time returned as float seconds (what
+    :class:`repro.runtime.chain.StageStats` and friends accumulate).
+    """
+    t0 = time.perf_counter_ns()
+    out = fn(*args)
+    return out, (time.perf_counter_ns() - t0) / NS_PER_S

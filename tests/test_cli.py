@@ -77,3 +77,41 @@ class TestSweepCommand:
                      "--checkpoint", str(manifest)]) == 0
         assert manifest.exists()
         assert len(manifest.read_text().splitlines()) > 1
+
+
+class TestReportCommand:
+    def test_all_experiments_parse(self):
+        parser = build_parser()
+        for name in ("gains", "siso", "uplink", "scenarios", "latency",
+                     "no-cnf", "cancellation", "faults", "coverage"):
+            args = parser.parse_args(["report", name])
+            assert callable(args.func)
+
+    def test_shares_engine_flags_with_sweep(self):
+        args = build_parser().parse_args(
+            ["report", "gains", "--clients", "5", "--jobs", "2",
+             "--backend", "thread", "--no-cache"])
+        assert args.clients == 5 and args.jobs == 2
+        assert args.backend == "thread" and args.no_cache
+
+    def test_export_flags_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["report", "gains", "--jsonl", "run.jsonl",
+             "--trace", "trace.json", "--csv"])
+        assert args.jsonl == "run.jsonl"
+        assert args.trace == "trace.json"
+        assert args.csv
+
+    def test_from_file_makes_experiment_optional(self):
+        args = build_parser().parse_args(["report", "--from", "saved.jsonl"])
+        assert args.experiment is None
+        assert args.from_file == "saved.jsonl"
+
+    def test_report_runs_and_prints_engine_summary(self, capsys):
+        assert main(["report", "siso", "--clients", "2", "--jobs", "2",
+                     "--backend", "thread"]) == 0
+        out = capsys.readouterr().out
+        assert "## Spans" in out
+        assert "exec.shard" in out
+        # Experiment output first, telemetry tables after.
+        assert out.index("clients:") < out.index("## Spans")

@@ -1,0 +1,173 @@
+"""Metric instruments: counters, gauges, histograms, the registry."""
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_spaced_edges,
+)
+
+
+class TestLogSpacedEdges:
+    def test_default_covers_ns_to_10s(self):
+        assert DEFAULT_EDGES[0] == 1.0
+        assert DEFAULT_EDGES[-1] == pytest.approx(1e10)
+        assert len(DEFAULT_EDGES) == 31
+
+    def test_strictly_increasing(self):
+        edges = log_spaced_edges(1.0, 1e6, per_decade=4)
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+
+    def test_per_decade_resolution(self):
+        edges = log_spaced_edges(1.0, 1000.0, per_decade=1)
+        assert edges == pytest.approx((1.0, 10.0, 100.0, 1000.0))
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_spaced_edges(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_spaced_edges(10.0, 1.0)
+        with pytest.raises(ValueError):
+            log_spaced_edges(1.0, 10.0, per_decade=0)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_stats(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(555.5)
+        assert h.min == 0.5 and h.max == 500.0
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_histogram_bucket_boundaries(self):
+        # Bucket i holds (edges[i-1], edges[i]]: an observation exactly
+        # on an edge lands in the bucket the edge closes.
+        h = Histogram(edges=(1.0, 10.0))
+        h.observe(1.0)
+        h.observe(10.0)
+        assert h.counts == [1, 1, 0]
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_percentile_within_observed_range(self):
+        h = Histogram()
+        for v in (3.0, 4.0, 5.0, 1000.0):
+            h.observe(v)
+        for q in (0, 25, 50, 95, 100):
+            assert h.min <= h.percentile(q) <= h.max
+
+    def test_merge_adds_elementwise(self):
+        a, b = Histogram(), Histogram()
+        a.observe(5.0)
+        b.observe(50.0)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == pytest.approx(57.0)
+        assert a.min == 2.0 and a.max == 50.0
+
+    def test_merge_rejects_mismatched_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=(1.0, 2.0)).merge(Histogram(edges=(1.0, 3.0)))
+
+    def test_rejects_non_increasing_edges(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_point_identity_per_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1) is reg.counter("x", a=1)
+        assert reg.counter("x", a=1) is not reg.counter("x", a=2)
+        assert reg.counter("x", a=1) is not reg.counter("y", a=1)
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("g", a=1, b=2) is reg.gauge("g", b=2, a=1)
+
+    def test_counter_values(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", kind="a").inc(2)
+        reg.counter("hits", kind="b").inc(5)
+        assert reg.counter_values("hits") == {
+            (("kind", "a"),): 2, (("kind", "b"),): 5}
+
+    def test_unit_registered_once(self):
+        reg = MetricsRegistry()
+        reg.histogram("wall", unit="ns", stage="a")
+        reg.histogram("wall", stage="b")
+        assert reg.unit("wall") == "ns"
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", z=1).inc(2)
+        reg.counter("a", z=0).inc(3)
+        snap = reg.snapshot()
+        assert [c["name"] for c in snap["counters"]] == ["a", "a", "b"]
+        assert snap["counters"][0]["labels"] == {"z": 0}
+        assert snap["counters"][0]["value"] == 3
+
+    def test_empty_histogram_snapshot_has_null_extremes(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        item = reg.snapshot()["histograms"][0]
+        assert item["min"] is None and item["max"] is None
+        assert item["count"] == 0
+
+    def test_merge_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(1)
+        b.counter("n").inc(2)
+        b.gauge("g").set(7)
+        b.histogram("h", unit="ns").observe(100.0)
+        a.merge(b.snapshot())
+        assert a.counter("n").value == 3
+        assert a.gauge("g").value == 7
+        assert a.histogram("h").count == 1
+        assert a.unit("h") == "ns"
+
+    def test_merge_is_order_invariant_for_counters_and_histograms(self):
+        parts = []
+        for inc, obs in ((1, 10.0), (2, 20.0), (3, 30.0)):
+            reg = MetricsRegistry()
+            reg.counter("n").inc(inc)
+            reg.histogram("h").observe(obs)
+            parts.append(reg.snapshot())
+
+        def merged(order):
+            out = MetricsRegistry()
+            for i in order:
+                out.merge(parts[i])
+            return out.snapshot()
+
+        assert merged([0, 1, 2]) == merged([2, 0, 1])
+
+    def test_mixed_label_value_types_sort(self):
+        reg = MetricsRegistry()
+        reg.counter("m", k=1).inc()
+        reg.counter("m", k="a").inc()
+        assert len(reg.snapshot()["counters"]) == 2

@@ -1,0 +1,171 @@
+"""Spans, collectors, the ambient-collector machinery."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    NULL_SPAN,
+    NullCollector,
+    TelemetryCollector,
+    current_collector,
+    set_collector,
+    use_collector,
+)
+
+
+class TestSpans:
+    def test_span_records_on_exit(self):
+        tel = TelemetryCollector()
+        with tel.span("work", stage="cnf"):
+            pass
+        (rec,) = tel.spans
+        assert rec["name"] == "work"
+        assert rec["labels"] == {"stage": "cnf"}
+        assert rec["dur_ns"] >= 0
+        assert rec["ts_ns"] >= 0
+        assert rec["depth"] == 0
+
+    def test_nesting_depth(self):
+        tel = TelemetryCollector()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+            with tel.span("sibling"):
+                pass
+        by_name = {r["name"]: r for r in tel.spans}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+        assert by_name["sibling"]["depth"] == 1
+
+    def test_inner_span_contained_in_outer(self):
+        tel = TelemetryCollector()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        inner, outer = tel.spans
+        assert inner["ts_ns"] >= outer["ts_ns"]
+        assert inner["ts_ns"] + inner["dur_ns"] \
+            <= outer["ts_ns"] + outer["dur_ns"]
+
+    def test_depth_recovers_after_exception(self):
+        tel = TelemetryCollector()
+        with pytest.raises(RuntimeError):
+            with tel.span("fails"):
+                raise RuntimeError("boom")
+        with tel.span("after"):
+            pass
+        assert {r["name"]: r["depth"] for r in tel.spans} == \
+            {"fails": 0, "after": 0}
+
+    def test_events_sequence(self):
+        tel = TelemetryCollector()
+        tel.event("first", k=1)
+        tel.event("second")
+        assert [e["seq"] for e in tel.events] == [0, 1]
+        assert tel.events[0]["labels"] == {"k": 1}
+
+
+class TestNullCollector:
+    def test_all_paths_are_noops(self):
+        null = NullCollector()
+        assert not null.enabled
+        null.counter("c", x=1).inc(5)
+        null.gauge("g").set(2)
+        null.histogram("h", unit="ns").observe(3.0)
+        null.event("e", a=1)
+        with null.span("s", b=2):
+            pass
+        assert null.spans == []
+        assert null.events == []
+        assert null.deterministic_snapshot()["counters"] == ()
+
+    def test_span_returns_shared_singleton(self):
+        null = NullCollector()
+        assert null.span("a") is NULL_SPAN
+        assert null.span("b", x=1) is NULL_SPAN
+
+
+class TestAmbientCollector:
+    def test_default_is_null(self):
+        assert isinstance(current_collector(), NullCollector)
+
+    def test_use_collector_installs_and_restores(self):
+        tel = TelemetryCollector()
+        with use_collector(tel) as installed:
+            assert installed is tel
+            assert current_collector() is tel
+        assert isinstance(current_collector(), NullCollector)
+
+    def test_use_collector_nests(self):
+        a, b = TelemetryCollector(), TelemetryCollector()
+        with use_collector(a):
+            with use_collector(b):
+                assert current_collector() is b
+            assert current_collector() is a
+
+    def test_set_collector_process_default(self):
+        tel = TelemetryCollector()
+        previous = set_collector(tel)
+        try:
+            assert current_collector() is tel
+        finally:
+            set_collector(previous if not isinstance(previous, NullCollector)
+                          else None)
+        assert isinstance(current_collector(), NullCollector)
+
+    def test_thread_local_isolation(self):
+        tel = TelemetryCollector()
+        seen = {}
+
+        def probe():
+            seen["other"] = current_collector()
+
+        with use_collector(tel):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert isinstance(seen["other"], NullCollector)
+
+
+class TestPayloadMerge:
+    def test_payload_round_trips_through_merge(self):
+        w = TelemetryCollector(origin="shard-3")
+        w.counter("n", fn="f").inc(2)
+        with w.span("exec.shard", shard=3):
+            pass
+        w.event("e", k="v")
+
+        parent = TelemetryCollector(origin="main")
+        parent.merge(w.payload())
+        assert parent.counter("n", fn="f").value == 2
+        (span,) = parent.spans
+        assert span["origin"] == "shard-3"
+        (event,) = parent.events
+        assert event["origin"] == "shard-3"
+        assert event["seq"] == 0
+
+    def test_merge_none_is_noop(self):
+        tel = TelemetryCollector()
+        tel.merge(None)
+        assert tel.events == []
+
+    def test_merge_rejects_future_version(self):
+        tel = TelemetryCollector()
+        with pytest.raises(ValueError):
+            tel.merge({"version": 99})
+
+    def test_deterministic_snapshot_excludes_time_and_spans(self):
+        tel = TelemetryCollector()
+        tel.counter("kept").inc()
+        tel.histogram("wall", unit="ns").observe(5.0)
+        tel.gauge("elapsed", unit="s").set(1.25)
+        with tel.span("span"):
+            pass
+        tel.event("e", a=1)
+        snap = tel.deterministic_snapshot()
+        assert snap["counters"] == (("kept", (), 1),)
+        assert snap["histograms"] == ()
+        assert snap["gauges"] == ()
+        assert snap["events"] == (("e", (("a", 1),)),)
+        assert "spans" not in snap
