@@ -39,6 +39,10 @@ Subpackages
     Unified metrics, tracing and profiling: an ambient collector,
     deterministic cross-worker merging, JSONL / summary-table /
     Chrome-trace export.
+``repro.probes``
+    Signal-domain observability: IQ tap probes at stage boundaries,
+    EVM / residual-SI / latency-budget diagnostics, baseline drift
+    gates, and the static HTML link-health report.
 ``repro.netsim``
     Testbeds, throughput models, per-figure experiment runners, and
     design-choice ablations.

@@ -15,7 +15,8 @@ sweep          any experiment through the parallel engine
                (``--jobs``, on-disk result cache, checkpoint/resume)
 report         any sweep experiment under a telemetry collector:
                per-stage/per-shard summary tables, JSONL and Chrome
-               trace exports (``--jsonl``, ``--trace``, ``--csv``)
+               trace exports (``--jsonl``, ``--trace``, ``--csv``) and
+               the static HTML link-health report (``--html``)
 =============  =====================================================
 """
 
@@ -119,7 +120,8 @@ def _cmd_faults(args):
 
 #: ``repro sweep`` experiment registry: name -> (runner factory, printer).
 SWEEP_EXPERIMENTS = ("gains", "siso", "uplink", "scenarios", "latency",
-                     "no-cnf", "cancellation", "faults", "coverage")
+                     "no-cnf", "cancellation", "faults", "coverage",
+                     "link-health")
 
 
 def _sweep_kwargs(args):
@@ -187,6 +189,21 @@ def _run_sweep_experiment(args):
                                 seed=args.seed, **kw)
         print(f"  {len(data.positions)} grid points, median improvement "
               f"{data.median_improvement_db():.1f} dB")
+    elif name == "link-health":
+        data = netsim.link_health_experiment(
+            num_clients=args.clients, seed=args.seed, **kw)
+        probes = data["probes"]
+        print(f"clients: {data['num_clients']} (probe-instrumented)")
+        for site in ("post-si-cancellation", "post-cnf",
+                     "post-amplification"):
+            evm = probes.get(f"{site}.evm_rms_db")
+            depth = probes.get(f"{site}.cancellation_depth_db")
+            evm_s = f"{evm:7.2f} dB" if evm is not None else "      -"
+            depth_s = f"{depth:7.2f} dB" if depth is not None else "      -"
+            print(f"  {site:<22} EVM {evm_s}   SI depth {depth_s}")
+        print(f"  latency: {probes.get('latency.total_ns', 0.0):.0f} ns "
+              f"of {probes.get('latency.cp_ns', 0.0):.0f} ns CP "
+              f"(margin {probes.get('latency.margin_ns', 0.0):.0f} ns)")
     else:                            # pragma: no cover - argparse guards
         raise SystemExit(f"unknown sweep experiment {name!r}")
     return data
@@ -217,7 +234,18 @@ def _cmd_report(args):
     )
 
     if args.from_file is not None:
-        payload = read_jsonl(args.from_file)
+        from repro.telemetry import TelemetrySchemaError, validate_jsonl
+
+        try:
+            validate_jsonl(args.from_file)
+            payload = read_jsonl(args.from_file)
+        except OSError as err:
+            raise SystemExit(
+                f"repro report: cannot read --from file: {err}")
+        except TelemetrySchemaError as err:
+            raise SystemExit(
+                f"repro report: --from file is not a valid telemetry "
+                f"JSONL export: {err}")
     else:
         if args.experiment is None:
             raise SystemExit(
@@ -236,6 +264,11 @@ def _cmd_report(args):
         n = write_chrome_trace(payload, args.trace)
         print(f"wrote {n} trace events to {args.trace} "
               f"(load in chrome://tracing or https://ui.perfetto.dev)")
+    if args.html is not None:
+        from repro.probes import write_html_report
+
+        write_html_report(payload, args.html)
+        print(f"wrote link-health report to {args.html}")
 
 
 def build_parser():
@@ -305,6 +338,9 @@ def build_parser():
                         help="also write a Chrome trace-event JSON file")
     report.add_argument("--csv", action="store_true",
                         help="emit CSV rows instead of Markdown tables")
+    report.add_argument("--html", default=None, metavar="FILE",
+                        help="also write the self-contained HTML "
+                             "link-health report (probes.* panels)")
     report.set_defaults(func=_cmd_report)
     return parser
 

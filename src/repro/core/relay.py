@@ -28,6 +28,7 @@ streaming callers.
 from __future__ import annotations
 
 import itertools
+import weakref
 
 from dataclasses import dataclass, field
 
@@ -106,6 +107,11 @@ class FastForwardRelay:
         # (sample rate, CFO, block size) until the link changes.
         self._link_token = None
         self._chains = {}
+        # Auto-wired telemetry traces, one per live collector: the
+        # trace (and its resolved metric points) is reused across
+        # process() calls, so per-call instrumentation setup stays off
+        # the streaming path.
+        self._auto_traces = weakref.WeakKeyDictionary()
 
     def _invalidate_chains(self):
         """A new link means new kernels: drop memoised chains."""
@@ -558,6 +564,23 @@ class FastForwardRelay:
         run_chain = Chain([*faults, chain], name=f"faulty-{chain.name}")
         return run_chain.run(x, trace=trace)
 
+    def _auto_trace(self, tel):
+        """The memoised telemetry-fed trace for a live collector.
+
+        Auto-wired traces feed ``runtime.stage.*`` metric points that
+        are resolved once per stage; reusing the trace across calls
+        keeps that resolution off the per-call path.  The trace itself
+        only writes into the collector, so sharing it between calls is
+        observationally identical to a fresh one.
+        """
+        trace = self._auto_traces.get(tel)
+        if trace is None:
+            from repro.runtime.chain import ChainTrace
+
+            trace = ChainTrace(collector=tel, energy=False)
+            self._auto_traces[tel] = trace
+        return trace
+
     @staticmethod
     def _harvest_health(faults):
         """Pull the health signals the fault stages expose, if any."""
@@ -570,7 +593,7 @@ class FastForwardRelay:
 
     def process(self, iq_stream, sample_rate_hz=None, cfo_hz=0.0, *,
                 block_size=4096, trace=None, faults=None, supervisor=None,
-                telemetry=None):
+                telemetry=None, probes=None):
         """Produce the relay's transmit waveform for a received stream.
 
         SISO only.  Applies, in order: CFO correction, the digital
@@ -605,21 +628,29 @@ class FastForwardRelay:
         telemetry-fed :class:`~repro.runtime.chain.ChainTrace` is
         created so per-stage counters and wall-time histograms flow
         without the caller wiring anything.
+
+        ``probes`` optionally attaches a
+        :class:`repro.probes.ProbeSet`: transparent IQ taps are spliced
+        in at the named sites (``post-si-cancellation`` at the chain
+        input — i.e. after the fault stages, which model receive-side
+        impairments — ``post-cnf`` and ``post-amplification`` after the
+        matching stages), and the set's ``probes.*`` aggregates are
+        published to the telemetry collector after the run.
         """
         if self._mode != "siso":
             raise RuntimeError("sample-level processing requires a SISO link")
         sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
         tel = telemetry if telemetry is not None else current_collector()
         if tel.enabled and trace is None:
-            from repro.runtime.chain import ChainTrace
-
-            trace = ChainTrace(collector=tel, energy=False)
+            trace = self._auto_trace(tel)
         x = np.asarray(iq_stream, dtype=complex)
         x = self._admit_stream(x, supervisor)
         chain = self._memoised_chain("siso", sample_rate_hz, cfo_hz,
                                      block_size)
+        run_chain = chain if probes is None else probes.instrument(
+            chain, sample_rate_hz=sample_rate_hz)
         with tel.span("relay.process", mode="siso"):
-            y = self._run_with_faults(chain, faults, x, trace)
+            y = self._run_with_faults(run_chain, faults, x, trace)
             if supervisor is not None:
                 clip_fraction, residual_si_db = self._harvest_health(faults)
                 y = supervisor.guard_block(
@@ -627,11 +658,13 @@ class FastForwardRelay:
                     clip_fraction=clip_fraction,
                     residual_si_db=residual_si_db)
         tel.counter("relay.samples", mode="siso").inc(int(x.size))
+        if probes is not None:
+            probes.publish(tel)
         return y
 
     def process_mimo(self, iq_streams, sample_rate_hz=None, cfo_hz=0.0, *,
                      block_size=4096, trace=None, faults=None,
-                     supervisor=None, telemetry=None):
+                     supervisor=None, telemetry=None, probes=None):
         """Produce the K relay transmit streams for K received streams.
 
         MIMO only.  Applies the per-subcarrier unitary filters
@@ -647,6 +680,8 @@ class FastForwardRelay:
         tone-to-tone filter variation lengthens the effective channel.
         The prototype bounds this with the same 4-tap structure; here it
         is a functional model, fine away from the deepest dead spots.
+        ``probes`` attaches IQ taps exactly as in :meth:`process`
+        (MIMO blocks are probed on stream 0).
         """
         if self._mode != "mimo":
             raise RuntimeError(
@@ -654,9 +689,7 @@ class FastForwardRelay:
         sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
         tel = telemetry if telemetry is not None else current_collector()
         if tel.enabled and trace is None:
-            from repro.runtime.chain import ChainTrace
-
-            trace = ChainTrace(collector=tel, energy=False)
+            trace = self._auto_trace(tel)
         x = np.atleast_2d(np.asarray(iq_streams, dtype=complex))
         k = self._mimo_f0.shape[1]
         if x.shape[0] != k:
@@ -665,8 +698,10 @@ class FastForwardRelay:
         x = self._admit_stream(x, supervisor)
         chain = self._memoised_chain("mimo", sample_rate_hz, cfo_hz,
                                      block_size)
+        run_chain = chain if probes is None else probes.instrument(
+            chain, sample_rate_hz=sample_rate_hz)
         with tel.span("relay.process", mode="mimo"):
-            y = self._run_with_faults(chain, faults, x, trace)
+            y = self._run_with_faults(run_chain, faults, x, trace)
             if supervisor is not None:
                 clip_fraction, residual_si_db = self._harvest_health(faults)
                 y = supervisor.guard_block(
@@ -674,4 +709,6 @@ class FastForwardRelay:
                     clip_fraction=clip_fraction,
                     residual_si_db=residual_si_db)
         tel.counter("relay.samples", mode="mimo").inc(int(x.shape[-1]))
+        if probes is not None:
+            probes.publish(tel)
         return y

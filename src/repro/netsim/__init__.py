@@ -41,6 +41,7 @@ from repro.netsim.experiments import (
     cancellation_sweep_experiment,
     fault_sweep_experiment,
     fingerprint_experiment,
+    link_health_experiment,
 )
 
 __all__ = [
@@ -75,4 +76,5 @@ __all__ = [
     "cancellation_sweep_experiment",
     "fault_sweep_experiment",
     "fingerprint_experiment",
+    "link_health_experiment",
 ]

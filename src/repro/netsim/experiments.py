@@ -197,6 +197,48 @@ def _no_cnf_client(scenario, testbed_seed, client, rng=None):
     return {"af": float(ff_mimo_rate(relay, delay))}
 
 
+@task_fn("netsim.link-health-client", version="1")
+def _link_health_client(scenario, testbed_seed, client, n_symbols=24,
+                        fault=None, rng=None):
+    """Link-health work unit: probe-instrumented relay pass for one client.
+
+    Runs a known reference frame through the client's sample-level
+    relay with a :class:`repro.probes.ProbeSet` tapping the three named
+    sites, and returns the quantised probe aggregates.  ``fault``
+    optionally injects a receive-side impairment (``"residual-si"`` /
+    ``"tap-drift"``) — the deliberate-perturbation arm the baseline
+    drift gate proves itself against.
+    """
+    from repro.faults import FaultSchedule, ResidualSiStage, TapDriftStage
+    from repro.probes import ALWAYS, ProbeSet, make_reference_frame
+
+    testbed = Testbed(scenario, seed=testbed_seed)
+    h_sd, h_sr, h_rd = testbed.siso_triple(client, rng)
+    cfg = RelayConfig(params=testbed.params, use_decomposition=False)
+    relay = FastForwardRelay(cfg)
+    relay.configure_siso_link(h_sd, h_sr, h_rd)
+    frame = make_reference_frame(testbed.params, n_symbols=n_symbols,
+                                 rng=rng)
+    # Short frames analyse every segment; the decimated default policy
+    # is exercised (and overhead-gated) by the benchmark suite.
+    probes = ProbeSet(testbed.params, reference=frame, policy=ALWAYS,
+                      budget=cfg.latency)
+    faults = None
+    schedule = FaultSchedule(testbed_seed * 31 + 7)
+    if fault == "residual-si":
+        faults = [ResidualSiStage(schedule, jump_rate_per_sample=0.0,
+                                  baseline_residual_db=-18.0)]
+    elif fault == "tap-drift":
+        # Fast enough to decorrelate within one EVM window at 20 Msps.
+        faults = [TapDriftStage(schedule, testbed.params.bandwidth_hz,
+                                amp_sigma_db_per_sqrt_s=50.0,
+                                phase_sigma_rad_per_sqrt_s=50.0)]
+    elif fault is not None:
+        raise ValueError(f"unknown link-health fault {fault!r}")
+    relay.process(frame.iq, faults=faults, probes=probes)
+    return probes.summary()
+
+
 @task_fn("netsim.cancellation-client", version="1")
 def _cancellation_client(scenario, testbed_seed, client, cancellation_db,
                          rng=None):
@@ -441,6 +483,46 @@ def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110
         "cancellation_db": np.asarray(cancellations_db, dtype=float),
         "median_gain": np.asarray(medians),
         "p80_gain": np.asarray(tails),
+    }
+
+
+@_traced("link-health")
+def link_health_experiment(num_clients=4, seed=2014, n_symbols=24,
+                           fault=None, scenarios=None, jobs=None,
+                           cache=None, backend=None, checkpoint=None):
+    """Probe-instrumented relay passes: the link-health sweep.
+
+    Each client runs a known reference frame through its sample-level
+    relay with IQ taps at the three named sites.  Returns the per-client
+    probe aggregate rows plus their mean under ``"probes"`` — the flat
+    metric dict :mod:`repro.probes.baseline` freezes and drift-checks,
+    and the payload behind ``repro report link-health --html``.
+
+    Aggregates are means of dyadic-quantised per-client values, so the
+    result is bit-identical across serial/thread/process backends and
+    every chunk layout (the contract the determinism suite asserts).
+    """
+    scenarios = scenarios if scenarios is not None \
+        else paper_scenarios()[:1]
+    extra = {"n_symbols": int(n_symbols)}
+    if fault is not None:
+        extra["fault"] = fault
+    tasks = _client_tasks("netsim.link-health-client", scenarios,
+                          num_clients, seed, stream=800, extra=extra)
+    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
+                     checkpoint=checkpoint).results
+
+    keys = sorted({k for row in rows for k in row})
+    aggregate = {}
+    for key in keys:
+        values = [row[key] for row in rows if key in row]
+        if values:
+            aggregate[key] = float(np.mean(values))
+    return {
+        "probes": aggregate,
+        "per_client": rows,
+        "num_clients": len(rows),
+        "fault": fault,
     }
 
 

@@ -166,6 +166,9 @@ class ChainTrace:
         self.energy = bool(energy)
         self.collector = collector if (
             collector is not None and collector.enabled) else None
+        # Per-stage metric points, resolved once: the registry lookup
+        # (kwargs -> sorted label key) costs more than the update.
+        self._points = {}
 
     def clear(self):
         """Drop all accumulated statistics."""
@@ -181,12 +184,15 @@ class ChainTrace:
 
     def record(self, name, wall_s, x_in, x_out):
         """Fold one stage invocation into the accumulator."""
-        stats = self.stage(name)
-        stats.calls += 1
-        stats.wall_s += wall_s
+        stats = self.stages.get(name)
+        if stats is None:
+            stats = self.stage(name)
         x_in = np.asarray(x_in)
         x_out = np.asarray(x_out)
-        stats.samples_in += x_in.shape[-1] if x_in.ndim else 0
+        n_in = x_in.shape[-1] if x_in.ndim else 0
+        stats.calls += 1
+        stats.wall_s += wall_s
+        stats.samples_in += n_in
         stats.samples_out += x_out.shape[-1] if x_out.ndim else 0
         if self.energy:
             if x_in.size:
@@ -196,12 +202,19 @@ class ChainTrace:
                 stats.energy_out += float(np.sum(np.abs(x_out) ** 2)) \
                     / (x_out.shape[0] if x_out.ndim == 2 else 1)
         if self.collector is not None:
-            tel = self.collector
-            tel.counter("runtime.stage.calls", stage=name).inc()
-            tel.counter("runtime.stage.samples", stage=name).inc(
-                x_in.shape[-1] if x_in.ndim else 0)
-            tel.histogram("runtime.stage.wall_ns", unit="ns",
-                          stage=name).observe(wall_s * 1e9)
+            points = self._points.get(name)
+            if points is None:
+                tel = self.collector
+                points = (
+                    tel.counter("runtime.stage.calls", stage=name),
+                    tel.counter("runtime.stage.samples", stage=name),
+                    tel.histogram("runtime.stage.wall_ns", unit="ns",
+                                  stage=name))
+                self._points[name] = points
+            calls, samples, wall = points
+            calls.inc()
+            samples.inc(n_in)
+            wall.observe(wall_s * 1e9)
 
     @property
     def total_wall_s(self):
@@ -290,6 +303,32 @@ class Chain(Stage):
         """Reset every stage (reusable across independent frames)."""
         for stage in self.stages:
             stage.reset()
+
+    def with_taps(self, taps, name=None):
+        """A new chain with observer stages spliced in at stage boundaries.
+
+        ``taps`` maps a stage label (as in :attr:`labels`) to the stage
+        to insert *after* that labelled stage; the empty-string key
+        inserts at the chain input.  The original stage objects are
+        shared, not copied — a tap observes the very stream the parent
+        chain processes.  This is the generic attachment point
+        :mod:`repro.probes` uses to watch any stage boundary.
+        """
+        taps = dict(taps)
+        stages = []
+        head = taps.pop("", None)
+        if head is not None:
+            stages.append(head)
+        for stage, label in zip(self.stages, self.labels):
+            stages.append(stage)
+            tap = taps.pop(label, None)
+            if tap is not None:
+                stages.append(tap)
+        if taps:
+            raise ValueError(
+                f"unknown stage labels for taps: {sorted(taps)} "
+                f"(chain has {self.labels})")
+        return Chain(stages, name=name or f"tapped-{self.name}")
 
     def run(self, x, trace=None):
         """One-shot: process the whole stream, flush, and concatenate."""

@@ -55,6 +55,7 @@ from repro.telemetry.metrics import (
 from repro.telemetry.spans import NULL_SPAN, NullSpan, SpanRecorder
 from repro.telemetry.timing import NS_PER_S, now_ns, timed_call
 from repro.telemetry.validate import (
+    KNOWN_METRIC_PREFIXES,
     TelemetrySchemaError,
     validate_chrome_trace,
     validate_jsonl,
@@ -87,6 +88,7 @@ __all__ = [
     "NS_PER_S",
     "now_ns",
     "timed_call",
+    "KNOWN_METRIC_PREFIXES",
     "TelemetrySchemaError",
     "validate_chrome_trace",
     "validate_jsonl",

@@ -55,16 +55,37 @@ JSONL_REQUIRED = {
     "event": ("name", "labels", "time_ns", "seq", "pid", "tid"),
 }
 
+#: Every metric-family prefix the repo's instrumentation emits.  The
+#: CLI gates counter/gauge/histogram names against this list so a typo
+#: (or a new subsystem that forgot to register here) fails CI instead
+#: of silently shipping an unvalidated family.
+KNOWN_METRIC_PREFIXES = (
+    "exec.",
+    "netsim.",
+    "probes.",
+    "relay.",
+    "runtime.",
+    "supervision.",
+)
 
-def validate_jsonl(path):
+#: Record types whose names are metric families (spans/events are
+#: free-form trace names and stay unconstrained).
+_PREFIXED_TYPES = ("counter", "gauge", "histogram")
+
+
+def validate_jsonl(path, metric_prefixes=None):
     """Validate a :func:`repro.telemetry.export.write_jsonl` file.
 
     Checks: every line parses as a JSON object; the first line is the
     ``meta`` header; every record carries its type's required keys with
     sane value shapes (numeric timestamps/durations, object labels,
-    histogram counts one longer than edges).  Returns
+    histogram counts one longer than edges).  When ``metric_prefixes``
+    is given, every counter/gauge/histogram name must start with one of
+    them (the CLI passes :data:`KNOWN_METRIC_PREFIXES` by default; the
+    library default stays permissive for ad-hoc collectors).  Returns
     ``{"records": n, "by_type": {...}}``.
     """
+    prefixes = tuple(metric_prefixes) if metric_prefixes else None
     by_type = {}
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -88,6 +109,12 @@ def validate_jsonl(path):
             _require(record, JSONL_REQUIRED[kind], where)
             if kind in ("counter", "gauge", "histogram", "span", "event"):
                 _require_labels(record, where)
+            if prefixes is not None and kind in _PREFIXED_TYPES:
+                name = record.get("name", "")
+                if not any(str(name).startswith(p) for p in prefixes):
+                    raise TelemetrySchemaError(
+                        f"{where}: metric {name!r} has an unknown prefix "
+                        f"(known: {', '.join(prefixes)})")
             if kind == "span":
                 _require_number(record, ("ts_ns", "dur_ns"), where)
                 _require_number(record, ("dur_ns",), where, minimum=0)
@@ -167,12 +194,20 @@ def main(argv=None):
                         help="JSONL event-stream export to validate")
     parser.add_argument("--trace", default=None,
                         help="Chrome trace-event JSON export to validate")
+    parser.add_argument("--allow-prefix", action="append", default=[],
+                        metavar="PREFIX",
+                        help="additional metric prefix to accept "
+                             "(repeatable)")
+    parser.add_argument("--no-prefix-check", action="store_true",
+                        help="skip the unknown-metric-prefix gate")
     args = parser.parse_args(argv)
     if args.jsonl is None and args.trace is None:
         parser.error("nothing to validate: give a JSONL path and/or --trace")
+    prefixes = None if args.no_prefix_check else (
+        KNOWN_METRIC_PREFIXES + tuple(args.allow_prefix))
     try:
         if args.jsonl is not None:
-            summary = validate_jsonl(args.jsonl)
+            summary = validate_jsonl(args.jsonl, metric_prefixes=prefixes)
             print(f"{args.jsonl}: OK — {summary['records']} records "
                   f"({', '.join(f'{k}={v}' for k, v in sorted(summary['by_type'].items()))})")
         if args.trace is not None:

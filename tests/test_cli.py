@@ -50,7 +50,8 @@ class TestSweepCommand:
     def test_all_experiments_parse(self):
         parser = build_parser()
         for name in ("gains", "siso", "uplink", "scenarios", "latency",
-                     "no-cnf", "cancellation", "faults", "coverage"):
+                     "no-cnf", "cancellation", "faults", "coverage",
+                     "link-health"):
             args = parser.parse_args(["sweep", name])
             assert callable(args.func)
 
@@ -83,7 +84,8 @@ class TestReportCommand:
     def test_all_experiments_parse(self):
         parser = build_parser()
         for name in ("gains", "siso", "uplink", "scenarios", "latency",
-                     "no-cnf", "cancellation", "faults", "coverage"):
+                     "no-cnf", "cancellation", "faults", "coverage",
+                     "link-health"):
             args = parser.parse_args(["report", name])
             assert callable(args.func)
 
@@ -115,3 +117,42 @@ class TestReportCommand:
         assert "exec.shard" in out
         # Experiment output first, telemetry tables after.
         assert out.index("clients:") < out.index("## Spans")
+
+    def test_link_health_prints_per_site_table(self, capsys):
+        assert main(["sweep", "link-health", "--clients", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "post-si-cancellation" in out
+        assert "post-amplification" in out
+        assert "ns CP" in out
+
+
+class TestReportFromFile:
+    def test_missing_file_errors_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit,
+                           match="cannot read --from file") as info:
+            main(["report", "--from", str(tmp_path / "nope.jsonl")])
+        assert "Traceback" not in str(info.value)
+
+    def test_invalid_jsonl_errors_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not telemetry\n{xxx}\n")
+        with pytest.raises(SystemExit,
+                           match="not a valid telemetry JSONL"):
+            main(["report", "--from", str(bad)])
+
+    def test_from_roundtrip_renders_html(self, tmp_path, capsys):
+        jsonl = tmp_path / "probes.jsonl"
+        html = tmp_path / "report.html"
+        assert main(["report", "link-health", "--clients", "2",
+                     "--jobs", "2", "--backend", "thread",
+                     "--jsonl", str(jsonl)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--from", str(jsonl),
+                     "--html", str(html)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote link-health report to {html}" in out
+        text = html.read_text(encoding="utf-8")
+        for panel in ("panel-constellation", "panel-spectrum",
+                      "panel-latency", "panel-evm"):
+            assert f'id="{panel}"' in text
+        assert "<script" not in text.lower()

@@ -166,12 +166,16 @@ class TestSummaryTables:
 
 class TestValidateCli:
     def test_ok_exit_zero(self, tmp_path, capsys):
+        # The sample collector uses free-form metric names, so the
+        # repo-prefix gate (on by default) is switched off here; the
+        # gate itself is covered by TestPrefixGate.
         jsonl = tmp_path / "run.jsonl"
         trace = tmp_path / "trace.json"
         tel = _sample_collector()
         write_jsonl(tel, jsonl)
         write_chrome_trace(tel, trace)
-        assert validate_main([str(jsonl), "--trace", str(trace)]) == 0
+        assert validate_main([str(jsonl), "--no-prefix-check",
+                              "--trace", str(trace)]) == 0
         out = capsys.readouterr().out
         assert out.count("OK") == 2
 
@@ -184,3 +188,46 @@ class TestValidateCli:
     def test_requires_an_input(self):
         with pytest.raises(SystemExit):
             validate_main([])
+
+
+class TestPrefixGate:
+    """The CLI rejects metric families the repo does not define."""
+
+    @staticmethod
+    def _write(tmp_path, name):
+        tel = TelemetryCollector(origin="prefix-test")
+        tel.counter(name).inc()
+        path = tmp_path / "run.jsonl"
+        write_jsonl(tel, path)
+        return path
+
+    def test_known_prefixes_cover_probes(self):
+        from repro.telemetry import KNOWN_METRIC_PREFIXES
+
+        assert "probes." in KNOWN_METRIC_PREFIXES
+        assert KNOWN_METRIC_PREFIXES == tuple(sorted(KNOWN_METRIC_PREFIXES))
+
+    def test_repo_prefix_accepted(self, tmp_path):
+        assert validate_main(
+            [str(self._write(tmp_path, "probes.samples"))]) == 0
+
+    def test_unknown_prefix_exits_nonzero(self, tmp_path, capsys):
+        assert validate_main(
+            [str(self._write(tmp_path, "typo.samples"))]) == 1
+        out = capsys.readouterr().out
+        assert "unknown prefix" in out and "typo.samples" in out
+
+    def test_allow_prefix_extends_the_gate(self, tmp_path):
+        path = self._write(tmp_path, "custom.thing")
+        assert validate_main([str(path)]) == 1
+        assert validate_main([str(path), "--allow-prefix", "custom."]) == 0
+
+    def test_library_api_stays_permissive_by_default(self, tmp_path):
+        # validate_jsonl only enforces prefixes when asked — existing
+        # callers with free-form names keep working.
+        path = self._write(tmp_path, "anything.goes")
+        assert validate_jsonl(path)["records"] == 2
+        from repro.telemetry import KNOWN_METRIC_PREFIXES
+
+        with pytest.raises(TelemetrySchemaError, match="unknown prefix"):
+            validate_jsonl(path, metric_prefixes=KNOWN_METRIC_PREFIXES)
