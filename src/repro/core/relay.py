@@ -662,6 +662,59 @@ class FastForwardRelay:
             probes.publish(tel)
         return y
 
+    def process_batch(self, iq_streams, sample_rate_hz=None, cfo_hz=0.0, *,
+                      block_size=4096, telemetry=None):
+        """Relay many *independent* SISO frames in one batched pass.
+
+        ``iq_streams`` is a sequence of 1-D sample arrays, one frame per
+        entry.  Equal-length frames are stacked into ``(batch, n)``
+        blocks and pumped through the streaming chain once per group, so
+        the FFT-heavy CNF filtering and the CFO rotations amortise
+        across the whole block instead of paying Python/FFT overhead per
+        frame.  Every stage processes stacked rows independently (the
+        chain is reset between groups, exactly as :meth:`process` resets
+        it between calls), so the returned list is bitwise identical to
+        ``[self.process(f, ...) for f in iq_streams]``.
+
+        The stateful per-frame hooks of :meth:`process` — ``faults``
+        (whose schedules advance in absolute stream position), a
+        ``supervisor`` (whose remedy evolves frame to frame) and
+        ``probes`` — are deliberately not offered here: their state
+        depends on frame *order*, which a batched pass does not have.
+        Use :meth:`process` when any of those are in play.
+        """
+        if self._mode != "siso":
+            raise RuntimeError("sample-level processing requires a SISO link")
+        sample_rate_hz = sample_rate_hz or self.config.params.bandwidth_hz
+        tel = telemetry if telemetry is not None else current_collector()
+        frames = [np.asarray(f, dtype=complex) for f in iq_streams]
+        for f in frames:
+            if f.ndim != 1:
+                raise ValueError(
+                    f"each frame must be a 1-D stream, got shape {f.shape}")
+            ensure_finite(f, "iq_stream")
+        chain = self._memoised_chain("siso", sample_rate_hz, cfo_hz,
+                                     block_size)
+        by_len = {}
+        for i, f in enumerate(frames):
+            by_len.setdefault(f.size, []).append(i)
+        outputs = [None] * len(frames)
+        total = 0
+        # Row-chunk large groups: a (batch, fft) working set past a few
+        # MB thrashes cache and erases the overhead win.
+        max_rows = 32
+        with tel.span("relay.process", mode="siso-batch"):
+            for n, idxs in by_len.items():
+                for start in range(0, len(idxs), max_rows):
+                    part = idxs[start : start + max_rows]
+                    chain.reset()
+                    y = chain.run(np.stack([frames[i] for i in part]))
+                    for row, i in enumerate(part):
+                        outputs[i] = y[row]
+                total += n * len(idxs)
+        tel.counter("relay.samples", mode="siso").inc(int(total))
+        return outputs
+
     def process_mimo(self, iq_streams, sample_rate_hz=None, cfo_hz=0.0, *,
                      block_size=4096, trace=None, faults=None,
                      supervisor=None, telemetry=None, probes=None):

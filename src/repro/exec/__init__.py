@@ -17,6 +17,7 @@ provides the execution substrate they all share:
 
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache, ResultCacheStats
 from repro.exec.executor import (
+    AUTO_CHUNK_TARGET_S,
     BACKENDS,
     SweepResult,
     SweepStats,
@@ -26,6 +27,7 @@ from repro.exec.executor import (
     resolve_cache,
     run_sweep,
 )
+from repro.exec.shm import ShmArena, ShmSlice
 from repro.exec.hashing import canonicalize, digest
 from repro.exec.manifest import SweepManifest, sweep_id
 from repro.exec.task import (
@@ -37,10 +39,13 @@ from repro.exec.task import (
 )
 
 __all__ = [
+    "AUTO_CHUNK_TARGET_S",
     "BACKENDS",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
     "ResultCacheStats",
+    "ShmArena",
+    "ShmSlice",
     "SweepManifest",
     "SweepResult",
     "SweepStats",

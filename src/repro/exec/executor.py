@@ -17,12 +17,26 @@ Environment defaults (so existing entry points — the benchmarks, the
 CLI, plain ``pytest`` — can be routed through the engine without
 signature churn):
 
-=================  ====================================================
-``REPRO_JOBS``     default worker count (``jobs=None``)
-``REPRO_BACKEND``  default backend (``serial`` / ``thread`` / ``process``)
-``REPRO_CACHE``    default cache dir; ``0``/``off`` disables, ``1`` uses
-                   ``.repro-cache/``
-=================  ====================================================
+==========================  ===========================================
+``REPRO_JOBS``              default worker count (``jobs=None``)
+``REPRO_BACKEND``           default backend (``serial`` / ``thread`` /
+                            ``process``)
+``REPRO_CACHE``             default cache dir; ``0``/``off`` disables,
+                            ``1`` uses ``.repro-cache/``
+``REPRO_SHM``               ``0``/``off`` disables shared-memory
+                            dispatch (see :mod:`repro.exec.shm`)
+``REPRO_SHM_MIN_BYTES``     size floor below which param arrays stay
+                            pickled
+==========================  ===========================================
+
+On the process backend, parameter ndarrays are moved into one shared
+memory segment before dispatch (:mod:`repro.exec.shm`): chunks then
+pickle only lightweight descriptors, and workers map the segment once.
+``chunk_size="auto"`` measures the first task inline and sizes chunks
+to ~:data:`AUTO_CHUNK_TARGET_S` of compute each.  The
+``exec.dispatch.*`` telemetry family quantifies this dispatch overhead
+(pack/unpack time, payload and segment bytes, chosen chunk size)
+separately from task compute time (``exec.task.wall_ns``).
 """
 
 from __future__ import annotations
@@ -30,6 +44,7 @@ from __future__ import annotations
 import importlib
 import math
 import os
+import pickle
 import time
 from concurrent.futures import (
     FIRST_EXCEPTION,
@@ -43,6 +58,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.exec import shm as shm_transport
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.exec.manifest import SweepManifest
 from repro.exec.task import resolve_task_fn
@@ -54,6 +70,11 @@ from repro.telemetry.collector import (
 from repro.telemetry.timing import NS_PER_S, timed_call
 
 BACKENDS = ("serial", "thread", "process")
+
+#: ``chunk_size="auto"`` sizes chunks to roughly this much measured
+#: compute each — enough to amortise per-future overhead, small enough
+#: to keep load balancing across workers.
+AUTO_CHUNK_TARGET_S = 0.2
 
 _FALSEY = {"", "0", "off", "none", "false", "no"}
 
@@ -124,6 +145,8 @@ class SweepStats:
     jobs: int = 1
     backend: str = "serial"
     wall_s: float = 0.0
+    chunk_size: Optional[int] = None
+    shm_bytes: int = 0
     cache: Optional[object] = field(default=None, repr=False)
 
     def summary(self):
@@ -133,6 +156,10 @@ class SweepStats:
         if self.resumed:
             parts.append(f"{self.resumed} resumed")
         parts.append(f"backend={self.backend} jobs={self.jobs}")
+        if self.chunk_size is not None:
+            parts.append(f"chunk={self.chunk_size}")
+        if self.shm_bytes:
+            parts.append(f"shm={self.shm_bytes}B")
         parts.append(f"{self.wall_s:.2f}s")
         return ", ".join(parts)
 
@@ -176,22 +203,39 @@ def _execute_item(item):
     return index, fn(**params, rng=np.random.default_rng(seed))
 
 
-def _run_chunk(items, collect=False, shard=None):
+def _run_chunk(items, collect=False, shard=None, packed=False):
     """Execute one chunk; returns ``(results, telemetry_payload)``.
 
-    Runs in a worker (thread or process).  When ``collect`` is set the
-    chunk gets its own :class:`~repro.telemetry.TelemetryCollector`,
-    installed thread-locally so parallel shards never race on shared
-    state and anything the task functions record lands in the shard's
-    collector.  The payload (a plain dict — it crosses the process
-    boundary) is merged back in the parent in deterministic task order.
+    Runs in a worker (thread or process).  When ``packed`` is set the
+    item params carry :class:`~repro.exec.shm.ShmSlice` descriptors
+    and are hydrated into read-only shared-memory views first; the
+    hydration cost is recorded as ``exec.dispatch.unpack_ns`` per
+    shard, so serialization overhead is separable from task compute
+    (``exec.task.wall_ns``).
+
+    When ``collect`` is set the chunk gets its own
+    :class:`~repro.telemetry.TelemetryCollector`, installed
+    thread-locally so parallel shards never race on shared state and
+    anything the task functions record lands in the shard's collector.
+    The payload (a plain dict — it crosses the process boundary) is
+    merged back in the parent in deterministic task order.
     """
+    unpack_s = 0.0
+    if packed:
+        start = time.perf_counter()
+        items = [(index, module, fn_name, shm_transport.hydrate(params),
+                  seed)
+                 for index, module, fn_name, params, seed in items]
+        unpack_s = time.perf_counter() - start
     if not collect:
         return [_execute_item(item) for item in items], None
     collector = TelemetryCollector(origin=f"shard-{shard}")
     out = []
     with use_collector(collector), \
             collector.span("exec.shard", shard=shard, tasks=len(items)):
+        if packed:
+            collector.histogram("exec.dispatch.unpack_ns", unit="ns",
+                                shard=shard).observe(unpack_s * NS_PER_S)
         for item in items:
             fn_name = item[2]
             pair, wall_s = timed_call(_execute_item, item)
@@ -221,10 +265,26 @@ def _record_sweep_telemetry(tel, stats, cache):
         tel.gauge("exec.cache.hit_rate").set(cache_stats.hit_rate)
 
 
-def _chunked(pending, jobs, chunk_size):
+def _resolve_chunk_size(n_pending, jobs, chunk_size):
+    """Explicit size, or the default layout of ~4 chunks per worker."""
     if chunk_size is None:
-        chunk_size = max(1, math.ceil(len(pending) / (jobs * 4)))
-    chunk_size = max(1, int(chunk_size))
+        chunk_size = max(1, math.ceil(n_pending / (jobs * 4)))
+    return max(1, int(chunk_size))
+
+
+def _auto_chunk_size(per_task_s, n_pending, jobs):
+    """Chunk size from one measured task cost.
+
+    Targets :data:`AUTO_CHUNK_TARGET_S` of compute per chunk, clamped
+    so every worker still receives at least one chunk.
+    """
+    per_task_s = max(float(per_task_s), 1e-6)
+    size = int(AUTO_CHUNK_TARGET_S / per_task_s)
+    return max(1, min(max(size, 1), math.ceil(n_pending / jobs)))
+
+
+def _chunked(pending, jobs, chunk_size):
+    chunk_size = _resolve_chunk_size(len(pending), jobs, chunk_size)
     return [pending[i:i + chunk_size]
             for i in range(0, len(pending), chunk_size)]
 
@@ -237,6 +297,13 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
     module docstring).  ``checkpoint`` names a manifest file enabling
     resume; it implies the default cache when none is configured, since
     resumable results must be persisted somewhere.
+
+    ``chunk_size`` is an explicit per-chunk task count, ``None`` for
+    the default layout (~4 chunks per worker), or ``"auto"``: the
+    first pending task runs inline in the parent, its measured wall
+    time sizes the remaining chunks to ~:data:`AUTO_CHUNK_TARGET_S`
+    of compute each.  Results are bit-identical whatever the chunk
+    layout — only dispatch overhead changes.
     """
     tasks = list(tasks)
     jobs = default_jobs() if jobs is None else int(jobs)
@@ -305,6 +372,7 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
 
     tel = current_collector()
     collect = tel.enabled
+    arena = None
 
     try:
         with tel.span("exec.sweep", backend=backend, jobs=jobs):
@@ -318,13 +386,57 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
                         _complete(index, value)
                 stats.chunks = len(pending)
             else:
-                chunks = _chunked(pending, jobs, chunk_size)
-                stats.chunks = len(chunks)
+                probed = 0
+                if chunk_size == "auto":
+                    # Measure one task inline; its wall time sizes the
+                    # chunks dispatched to the pool.  pending[0] keeps
+                    # telemetry merge order == task order.
+                    (out, payload), probe_s = timed_call(
+                        _run_chunk, [pending[0]], collect, "probe")
+                    tel.merge(payload)
+                    for index, value in out:
+                        _complete(index, value)
+                    pending = pending[1:]
+                    probed = 1
+                    chunk_size = _auto_chunk_size(probe_s, len(pending),
+                                                  jobs)
+                size = _resolve_chunk_size(len(pending), jobs, chunk_size)
+                stats.chunk_size = size
+                # Process workers get param ndarrays through one shared
+                # segment; chunks then pickle only descriptors.  Thread
+                # workers share the parent heap — nothing to pack.
+                if backend == "process" and shm_transport.enabled():
+                    (arena, packed_params), pack_s = timed_call(
+                        shm_transport.pack, [item[3] for item in pending])
+                    if arena is not None:
+                        pending = [
+                            (index, module, fn_name, params, seed)
+                            for (index, module, fn_name, _, seed), params
+                            in zip(pending, packed_params)]
+                        stats.shm_bytes = arena.nbytes
+                        tel.histogram("exec.dispatch.pack_ns",
+                                      unit="ns").observe(pack_s * NS_PER_S)
+                        tel.gauge("exec.dispatch.shm_bytes",
+                                  unit="layout").set(arena.nbytes)
+                        tel.gauge("exec.dispatch.shm_arrays",
+                                  unit="layout").set(arena.num_arrays)
+                packed = arena is not None
+                chunks = _chunked(pending, jobs, size)
+                stats.chunks = len(chunks) + probed
+                tel.gauge("exec.dispatch.chunk_size",
+                          unit="layout").set(size)
                 pool_cls = (ThreadPoolExecutor if backend == "thread"
                             else ProcessPoolExecutor)
                 with pool_cls(max_workers=jobs) as pool:
-                    futures = [pool.submit(_run_chunk, chunk, collect, shard)
-                               for shard, chunk in enumerate(chunks)]
+                    futures = []
+                    for shard, chunk in enumerate(chunks):
+                        if collect and backend == "process":
+                            tel.histogram(
+                                "exec.dispatch.payload_bytes",
+                                unit="layout").observe(len(pickle.dumps(
+                                    chunk, pickle.HIGHEST_PROTOCOL)))
+                        futures.append(pool.submit(
+                            _run_chunk, chunk, collect, shard, packed))
                     done_set, _ = wait(futures, return_when=FIRST_EXCEPTION)
                     # Record whatever completed (even if another chunk
                     # failed) so the checkpoint keeps its progress, then
@@ -341,6 +453,10 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
                         if future in done_set:
                             future.result()     # raises the chunk's error
     finally:
+        if arena is not None:
+            # The pool context has exited (workers drained or dead), so
+            # the parent's unlink is the last reference's cleanup.
+            arena.dispose()
         if manifest is not None:
             manifest.close()
         stats.wall_s = time.perf_counter() - start

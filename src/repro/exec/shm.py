@@ -1,0 +1,251 @@
+"""Zero-copy ndarray dispatch for process-backend sweeps.
+
+Pickling chunk parameters into every worker re-serialises each task's
+ndarrays — channel-bank sweeps push the same frequency responses
+across the process boundary once per task.  This module packs every
+distinct parameter array into one POSIX shared-memory segment before
+dispatch: workers receive only tiny :class:`ShmSlice` descriptors
+(name, offset, shape, dtype) and map the segment once per process, so
+the array bytes cross the boundary zero times however many tasks
+reference them.
+
+Views handed to task functions are **read-only**: task functions are
+pure by the :mod:`repro.exec.task` contract, and a shared mapping must
+never be written by one shard while another reads it.  A task that
+tries to mutate a packed param array now fails loudly instead of
+silently mutating its private pickled copy — that difference is the
+point, not a regression.
+
+Lifecycle: the parent owns the segment — :func:`pack` creates it and
+``run_sweep`` disposes it after the worker pool has drained.  Workers
+attach lazily and cache the attachment per process.  On Linux the
+attachment is a direct read-only ``mmap`` of ``/dev/shm/<name>``,
+which keeps worker processes entirely out of the multiprocessing
+resource tracker (Python 3.11 tracks attachments exactly like
+creations, and concurrent register/unregister messages from several
+workers race in the tracker's name set); elsewhere it falls back to
+:class:`~multiprocessing.shared_memory.SharedMemory`.
+
+``REPRO_SHM=0`` disables packing entirely; ``REPRO_SHM_MIN_BYTES``
+overrides the size floor below which arrays stay pickled (mapping
+overhead beats pickling only past a few hundred bytes).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Arrays smaller than this stay pickled (descriptor + view overhead
+#: beats pickling only once the payload dwarfs it).
+DEFAULT_MIN_BYTES = 512
+
+#: Segment offsets are aligned so every view starts on a cache line.
+_ALIGN = 64
+
+_FALSEY = {"0", "off", "none", "false", "no"}
+
+
+def enabled():
+    """Whether shared-memory dispatch is allowed (``REPRO_SHM``)."""
+    raw = os.environ.get("REPRO_SHM", "").strip().lower()
+    return raw not in _FALSEY
+
+
+def min_share_bytes():
+    """Size floor for packing (``REPRO_SHM_MIN_BYTES`` or the default)."""
+    raw = os.environ.get("REPRO_SHM_MIN_BYTES", "").strip()
+    if not raw:
+        return DEFAULT_MIN_BYTES
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"REPRO_SHM_MIN_BYTES must be >= 1, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ShmSlice:
+    """Picklable descriptor of one array inside a shared segment."""
+
+    segment: str
+    offset: int
+    shape: tuple
+    dtype: str
+
+
+class ShmArena:
+    """One shared-memory segment holding a sweep's distinct param arrays.
+
+    The constructor copies each array (made C-contiguous) into the
+    segment at a cache-line-aligned offset; :attr:`slices` holds the
+    matching descriptors in input order.  The creating process must
+    call :meth:`dispose` exactly once when every consumer is done.
+    """
+
+    def __init__(self, arrays):
+        contiguous = []
+        offsets = []
+        total = 0
+        for array in arrays:
+            array = np.ascontiguousarray(array)
+            offset = -(-total // _ALIGN) * _ALIGN
+            contiguous.append(array)
+            offsets.append(offset)
+            total = offset + array.nbytes
+        self._shm = shared_memory.SharedMemory(create=True,
+                                               size=max(total, 1))
+        self.nbytes = total
+        self.slices = []
+        for array, offset in zip(contiguous, offsets):
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=self._shm.buf, offset=offset)
+            view[...] = array
+            self.slices.append(ShmSlice(self._shm.name, offset,
+                                        array.shape, array.dtype.str))
+
+    @property
+    def name(self):
+        return self._shm.name
+
+    @property
+    def num_arrays(self):
+        return len(self.slices)
+
+    def dispose(self):
+        """Close and unlink the segment (idempotent)."""
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.dispose()
+
+
+def _shareable(value, floor):
+    return (isinstance(value, np.ndarray)
+            and not value.dtype.hasobject
+            and value.nbytes >= floor)
+
+
+def pack(objs, min_bytes=None):
+    """Extract shareable ndarrays from a list of parameter trees.
+
+    Walks dicts/lists/tuples inside each tree, moves every distinct
+    (by identity) qualifying array into one fresh :class:`ShmArena`,
+    and returns ``(arena, packed)`` where ``packed`` mirrors ``objs``
+    with those arrays replaced by :class:`ShmSlice` descriptors.
+    Returns ``(None, objs)`` when nothing qualifies, so callers can
+    skip the packed path entirely.
+    """
+    floor = min_share_bytes() if min_bytes is None else int(min_bytes)
+    order = {}
+    arrays = []
+
+    def collect(obj):
+        if _shareable(obj, floor):
+            if id(obj) not in order:
+                order[id(obj)] = len(arrays)
+                arrays.append(obj)
+        elif isinstance(obj, dict):
+            for value in obj.values():
+                collect(value)
+        elif isinstance(obj, (list, tuple)):
+            for value in obj:
+                collect(value)
+
+    for obj in objs:
+        collect(obj)
+    if not arrays:
+        return None, list(objs)
+
+    arena = ShmArena(arrays)
+
+    def rewrite(obj):
+        if _shareable(obj, floor):
+            return arena.slices[order[id(obj)]]
+        if isinstance(obj, dict):
+            return {key: rewrite(value) for key, value in obj.items()}
+        if isinstance(obj, tuple):
+            return tuple(rewrite(value) for value in obj)
+        if isinstance(obj, list):
+            return [rewrite(value) for value in obj]
+        return obj
+
+    return arena, [rewrite(obj) for obj in objs]
+
+
+#: Per-process cache of attached segments — one map per worker however
+#: many chunks it executes.
+_ATTACHMENTS = {}
+
+
+class _MmapAttachment:
+    """A read-only /dev/shm mapping (no resource-tracker traffic)."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self, path):
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            self.buf = mmap.mmap(fd, 0, prot=mmap.PROT_READ)
+        finally:
+            os.close(fd)
+
+    def close(self):
+        self.buf.close()
+
+
+def _attach(name):
+    segment = _ATTACHMENTS.get(name)
+    if segment is None:
+        path = f"/dev/shm/{name.lstrip('/')}"
+        if hasattr(mmap, "PROT_READ") and os.path.exists(path):
+            segment = _MmapAttachment(path)
+        else:
+            segment = shared_memory.SharedMemory(name=name)
+        _ATTACHMENTS[name] = segment
+    return segment
+
+
+def hydrate(obj):
+    """Replace :class:`ShmSlice` descriptors with read-only array views.
+
+    The inverse of :func:`pack`, run worker-side.  Attachments are
+    cached per process, so after the first chunk a descriptor costs
+    one dict lookup plus an ndarray header — no copies.
+    """
+    if isinstance(obj, ShmSlice):
+        segment = _attach(obj.segment)
+        view = np.ndarray(obj.shape, dtype=np.dtype(obj.dtype),
+                          buffer=segment.buf, offset=obj.offset)
+        view.flags.writeable = False
+        return view
+    if isinstance(obj, dict):
+        return {key: hydrate(value) for key, value in obj.items()}
+    if isinstance(obj, tuple):
+        return tuple(hydrate(value) for value in obj)
+    if isinstance(obj, list):
+        return [hydrate(value) for value in obj]
+    return obj
+
+
+def detach_all():
+    """Drop every cached attachment (test isolation helper)."""
+    for segment in _ATTACHMENTS.values():
+        try:
+            segment.close()
+        except Exception:
+            pass
+    _ATTACHMENTS.clear()

@@ -22,6 +22,7 @@ Each runner accepts ``jobs=``, ``cache=``, ``backend=`` and
 from __future__ import annotations
 
 import functools
+import os
 
 import numpy as np
 
@@ -67,16 +68,36 @@ def _collect_clients(testbed, num_clients, seed):
     return positions, child_seeds(seed + 1, num_clients)
 
 
-def _client_tasks(fn_name, scenarios, num_clients, seed, stream, extra=None):
-    """One engine task per (scenario, client).
+def _default_block_size():
+    """The ``REPRO_BLOCK`` environment default for client blocking."""
+    raw = os.environ.get("REPRO_BLOCK", "").strip()
+    if not raw:
+        return None
+    value = int(raw)
+    return value if value > 1 else None
+
+
+def _client_tasks(fn_name, scenarios, num_clients, seed, stream, extra=None,
+                  block_size=None):
+    """One engine task per (scenario, client) — or per client *block*.
 
     The per-client scaffolding every sweep used to duplicate — scenario
     ``i`` gets testbed seed ``seed + i``, its clients come from
     ``_collect_clients(testbed, count, seed + stream + i)`` — hoisted
     into one helper so all experiments derive per-client seeds the same
     way (and keep the seed implementation's exact numbers).
+
+    ``block_size`` > 1 packs that many consecutive clients into one
+    ``netsim.client-block`` task (amortising per-task dispatch,
+    serialisation and cache bookkeeping); per-client seeds travel inside
+    the block, so flattened results are bit-identical to the per-client
+    layout in the same order.  ``None`` defers to the ``REPRO_BLOCK``
+    environment default (unset means one task per client, the layout
+    every cache entry and manifest produced so far was keyed under).
     """
-    tasks = []
+    if block_size is None:
+        block_size = _default_block_size()
+    units = []
     for s_idx, scenario in enumerate(scenarios):
         testbed = Testbed(scenario, seed=seed + s_idx)
         count = max(1, num_clients // len(scenarios))
@@ -87,8 +108,38 @@ def _client_tasks(fn_name, scenarios, num_clients, seed, stream, extra=None):
                       "client": client}
             if extra:
                 params.update(extra)
-            tasks.append(Task(fn_name, params, seed=client_seed))
-    return tasks
+            units.append((params, client_seed))
+    if not block_size or block_size <= 1:
+        return [Task(fn_name, params, seed=client_seed)
+                for params, client_seed in units]
+    return [
+        Task("netsim.client-block",
+             {"fn_name": fn_name,
+              "blocks": tuple(units[i : i + block_size])})
+        for i in range(0, len(units), int(block_size))
+    ]
+
+
+def _task_client_count(tasks):
+    """Clients covered by a task list (blocks count their members)."""
+    return sum(len(t.params["blocks"]) if t.fn == "netsim.client-block"
+               else 1 for t in tasks)
+
+
+def _block_rows(results):
+    """Flatten sweep results back to one row per client.
+
+    Per-client tasks return dict rows; ``netsim.client-block`` tasks
+    return a list of them.  Blocks preserve client order, so the
+    flattened sequence matches the unblocked layout exactly.
+    """
+    rows = []
+    for result in results:
+        if isinstance(result, list):
+            rows.extend(result)
+        else:
+            rows.append(result)
+    return rows
 
 
 def _sub_checkpoint(checkpoint, label):
@@ -99,6 +150,30 @@ def _sub_checkpoint(checkpoint, label):
 # ---------------------------------------------------------------------------
 # Per-client task functions (pure, seeded; registered with the engine)
 # ---------------------------------------------------------------------------
+
+@task_fn("netsim.client-block", version="1")
+def _client_block(fn_name, blocks):
+    """Run a registered per-client task over a whole block of clients.
+
+    ``blocks`` is a sequence of ``(params, seed)`` pairs; each client's
+    RNG is materialised from its own seed exactly as the executor would
+    for a standalone task, so the returned row list is bit-identical to
+    running the clients as individual tasks.  Batching them in one task
+    amortises engine dispatch, result pickling and cache bookkeeping
+    over ``len(blocks)`` clients — the netsim half of the sweep fast
+    path (the PHY half batches inside the signal processing itself).
+    """
+    from repro.exec.task import resolve_task_fn
+
+    fn, _ = resolve_task_fn(fn_name)
+    rows = []
+    for params, client_seed in blocks:
+        kwargs = dict(params)
+        if client_seed is not None:
+            kwargs["rng"] = np.random.default_rng(client_seed)
+        rows.append(fn(**kwargs))
+    return rows
+
 
 @task_fn("netsim.overall-gains-client", version="1")
 def _overall_gains_client(scenario, testbed_seed, client, relay_config=None,
@@ -279,7 +354,8 @@ def _traced(name):
 @_traced("overall-gains")
 def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
                              relay_config=None, jobs=None, cache=None,
-                             backend=None, checkpoint=None):
+                             backend=None, checkpoint=None,
+                             block_size=None):
     """Figs. 12/13/15 data: per-client rates for the three schemes (2x2).
 
     Returns arrays ``ap_only``, ``half_duplex``, ``fastforward`` (Mbps)
@@ -289,9 +365,10 @@ def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
     scenarios = scenarios if scenarios is not None else paper_scenarios()
     extra = {"relay_config": relay_config} if relay_config is not None else None
     tasks = _client_tasks("netsim.overall-gains-client", scenarios,
-                          num_clients, seed, stream=100, extra=extra)
-    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
-                     checkpoint=checkpoint).results
+                          num_clients, seed, stream=100, extra=extra,
+                          block_size=block_size)
+    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
+                                 cache=cache, checkpoint=checkpoint).results)
 
     out = {
         "ap_only": np.asarray([r["ap"] for r in rows]),
@@ -311,13 +388,15 @@ def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
 
 @_traced("siso-gains")
 def siso_gains_experiment(num_clients=60, seed=0, scenarios=None, jobs=None,
-                          cache=None, backend=None, checkpoint=None):
+                          cache=None, backend=None, checkpoint=None,
+                          block_size=None):
     """Fig. 14 data: SISO AP/relay/client — pure SNR-gain territory."""
     scenarios = scenarios if scenarios is not None else paper_scenarios()
     tasks = _client_tasks("netsim.siso-gains-client", scenarios,
-                          num_clients, seed, stream=200)
-    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
-                     checkpoint=checkpoint).results
+                          num_clients, seed, stream=200,
+                          block_size=block_size)
+    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
+                                 cache=cache, checkpoint=checkpoint).results)
 
     out = {
         "ap_only": np.asarray([r["ap"] for r in rows]),
@@ -334,7 +413,7 @@ def siso_gains_experiment(num_clients=60, seed=0, scenarios=None, jobs=None,
 @_traced("uplink-gains")
 def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0,
                             jobs=None, cache=None, backend=None,
-                            checkpoint=None):
+                            checkpoint=None, block_size=None):
     """Uplink (client -> AP) gains — "the relay can be used to improve
     the link from the client to the AP as well" (§1, footnote 1).
 
@@ -346,9 +425,10 @@ def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0,
     """
     tasks = _client_tasks(
         "netsim.uplink-gains-client", paper_scenarios(), num_clients, seed,
-        stream=700, extra={"client_tx_power_dbm": client_tx_power_dbm})
-    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
-                     checkpoint=checkpoint).results
+        stream=700, extra={"client_tx_power_dbm": client_tx_power_dbm},
+        block_size=block_size)
+    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
+                                 cache=cache, checkpoint=checkpoint).results)
     out = {
         "ap_only": np.asarray([r["ap"] for r in rows]),
         "fastforward": np.asarray([r["ff"] for r in rows]),
@@ -395,7 +475,8 @@ def scenario_class_experiment(num_clients=90, seed=0, jobs=None, cache=None,
 @_traced("latency-sweep")
 def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
                              num_clients=40, seed=0, jobs=None, cache=None,
-                             backend=None, checkpoint=None):
+                             backend=None, checkpoint=None,
+                             block_size=None):
     """Fig. 16: median throughput gain vs relay processing latency.
 
     Extra buffering is added to the relay's budget; past the CP the
@@ -409,7 +490,7 @@ def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
     results = {"latency_ns": np.asarray(latencies_ns, dtype=float)}
     base = LatencyBudget(adc_dac_s=50e-9, cnf_digital_s=50e-9,
                          extra_buffering_s=0.0).total_s()
-    tasks, spans = [], []
+    tasks, spans, clients_so_far = [], [], 0
     for extra_ns in latencies_ns:
         # The sweep interprets the x-axis as *total* processing latency,
         # matching the paper ("vary the processing delay at the FF relay
@@ -417,11 +498,14 @@ def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
         extra = max(extra_ns * 1e-9 - base, 0.0)
         lat_tasks = _client_tasks(
             "netsim.latency-client", scenarios, num_clients, seed,
-            stream=300, extra={"extra_buffering_s": extra})
-        spans.append((len(tasks), len(tasks) + len(lat_tasks)))
+            stream=300, extra={"extra_buffering_s": extra},
+            block_size=block_size)
+        covered = _task_client_count(lat_tasks)
+        spans.append((clients_so_far, clients_so_far + covered))
+        clients_so_far += covered
         tasks.extend(lat_tasks)
-    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
-                     checkpoint=checkpoint).results
+    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
+                                 cache=cache, checkpoint=checkpoint).results)
 
     medians = []
     for lo, hi in spans:
@@ -456,22 +540,26 @@ def no_cnf_experiment(num_clients=60, seed=0, jobs=None, cache=None,
 @_traced("cancellation-sweep")
 def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110),
                                   num_clients=40, seed=0, jobs=None,
-                                  cache=None, backend=None, checkpoint=None):
+                                  cache=None, backend=None, checkpoint=None,
+                                  block_size=None):
     """Fig. 18: median gain vs the cancellation the relay achieves.
 
     Cancellation caps amplification (minus the loop margin); dead-spot
     clients lose the most when the cap drops.
     """
     scenarios = paper_scenarios()
-    tasks, spans = [], []
+    tasks, spans, clients_so_far = [], [], 0
     for canc in cancellations_db:
         c_tasks = _client_tasks(
             "netsim.cancellation-client", scenarios, num_clients, seed,
-            stream=400, extra={"cancellation_db": float(canc)})
-        spans.append((len(tasks), len(tasks) + len(c_tasks)))
+            stream=400, extra={"cancellation_db": float(canc)},
+            block_size=block_size)
+        covered = _task_client_count(c_tasks)
+        spans.append((clients_so_far, clients_so_far + covered))
+        clients_so_far += covered
         tasks.extend(c_tasks)
-    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
-                     checkpoint=checkpoint).results
+    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
+                                 cache=cache, checkpoint=checkpoint).results)
 
     medians, tails = [], []
     for lo, hi in spans:
@@ -489,7 +577,8 @@ def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110
 @_traced("link-health")
 def link_health_experiment(num_clients=4, seed=2014, n_symbols=24,
                            fault=None, scenarios=None, jobs=None,
-                           cache=None, backend=None, checkpoint=None):
+                           cache=None, backend=None, checkpoint=None,
+                           block_size=None):
     """Probe-instrumented relay passes: the link-health sweep.
 
     Each client runs a known reference frame through its sample-level
@@ -508,9 +597,10 @@ def link_health_experiment(num_clients=4, seed=2014, n_symbols=24,
     if fault is not None:
         extra["fault"] = fault
     tasks = _client_tasks("netsim.link-health-client", scenarios,
-                          num_clients, seed, stream=800, extra=extra)
-    rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
-                     checkpoint=checkpoint).results
+                          num_clients, seed, stream=800, extra=extra,
+                          block_size=block_size)
+    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
+                                 cache=cache, checkpoint=checkpoint).results)
 
     keys = sorted({k for row in rows for k in row})
     aggregate = {}

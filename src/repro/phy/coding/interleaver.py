@@ -54,14 +54,35 @@ class BlockInterleaver:
         out[self._inverse] = values
         return out
 
+    def interleave_block(self, bits):
+        """Interleave a ``(num_symbols, n_cbps)`` block row-wise."""
+        bits = np.asarray(bits)
+        if bits.ndim != 2 or bits.shape[1] != self.n_cbps:
+            raise ValueError(
+                f"expected (num_symbols, {self.n_cbps}) block, "
+                f"got shape {bits.shape}")
+        out = np.empty_like(bits)
+        out[:, self._forward] = bits
+        return out
+
+    def deinterleave_block(self, values):
+        """Invert :meth:`interleave_block`; works on bits or LLRs."""
+        values = np.asarray(values)
+        if values.ndim != 2 or values.shape[1] != self.n_cbps:
+            raise ValueError(
+                f"expected (num_symbols, {self.n_cbps}) block, "
+                f"got shape {values.shape}")
+        out = np.empty_like(values)
+        out[:, self._inverse] = values
+        return out
+
     def interleave_stream(self, bits):
         """Interleave a multi-symbol stream (length multiple of n_cbps)."""
         bits = np.asarray(bits).ravel()
         if bits.size % self.n_cbps:
             raise ValueError(
                 f"stream length {bits.size} not a multiple of {self.n_cbps}")
-        blocks = bits.reshape(-1, self.n_cbps)
-        return np.concatenate([self.interleave(b) for b in blocks])
+        return self.interleave_block(bits.reshape(-1, self.n_cbps)).reshape(-1)
 
     def deinterleave_stream(self, values):
         """Invert :meth:`interleave_stream`."""
@@ -69,5 +90,5 @@ class BlockInterleaver:
         if values.size % self.n_cbps:
             raise ValueError(
                 f"stream length {values.size} not a multiple of {self.n_cbps}")
-        blocks = values.reshape(-1, self.n_cbps)
-        return np.concatenate([self.deinterleave(b) for b in blocks])
+        return self.deinterleave_block(
+            values.reshape(-1, self.n_cbps)).reshape(-1)

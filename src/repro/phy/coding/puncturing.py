@@ -61,10 +61,12 @@ def coded_length(info_bits, rate, tail_bits=6):
     """Punctured coded length for ``info_bits`` information bits.
 
     The mother code doubles ``info_bits + tail_bits``; puncturing keeps
-    a ``rate``-dependent fraction.  Raises when the pattern does not
-    divide evenly (callers pad the payload instead).
+    a ``rate``-dependent fraction.  Computed arithmetically from the
+    repeating pattern (the padding search in
+    :func:`repro.phy.frame.payload_padding` calls this in a loop, so it
+    must not materialise a mother-length mask per call).
     """
     mother = 2 * (int(info_bits) + tail_bits)
     pattern = _pattern_for(rate)
-    mask = np.resize(pattern, mother)
-    return int(mask.sum())
+    full, rem = divmod(mother, pattern.size)
+    return int(full * int(pattern.sum()) + int(pattern[:rem].sum()))

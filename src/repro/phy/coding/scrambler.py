@@ -12,20 +12,38 @@ class Scrambler:
     the operation is XOR with the LFSR output stream.
     """
 
+    #: One LFSR period (127 bits for the primitive x^7+x^4+1) per seed.
+    _PERIOD_CACHE = {}
+
     def __init__(self, seed=0x5D):
         if not 1 <= seed <= 0x7F:
             raise ValueError(f"seed must be a non-zero 7-bit value, got {seed:#x}")
         self._seed = seed
 
+    def _period(self):
+        cached = self._PERIOD_CACHE.get(self._seed)
+        if cached is None:
+            state = self._seed
+            out = np.empty(127, dtype=int)
+            for i in range(127):
+                bit = ((state >> 6) ^ (state >> 3)) & 1
+                state = ((state << 1) | bit) & 0x7F
+                out[i] = bit
+            if state != self._seed:
+                raise AssertionError("LFSR failed to return to its seed "
+                                     "after one maximal-length period")
+            cached = out
+            self._PERIOD_CACHE[self._seed] = cached
+        return cached
+
     def sequence(self, length):
-        """Generate ``length`` bits of the scrambling sequence."""
-        state = self._seed
-        out = np.empty(length, dtype=int)
-        for i in range(length):
-            bit = ((state >> 6) ^ (state >> 3)) & 1
-            state = ((state << 1) | bit) & 0x7F
-            out[i] = bit
-        return out
+        """Generate ``length`` bits of the scrambling sequence.
+
+        The x^7+x^4+1 LFSR is maximal-length, so any non-zero seed
+        cycles with period 127: one cached period is tiled instead of
+        stepping the register bit by bit.
+        """
+        return np.resize(self._period(), length)
 
     def process(self, bits):
         """XOR ``bits`` with the scrambling sequence (involution)."""

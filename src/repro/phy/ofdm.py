@@ -42,6 +42,18 @@ class OfdmModulator:
             base[-1] = -1.0  # the 802.11 pattern (1, 1, 1, -1)
         return polarity * base
 
+    def pilot_values_many(self, symbol_indices):
+        """Pilot symbols for many OFDM symbols, shape ``(n, n_pilots)``.
+
+        Row ``i`` equals ``pilot_values(symbol_indices[i])``.
+        """
+        indices = np.asarray(symbol_indices, dtype=int).ravel()
+        polarity = _PILOT_POLARITY[indices % _PILOT_POLARITY.size]
+        base = np.ones(self._pilot_idx.size, dtype=complex)
+        if base.size:
+            base[-1] = -1.0
+        return polarity[:, None] * base
+
     def modulate_symbol(self, data_symbols, symbol_index=0):
         """One OFDM symbol (with CP) from ``num_data_subcarriers`` symbols."""
         p = self.params
@@ -61,7 +73,13 @@ class OfdmModulator:
         return np.concatenate([time_sym[-p.cp_len:], time_sym]) if p.cp_len else time_sym
 
     def modulate(self, data_symbols, start_symbol_index=0):
-        """A burst of OFDM symbols from a flat data-symbol array."""
+        """A burst of OFDM symbols from a flat data-symbol array.
+
+        All symbols of the burst are gridded and IFFT'd in one batched
+        pass; per-symbol output is bitwise identical to
+        :meth:`modulate_symbol` (batched FFTs process rows
+        independently).
+        """
         p = self.params
         data_symbols = ensure_complex_1d(data_symbols, "data_symbols")
         if data_symbols.size % p.num_data_subcarriers:
@@ -69,9 +87,20 @@ class OfdmModulator:
                 f"data length {data_symbols.size} not a multiple of "
                 f"{p.num_data_subcarriers}")
         blocks = data_symbols.reshape(-1, p.num_data_subcarriers)
-        out = [self.modulate_symbol(blk, start_symbol_index + i)
-               for i, blk in enumerate(blocks)]
-        return np.concatenate(out) if out else np.array([], dtype=complex)
+        n_syms = blocks.shape[0]
+        if not n_syms:
+            return np.array([], dtype=complex)
+        tone_scale = np.sqrt(p.fft_size / p.num_used_subcarriers)
+        grid = np.zeros((n_syms, p.fft_size), dtype=complex)
+        grid[:, self._data_idx % p.fft_size] = blocks * tone_scale
+        pilots = self.pilot_values_many(
+            start_symbol_index + np.arange(n_syms))
+        grid[:, self._pilot_idx % p.fft_size] = pilots * tone_scale
+        time_syms = np.fft.ifft(grid, axis=-1) * np.sqrt(p.fft_size)
+        if p.cp_len:
+            time_syms = np.concatenate(
+                [time_syms[:, -p.cp_len:], time_syms], axis=1)
+        return time_syms.reshape(-1)
 
     def modulate_grid(self, grid):
         """One OFDM symbol (with CP) from a full fft_size frequency grid.
@@ -109,23 +138,13 @@ class OfdmDemodulator:
         body = samples[p.cp_len:]
         return np.fft.fft(body) / np.sqrt(p.fft_size)
 
-    def extract_data(self, grid):
-        """Data-subcarrier values from a full frequency grid."""
-        p = self.params
-        tone_scale = np.sqrt(p.fft_size / p.num_used_subcarriers)
-        return grid[self._data_idx % p.fft_size] / tone_scale
+    def demodulate_symbols(self, samples, num_symbols=None):
+        """FFT a burst of OFDM symbols; returns ``(num_symbols, fft)`` grids.
 
-    def extract_pilots(self, grid):
-        """Pilot-subcarrier values from a full frequency grid."""
-        p = self.params
-        tone_scale = np.sqrt(p.fft_size / p.num_used_subcarriers)
-        return grid[self._pilot_idx % p.fft_size] / tone_scale
-
-    def demodulate(self, samples, num_symbols=None):
-        """Demodulate a burst; returns an array (num_symbols, n_data).
-
-        Extra trailing samples are ignored; raises if the stream is too
-        short for ``num_symbols``.
+        Row ``i`` is bitwise identical to ``demodulate_symbol`` on the
+        ``i``-th ``symbol_len`` slice (batched FFTs process rows
+        independently).  Extra trailing samples are ignored; raises if
+        the stream is too short for ``num_symbols``.
         """
         p = self.params
         samples = ensure_complex_1d(samples, "samples")
@@ -135,9 +154,30 @@ class OfdmDemodulator:
         if num_symbols > available:
             raise ValueError(
                 f"stream has {available} whole symbols, need {num_symbols}")
-        out = np.empty((num_symbols, p.num_data_subcarriers), dtype=complex)
-        for i in range(num_symbols):
-            seg = samples[i * p.symbol_len : (i + 1) * p.symbol_len]
-            grid = self.demodulate_symbol(seg)
-            out[i] = self.extract_data(grid)
-        return out
+        bodies = samples[: num_symbols * p.symbol_len].reshape(
+            num_symbols, p.symbol_len)[:, p.cp_len:]
+        return np.fft.fft(bodies, axis=-1) / np.sqrt(p.fft_size)
+
+    def extract_data(self, grid):
+        """Data-subcarrier values from full frequency grid(s).
+
+        Accepts one grid ``(fft,)`` or a stack ``(..., fft)``; the tone
+        axis is always the last one.
+        """
+        p = self.params
+        tone_scale = np.sqrt(p.fft_size / p.num_used_subcarriers)
+        return grid[..., self._data_idx % p.fft_size] / tone_scale
+
+    def extract_pilots(self, grid):
+        """Pilot-subcarrier values from full frequency grid(s)."""
+        p = self.params
+        tone_scale = np.sqrt(p.fft_size / p.num_used_subcarriers)
+        return grid[..., self._pilot_idx % p.fft_size] / tone_scale
+
+    def demodulate(self, samples, num_symbols=None):
+        """Demodulate a burst; returns an array (num_symbols, n_data).
+
+        Extra trailing samples are ignored; raises if the stream is too
+        short for ``num_symbols``.
+        """
+        return self.extract_data(self.demodulate_symbols(samples, num_symbols))

@@ -157,7 +157,42 @@ class MimoReceiver:
         self._inner = Receiver(params, detection_threshold=detection_threshold)
 
     def _equalized_streams(self, body, h_used, noise_var, num_symbols):
-        """Per-stream equalised data symbols, shape (streams, syms, 52)."""
+        """Per-stream equalised data symbols, shape (streams, syms, 52).
+
+        All symbols are FFT'd in one batched pass and the linear MMSE
+        solve runs once per data tone over every symbol at once (the
+        Gram matrix is symbol-independent).  The stacked matmul and
+        multi-RHS solve are bitwise identical to the per-symbol
+        gemv/solve of the reference implementation, asserted by
+        :meth:`_equalized_streams_reference` in the equivalence tests.
+        """
+        p = self.params
+        used = np.asarray(p.used_subcarriers())
+        data_pos = np.searchsorted(used, np.asarray(p.data_subcarriers))
+        tone_scale = np.sqrt(p.fft_size / p.num_used_subcarriers)
+        n_streams = self.num_streams
+        out = np.empty((n_streams, num_symbols, len(p.data_subcarriers)),
+                       dtype=complex)
+        eye = np.eye(n_streams)
+        # (num_rx, num_symbols, fft) grids in one batched FFT per antenna.
+        grids = np.stack([self.demod.demodulate_symbols(body[r], num_symbols)
+                          for r in range(body.shape[0])])
+        used_vals = grids[:, :, used % p.fft_size] / tone_scale
+        for d_idx, pos in enumerate(data_pos):
+            h = h_used[pos]              # (num_rx, num_streams)
+            hc = h.conj().T
+            gram = hc @ h + noise_var * eye
+            y = used_vals[:, :, pos]     # (num_rx, num_symbols)
+            # Stacked gemv (one matmul slice per symbol) == per-symbol
+            # ``hc @ y_i`` bitwise; a plain gemm would not be.
+            rhs = np.matmul(np.broadcast_to(hc, (num_symbols, *hc.shape)),
+                            y.T[:, :, None])[..., 0]
+            out[:, :, d_idx] = np.linalg.solve(gram, rhs.T)
+        return out
+
+    def _equalized_streams_reference(self, body, h_used, noise_var,
+                                     num_symbols):
+        """Original per-symbol, per-tone MMSE loop (equivalence oracle)."""
         p = self.params
         used = np.asarray(p.used_subcarriers())
         data_pos = np.searchsorted(used, np.asarray(p.data_subcarriers))
@@ -227,11 +262,14 @@ class MimoReceiver:
                             cfo_hz=cfo_total, channel=h_used)
         hdr = self._equalized_streams(body, h_used, noise_var, HEADER_SYMBOLS)
 
-        payloads = []
+        # Header Viterbi runs once for all streams (batched ACS).
+        hdr_bits = self._inner._viterbi.decode_batch(
+            [self._inner._header_llrs(hdr[s], noise_var)
+             for s in range(self.num_streams)], terminated=True)
         frames = []
         max_payload_syms = 0
         for s in range(self.num_streams):
-            frame = self._inner._decode_header(hdr[s], noise_var)
+            frame = self._inner._header_from_bits(hdr_bits[s])
             if frame is None:
                 return RxResult(success=False,
                                 failure_reason=f"stream {s} header CRC failed",
@@ -245,10 +283,17 @@ class MimoReceiver:
                             cfo_hz=cfo_total, channel=h_used)
         eq = self._equalized_streams(payload_body, h_used, noise_var,
                                      max_payload_syms)
+        # Payload Viterbi likewise decodes every stream in one batch.
+        softs = [self._inner._payload_soft(
+                     eq[s][: self._inner.payload_symbol_count(frame)],
+                     noise_var, frame)
+                 for s, frame in enumerate(frames)]
+        decoded = iter(self._inner._viterbi.decode_batch(
+            [s for s in softs if s is not None], terminated=True))
+        payloads = []
         for s, frame in enumerate(frames):
-            n_syms = self._inner.payload_symbol_count(frame)
-            bits = self._inner._decode_payload(eq[s][:n_syms], noise_var,
-                                               frame)
+            bits = None if softs[s] is None else \
+                self._inner._payload_from_bits(next(decoded), frame)
             if bits is None:
                 return RxResult(success=False,
                                 failure_reason=f"stream {s} payload CRC failed",
@@ -285,6 +330,10 @@ class Receiver:
         Also applies pilot-based common-phase-error correction per
         symbol.  ``channel_used`` holds the channel on used tones sorted
         by signed subcarrier index.
+
+        All symbols are FFT'd and zero-forced in one batched pass; only
+        the tiny pilot CPE estimate (a 4-element ``vdot`` whose pairwise
+        summation order matters for bit-identity) stays per-symbol.
         """
         p = self.params
         used = np.asarray(p.used_subcarriers())
@@ -293,47 +342,62 @@ class Receiver:
         mod = OfdmModulator(p)
         tone_scale = np.sqrt(p.fft_size / p.num_used_subcarriers)
 
-        eq = np.empty((num_symbols, len(p.data_subcarriers)), dtype=complex)
-        noise_acc = []
+        grids = self.demod.demodulate_symbols(samples, num_symbols)
+        used_vals = grids[:, used % p.fft_size] / tone_scale
+        h = channel_used
+        ok = np.abs(h) > 1e-12
+        eq_used = np.where(ok, used_vals / np.where(ok, h, 1.0), 0.0)
+        expected = mod.pilot_values_many(
+            start_symbol_index + np.arange(num_symbols))
+        got = eq_used[:, pilot_pos]
+        cpes = np.empty(num_symbols, dtype=complex)
+        noise_acc = np.empty(num_symbols, dtype=float)
         for i in range(num_symbols):
-            seg = samples[i * p.symbol_len : (i + 1) * p.symbol_len]
-            grid = self.demod.demodulate_symbol(seg)
-            used_vals = grid[used % p.fft_size] / tone_scale
-            h = channel_used
-            eq_used = np.where(np.abs(h) > 1e-12, used_vals / np.where(
-                np.abs(h) > 1e-12, h, 1.0), 0.0)
-            expected_pilots = mod.pilot_values(start_symbol_index + i)
-            got_pilots = eq_used[pilot_pos]
-            ref = np.vdot(expected_pilots, got_pilots)
+            ref = np.vdot(expected[i], got[i])
             cpe = ref / abs(ref) if abs(ref) > 0 else 1.0
-            eq_used = eq_used / cpe
-            eq[i] = eq_used[data_pos]
-            noise_acc.append(np.mean(np.abs(got_pilots / cpe - expected_pilots) ** 2))
-        noise_var = float(np.mean(noise_acc)) if noise_acc else 1e-3
+            cpes[i] = cpe
+            noise_acc[i] = np.mean(np.abs(got[i] / cpe - expected[i]) ** 2)
+        eq = eq_used[:, data_pos] / cpes[:, None] if num_symbols else \
+            eq_used[:, data_pos]
+        noise_var = float(np.mean(noise_acc)) if num_symbols else 1e-3
         return eq, max(noise_var, 1e-9)
 
-    def _decode_header(self, eq_symbols, noise_var):
-        """Decode the two BPSK header symbols -> PhyFrame or None."""
+    def _header_llrs(self, eq_symbols, noise_var):
+        """Soft header metrics (deinterleaved LLRs) from equalised symbols."""
         p = self.params
         n_data = p.num_data_subcarriers
         bpsk = modulation_by_name("bpsk")
         interleaver = BlockInterleaver(n_data, 1,
                                        num_columns=interleaver_columns(n_data))
-        llrs = []
-        for i in range(HEADER_SYMBOLS):
-            sym_llr = bpsk.demodulate_llr(eq_symbols[i], noise_var)
-            llrs.append(interleaver.deinterleave(sym_llr))
-        llrs = np.concatenate(llrs)
+        sym_llrs = bpsk.demodulate_llr(
+            np.asarray(eq_symbols)[:HEADER_SYMBOLS].reshape(-1), noise_var)
+        llrs = interleaver.deinterleave_block(
+            sym_llrs.reshape(HEADER_SYMBOLS, n_data)).reshape(-1)
         # Wide tone plans zero-fill the header symbols; only the first
         # 2*(info+tail) coded bits carry the header.
-        llrs = llrs[: 2 * (HEADER_INFO_BITS + 6)]
-        bits = self._viterbi.decode(llrs, terminated=True)
+        return llrs[: 2 * (HEADER_INFO_BITS + 6)]
+
+    @staticmethod
+    def _header_from_bits(bits):
+        """Viterbi output -> PhyFrame or None."""
         if bits.size < HEADER_INFO_BITS:
             return None
         return parse_ppdu_header(bits[:HEADER_INFO_BITS])
 
-    def _decode_payload(self, eq_symbols, noise_var, frame):
-        """Decode payload symbols using header info -> bits or None."""
+    def _decode_header(self, eq_symbols, noise_var):
+        """Decode the two BPSK header symbols -> PhyFrame or None."""
+        llrs = self._header_llrs(eq_symbols, noise_var)
+        bits = self._viterbi.decode(llrs, terminated=True)
+        return self._header_from_bits(bits)
+
+    def _payload_soft(self, eq_symbols, noise_var, frame):
+        """Depunctured payload soft metrics, or None if truncated.
+
+        The demap runs over every payload symbol in one call (the LLR
+        computation is elementwise per constellation point) and the
+        deinterleave is one block scatter — both bitwise identical to
+        the per-symbol loop they replace.
+        """
         entry = frame.mcs
         p = self.params
         n_data = p.num_data_subcarriers
@@ -341,11 +405,10 @@ class Receiver:
         modulation = modulation_by_name(entry.modulation_name)
         interleaver = BlockInterleaver(n_cbps, entry.bits_per_symbol,
                                        num_columns=interleaver_columns(n_data))
-        llr_blocks = []
-        for sym in eq_symbols:
-            llr = modulation.demodulate_llr(sym, noise_var)
-            llr_blocks.append(interleaver.deinterleave(llr))
-        llrs = np.concatenate(llr_blocks)
+        llr = modulation.demodulate_llr(
+            np.asarray(eq_symbols).reshape(-1), noise_var)
+        llrs = interleaver.deinterleave_block(
+            llr.reshape(-1, n_cbps)).reshape(-1)
 
         from repro.phy.frame import payload_padding
         pad = payload_padding(frame.length_bits, frame.mcs_index, n_cbps)
@@ -354,14 +417,25 @@ class Receiver:
         expected = coded_length(info_len, entry.code_rate)
         if llrs.size < expected:
             return None
-        soft = depuncture(llrs[:expected], entry.code_rate, mother_len)
-        decoded = self._viterbi.decode(soft, terminated=True)
+        return depuncture(llrs[:expected], entry.code_rate, mother_len)
+
+    @staticmethod
+    def _payload_from_bits(decoded, frame):
+        """Viterbi output -> descrambled, CRC-checked payload or None."""
         descrambled = descramble(decoded, seed=frame.scrambler_seed)
         payload = descrambled[: frame.length_bits]
         check = descrambled[frame.length_bits : frame.length_bits + 32]
         if not np.array_equal(crc32(payload), check):
             return None
         return payload
+
+    def _decode_payload(self, eq_symbols, noise_var, frame):
+        """Decode payload symbols using header info -> bits or None."""
+        soft = self._payload_soft(eq_symbols, noise_var, frame)
+        if soft is None:
+            return None
+        decoded = self._viterbi.decode(soft, terminated=True)
+        return self._payload_from_bits(decoded, frame)
 
     def payload_symbol_count(self, frame):
         """Number of payload OFDM symbols implied by a header."""
@@ -371,10 +445,20 @@ class Receiver:
         pad = payload_padding(frame.length_bits, frame.mcs_index, n_cbps)
         return coded_length(frame.length_bits + 32 + pad, entry.code_rate) // n_cbps
 
-    # -- public API ------------------------------------------------------
+    # -- staged receive --------------------------------------------------
+    #
+    # The receive chain is split at its two Viterbi calls so that
+    # ``receive_batch`` can run the decoder once per *batch* of packets
+    # (vectorised ACS across packets) while ``receive`` threads the same
+    # stages with single-packet decodes.  Both paths therefore produce
+    # bitwise-identical results by construction.
 
-    def receive(self, samples, correct_cfo=True):
-        """Receive one SISO packet from a raw sample stream."""
+    def _receive_front(self, samples, correct_cfo):
+        """Sync + channel estimate + header soft metrics for one stream.
+
+        Returns a state dict on success or a terminal :class:`RxResult`
+        for early failures (no packet, truncated preamble/header).
+        """
         samples = ensure_complex_1d(samples, "samples")
         det = self.detector.detect(samples)
         if det is None:
@@ -408,25 +492,107 @@ class Receiver:
                             cfo_hz=cfo_total, channel=channel)
         hdr_eq, hdr_noise = self._equalize_symbols(
             body, channel, HEADER_SYMBOLS, start_symbol_index=0)
-        frame = self._decode_header(hdr_eq, hdr_noise)
-        if frame is None:
-            return RxResult(success=False, failure_reason="header CRC failed",
-                            cfo_hz=cfo_total, channel=channel)
+        return {
+            "body": body,
+            "channel": channel,
+            "cfo": cfo_total,
+            "header_soft": self._header_llrs(hdr_eq, hdr_noise),
+        }
 
+    def _payload_stage(self, state, frame):
+        """Equalise + demap the payload once the header is known.
+
+        Returns the depunctured soft metrics, ``None`` when the demapped
+        stream is shorter than the coded length (decoded as a CRC
+        failure, matching the legacy path), or a terminal
+        :class:`RxResult` for truncated sample streams.
+        """
+        p = self.params
         n_payload = self.payload_symbol_count(frame)
-        payload_samples = body[HEADER_SYMBOLS * p.symbol_len:]
+        payload_samples = state["body"][HEADER_SYMBOLS * p.symbol_len:]
         if payload_samples.size < n_payload * p.symbol_len:
             return RxResult(success=False, failure_reason="truncated payload",
-                            cfo_hz=cfo_total, channel=channel, frame=frame)
+                            cfo_hz=state["cfo"], channel=state["channel"],
+                            frame=frame)
         pay_eq, pay_noise = self._equalize_symbols(
-            payload_samples, channel, n_payload,
+            payload_samples, state["channel"], n_payload,
             start_symbol_index=HEADER_SYMBOLS)
-        payload = self._decode_payload(pay_eq, pay_noise, frame)
-        snr_db = float(10.0 * np.log10(1.0 / pay_noise)) if pay_noise > 0 else float("inf")
+        state["pay_noise"] = pay_noise
+        return self._payload_soft(pay_eq, pay_noise, frame)
+
+    def _finish_payload(self, state, frame, decoded):
+        """CRC-check decoded payload bits and build the final RxResult."""
+        pay_noise = state["pay_noise"]
+        snr_db = float(10.0 * np.log10(1.0 / pay_noise)) \
+            if pay_noise > 0 else float("inf")
+        payload = self._payload_from_bits(decoded, frame) \
+            if decoded is not None else None
         if payload is None:
             return RxResult(success=False, failure_reason="payload CRC failed",
-                            cfo_hz=cfo_total, channel=channel, frame=frame,
-                            snr_estimate_db=snr_db)
+                            cfo_hz=state["cfo"], channel=state["channel"],
+                            frame=frame, snr_estimate_db=snr_db)
         return RxResult(success=True, payload_bits=payload, frame=frame,
-                        cfo_hz=cfo_total, channel=channel,
+                        cfo_hz=state["cfo"], channel=state["channel"],
                         snr_estimate_db=snr_db)
+
+    # -- public API ------------------------------------------------------
+
+    def receive(self, samples, correct_cfo=True):
+        """Receive one SISO packet from a raw sample stream."""
+        state = self._receive_front(samples, correct_cfo)
+        if isinstance(state, RxResult):
+            return state
+        hdr_bits = self._viterbi.decode(state["header_soft"], terminated=True)
+        frame = self._header_from_bits(hdr_bits)
+        if frame is None:
+            return RxResult(success=False, failure_reason="header CRC failed",
+                            cfo_hz=state["cfo"], channel=state["channel"])
+        soft = self._payload_stage(state, frame)
+        if isinstance(soft, RxResult):
+            return soft
+        decoded = self._viterbi.decode(soft, terminated=True) \
+            if soft is not None else None
+        return self._finish_payload(state, frame, decoded)
+
+    def receive_batch(self, streams, correct_cfo=True):
+        """Receive many independent SISO packets in one batched pass.
+
+        ``streams`` is a sequence of raw sample arrays, one packet
+        attempt per entry.  Front-end sync and equalisation run per
+        stream (streams have independent lengths and channels) but the
+        two Viterbi decodes — the dominant cost — run batched across
+        every packet of the block via
+        :meth:`~repro.phy.coding.viterbi.ViterbiDecoder.decode_batch`.
+
+        Returns a list of :class:`RxResult`, one per input stream,
+        bitwise identical to ``[self.receive(s) for s in streams]``.
+        """
+        states = [self._receive_front(s, correct_cfo) for s in streams]
+        results = [s if isinstance(s, RxResult) else None for s in states]
+
+        live = [i for i, s in enumerate(states) if results[i] is None]
+        hdr_bits = self._viterbi.decode_batch(
+            [states[i]["header_soft"] for i in live], terminated=True)
+
+        payload_jobs = []   # (stream index, frame, soft metrics)
+        for i, bits in zip(live, hdr_bits):
+            state = states[i]
+            frame = self._header_from_bits(bits)
+            if frame is None:
+                results[i] = RxResult(
+                    success=False, failure_reason="header CRC failed",
+                    cfo_hz=state["cfo"], channel=state["channel"])
+                continue
+            soft = self._payload_stage(state, frame)
+            if isinstance(soft, RxResult):
+                results[i] = soft
+            elif soft is None:
+                results[i] = self._finish_payload(state, frame, None)
+            else:
+                payload_jobs.append((i, frame, soft))
+
+        decoded = self._viterbi.decode_batch(
+            [soft for _, _, soft in payload_jobs], terminated=True)
+        for (i, frame, _), bits in zip(payload_jobs, decoded):
+            results[i] = self._finish_payload(states[i], frame, bits)
+        return results

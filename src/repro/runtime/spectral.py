@@ -87,15 +87,29 @@ class FrequencyResponseStage(Stage):
         self._in_count = 0
         self._out_count = 0
         self._skip = self.kernel.precursor
+        # Leading (non-sample) shape of the stream.  A scalar response
+        # latches it from the first block: () for a plain 1-D stream or
+        # (batch,) for a stack of independent streams filtered in one
+        # batched pass (each row convolves independently — FFT rows are
+        # bitwise identical to the 1-D path).  Matrix responses couple
+        # their rows, so the lead stays pinned to (streams,).
+        self._lead = None if self._streams is None else (self._streams,)
 
     # -- internals --------------------------------------------------------
 
     def _coerce(self, x):
         x = np.asarray(x, dtype=complex)
         if self._streams is None:
-            if x.ndim != 1:
+            if x.ndim not in (1, 2):
                 raise ValueError(
-                    f"scalar-response stage expects 1-D blocks, got {x.shape}")
+                    "scalar-response stage expects 1-D blocks or a "
+                    f"(batch, n) stack, got {x.shape}")
+            if self._lead is None:
+                self._lead = x.shape[:-1]
+            elif x.shape[:-1] != self._lead:
+                raise ValueError(
+                    f"block leading shape {x.shape[:-1]} does not match "
+                    f"this stream's {self._lead}; reset() between batches")
         else:
             if x.ndim != 2 or x.shape[0] != self._streams:
                 raise ValueError(
@@ -103,17 +117,14 @@ class FrequencyResponseStage(Stage):
         return x
 
     def _empty(self):
-        if self._streams is None:
-            return np.zeros(0, dtype=complex)
-        return np.zeros((self._streams, 0), dtype=complex)
+        return np.zeros((self._lead or ()) + (0,), dtype=complex)
 
     def _convolve_hop(self, chunk):
         """One overlap-save step: ``hop`` input -> ``hop`` output samples."""
         length = self.kernel.length
         if self._history is None:
-            hist_shape = (length - 1,) if self._streams is None \
-                else (self._streams, length - 1)
-            self._history = np.zeros(hist_shape, dtype=complex)
+            self._history = np.zeros(
+                (self._lead or ()) + (length - 1,), dtype=complex)
         segment = np.concatenate([self._history, chunk], axis=-1)
         spec = np.fft.fft(segment, axis=-1)
         if self._streams is None:
@@ -165,8 +176,7 @@ class FrequencyResponseStage(Stage):
     def flush(self):
         """Drain the tail so total output length equals total input."""
         outs = []
-        zeros_shape = (self.hop,) if self._streams is None \
-            else (self._streams, self.hop)
+        zeros_shape = (self._lead or ()) + (self.hop,)
         guard = 0
         while self._out_count < self._in_count:
             outs.append(self._drain(np.zeros(zeros_shape, dtype=complex),

@@ -61,6 +61,10 @@ JSONL_REQUIRED = {
 #: of silently shipping an unvalidated family.
 KNOWN_METRIC_PREFIXES = (
     "exec.",
+    # Dispatch-overhead family (pack/unpack/payload/chunk layout) —
+    # covered by "exec." above but registered explicitly so the family
+    # survives any future narrowing of the exec prefix.
+    "exec.dispatch.",
     "netsim.",
     "probes.",
     "relay.",

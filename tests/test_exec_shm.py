@@ -1,0 +1,180 @@
+"""Shared-memory dispatch, chunk autotuning and exec.dispatch telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    AUTO_CHUNK_TARGET_S,
+    ShmArena,
+    ShmSlice,
+    Task,
+    run_sweep,
+    task_fn,
+)
+from repro.exec import shm as shm_mod
+from repro.exec.executor import _auto_chunk_size
+from repro.telemetry.collector import TelemetryCollector, use_collector
+from repro.telemetry.validate import KNOWN_METRIC_PREFIXES
+
+
+@task_fn("shm-test.norm", version="1")
+def _norm_task(vec, scale, rng):
+    return float(np.dot(vec, vec)) * scale + rng.standard_normal()
+
+
+@task_fn("shm-test.mutate", version="1")
+def _mutate_task(vec, rng):
+    vec[0] = 0.0
+    return float(vec[0])
+
+
+def _tasks(n=8, size=2000):
+    vec = np.arange(size, dtype=float)
+    return [Task("shm-test.norm", {"vec": vec, "scale": i}, seed=i)
+            for i in range(n)]
+
+
+class TestArena:
+    def test_pack_hydrate_roundtrip(self):
+        rng = np.random.default_rng(0)
+        tree = {"a": rng.normal(size=300),
+                "nested": ({"b": rng.normal(size=(20, 30))}, 5),
+                "small": np.arange(3, dtype=float),
+                "other": "text"}
+        arena, packed = shm_mod.pack([tree])
+        assert arena is not None
+        try:
+            out = packed[0]
+            assert isinstance(out["a"], ShmSlice)
+            assert isinstance(out["nested"][0]["b"], ShmSlice)
+            # Below the size floor — stays a plain pickled array.
+            assert isinstance(out["small"], np.ndarray)
+            assert out["other"] == "text"
+            hydrated = shm_mod.hydrate(out)
+            assert np.array_equal(hydrated["a"], tree["a"])
+            assert np.array_equal(hydrated["nested"][0]["b"],
+                                  tree["nested"][0]["b"])
+            assert not hydrated["a"].flags.writeable
+        finally:
+            shm_mod.detach_all()
+            arena.dispose()
+
+    def test_identical_arrays_share_one_slice(self):
+        vec = np.arange(1000, dtype=float)
+        arena, packed = shm_mod.pack([{"v": vec}, {"v": vec}, {"v": vec}])
+        try:
+            slices = {p["v"] for p in packed}
+            assert len(slices) == 1
+            assert arena.num_arrays == 1
+            assert arena.nbytes == vec.nbytes
+        finally:
+            arena.dispose()
+
+    def test_nothing_to_pack(self):
+        arena, packed = shm_mod.pack([{"x": 1}, {"y": "s"}])
+        assert arena is None
+        assert packed == [{"x": 1}, {"y": "s"}]
+
+    def test_dispose_is_idempotent(self):
+        arena = ShmArena([np.arange(100, dtype=float)])
+        arena.dispose()
+        arena.dispose()
+
+    def test_min_bytes_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "10000")
+        arena, _ = shm_mod.pack([{"v": np.arange(1000, dtype=float)}])
+        assert arena is None
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "8")
+        arena, packed = shm_mod.pack([{"v": np.arange(4, dtype=float)}])
+        try:
+            assert isinstance(packed[0]["v"], ShmSlice)
+        finally:
+            arena.dispose()
+
+    def test_enabled_env_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert shm_mod.enabled()
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert not shm_mod.enabled()
+
+
+class TestProcessDispatch:
+    def test_results_bit_identical_to_serial(self):
+        tasks = _tasks()
+        serial = run_sweep(tasks, jobs=1, backend="serial", cache=False)
+        par = run_sweep(tasks, jobs=2, backend="process", cache=False)
+        assert list(serial) == list(par)
+        assert par.stats.shm_bytes > 0
+
+    def test_shm_disabled_still_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        tasks = _tasks()
+        serial = run_sweep(tasks, jobs=1, backend="serial", cache=False)
+        par = run_sweep(tasks, jobs=2, backend="process", cache=False)
+        assert list(serial) == list(par)
+        assert par.stats.shm_bytes == 0
+
+    def test_read_only_view_rejects_mutation(self):
+        vec = np.arange(1000, dtype=float)
+        tasks = [Task("shm-test.mutate", {"vec": vec}, seed=0),
+                 Task("shm-test.mutate", {"vec": vec}, seed=1)]
+        with pytest.raises(Exception):
+            run_sweep(tasks, jobs=2, backend="process", cache=False,
+                      chunk_size=1)
+        # The parent's copy is untouched — no shard wrote through.
+        assert np.array_equal(vec, np.arange(1000, dtype=float))
+
+
+class TestAutoChunk:
+    def test_auto_chunk_size_targets_budget(self):
+        per_task = AUTO_CHUNK_TARGET_S / 10
+        assert _auto_chunk_size(per_task, 100, 2) == 10
+        # Slow tasks: one per chunk.
+        assert _auto_chunk_size(10.0, 100, 2) == 1
+        # Fast tasks: clamped so both workers get work.
+        assert _auto_chunk_size(1e-9, 100, 2) == 50
+
+    def test_auto_results_identical(self):
+        tasks = _tasks(10)
+        serial = run_sweep(tasks, jobs=1, backend="serial", cache=False)
+        auto = run_sweep(tasks, jobs=2, backend="thread", cache=False,
+                         chunk_size="auto")
+        assert list(serial) == list(auto)
+        assert auto.stats.chunk_size is not None
+        assert auto.stats.chunks >= 2  # probe + at least one pool chunk
+
+
+class TestDispatchTelemetry:
+    def test_overhead_recorded_per_shard(self):
+        tasks = _tasks()
+        col = TelemetryCollector(origin="test")
+        with use_collector(col):
+            run_sweep(tasks, jobs=2, backend="process", cache=False,
+                      chunk_size=4)
+        payload = col.payload()
+        hists = {h["name"]: h for h in payload["histograms"]}
+        gauges = {g["name"]: g for g in payload["gauges"]}
+        unpack = [h for h in payload["histograms"]
+                  if h["name"] == "exec.dispatch.unpack_ns"]
+        # One unpack observation per shard, labelled with its shard id.
+        assert sorted(h["labels"]["shard"] for h in unpack) == [0, 1]
+        assert all(h["unit"] == "ns" for h in unpack)
+        assert hists["exec.dispatch.pack_ns"]["unit"] == "ns"
+        assert hists["exec.dispatch.payload_bytes"]["count"] == 2
+        assert gauges["exec.dispatch.shm_bytes"]["value"] > 0
+        assert gauges["exec.dispatch.chunk_size"]["value"] == 4
+        assert gauges["exec.dispatch.shm_arrays"]["value"] == 1
+
+    def test_excluded_from_deterministic_snapshot(self):
+        tasks = _tasks()
+        serial_col = TelemetryCollector(origin="a")
+        with use_collector(serial_col):
+            run_sweep(tasks, jobs=1, backend="serial", cache=False)
+        par_col = TelemetryCollector(origin="b")
+        with use_collector(par_col):
+            run_sweep(tasks, jobs=2, backend="process", cache=False)
+        assert serial_col.deterministic_snapshot() == \
+            par_col.deterministic_snapshot()
+
+    def test_dispatch_prefix_registered(self):
+        assert "exec.dispatch." in KNOWN_METRIC_PREFIXES
