@@ -126,8 +126,14 @@ SWEEP_EXPERIMENTS = ("gains", "siso", "uplink", "scenarios", "latency",
 
 def _sweep_kwargs(args):
     cache = False if args.no_cache else args.cache
+    chaos = None
+    if getattr(args, "chaos", None):
+        from repro.exec.chaos import ChaosPolicy
+
+        chaos = ChaosPolicy.parse(args.chaos)
     return {"jobs": args.jobs, "backend": args.backend, "cache": cache,
-            "checkpoint": args.checkpoint}
+            "checkpoint": args.checkpoint, "max_retries": args.max_retries,
+            "task_timeout": args.task_timeout, "chaos": chaos}
 
 
 def _run_sweep_experiment(args):
@@ -363,6 +369,19 @@ def _add_sweep_args(parser):
     parser.add_argument("--checkpoint", default=None, metavar="FILE",
                         help="sweep manifest enabling resume after "
                              "interruption")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="per-task retry budget with seeded backoff "
+                             "(default: REPRO_MAX_RETRIES or 0)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task deadline; expired chunks are "
+                             "reclaimed and retried "
+                             "(default: REPRO_TASK_TIMEOUT or off)")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="inject seeded failures: a bare seed for the "
+                             "default mix, or key=value pairs, e.g. "
+                             "'seed=7,error=0.3,kill=0.1,poison=2:5'")
     parser.add_argument("--spacing", type=float, default=2.0,
                         help="grid spacing in metres (coverage only)")
 

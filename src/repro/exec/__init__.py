@@ -12,10 +12,17 @@ provides the execution substrate they all share:
 * :class:`ResultCache` — content-addressed on-disk result caching
   under ``.repro-cache/`` with hit/miss/invalidation stats;
 * :class:`SweepManifest` — incremental checkpoints so interrupted
-  sweeps resume from completed shards.
+  sweeps resume from completed shards;
+* :class:`RetryPolicy` / :class:`TaskFailure` — the fault-tolerance
+  layer: bounded retries with seeded backoff, per-task deadlines,
+  worker-crash recovery, quarantine and the backend degradation
+  ladder (:mod:`repro.exec.recovery`);
+* :class:`ChaosPolicy` — deterministic failure injection at every
+  executor boundary for testing the above (:mod:`repro.exec.chaos`).
 """
 
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache, ResultCacheStats
+from repro.exec.chaos import ChaosError, ChaosKill, ChaosPolicy
 from repro.exec.executor import (
     AUTO_CHUNK_TARGET_S,
     BACKENDS,
@@ -27,11 +34,20 @@ from repro.exec.executor import (
     resolve_cache,
     run_sweep,
 )
-from repro.exec.shm import ShmArena, ShmSlice
+from repro.exec.recovery import (
+    BACKEND_LADDER,
+    FailureLedger,
+    RetryPolicy,
+    TaskTimeoutError,
+    WorkerCrashError,
+    next_backend,
+)
+from repro.exec.shm import ShmArena, ShmSlice, reap_orphans
 from repro.exec.hashing import canonicalize, digest
 from repro.exec.manifest import SweepManifest, sweep_id
 from repro.exec.task import (
     Task,
+    TaskFailure,
     registered_task_fns,
     resolve_task_fn,
     spawn_seeds,
@@ -41,20 +57,31 @@ from repro.exec.task import (
 __all__ = [
     "AUTO_CHUNK_TARGET_S",
     "BACKENDS",
+    "BACKEND_LADDER",
+    "ChaosError",
+    "ChaosKill",
+    "ChaosPolicy",
     "DEFAULT_CACHE_DIR",
+    "FailureLedger",
     "ResultCache",
     "ResultCacheStats",
+    "RetryPolicy",
     "ShmArena",
     "ShmSlice",
     "SweepManifest",
     "SweepResult",
     "SweepStats",
     "Task",
+    "TaskFailure",
+    "TaskTimeoutError",
+    "WorkerCrashError",
     "canonicalize",
     "default_backend",
     "default_jobs",
     "digest",
     "last_sweep_stats",
+    "next_backend",
+    "reap_orphans",
     "registered_task_fns",
     "resolve_cache",
     "resolve_task_fn",

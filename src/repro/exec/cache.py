@@ -20,6 +20,7 @@ import io
 import json
 import os
 import tempfile
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -93,6 +94,11 @@ class ResultCacheStats:
     misses: int = 0
     stores: int = 0
     invalidations: int = 0
+    #: Entries whose bytes would not load (torn zip, bad JSON, wrong
+    #: format) — a subset of ``invalidations``, kept separately so a
+    #: chaos run can assert corruption was *seen* and evicted, not
+    #: merely missed.
+    corrupt: int = 0
 
     @property
     def hit_rate(self):
@@ -127,8 +133,13 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return default
-        except (CacheMiss, OSError, ValueError, KeyError,
-                json.JSONDecodeError):
+        except (CacheMiss, OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile, json.JSONDecodeError):
+            # A torn or stale entry is evicted and recomputed — never a
+            # crash: chaos-corrupted .npz bytes surface here as
+            # BadZipFile/EOFError/ValueError depending on where the
+            # tear landed.
+            self.stats.corrupt += 1
             self.stats.invalidations += 1
             self.stats.misses += 1
             path.unlink(missing_ok=True)
@@ -185,8 +196,8 @@ class ResultCache:
                 try:
                     with np.load(path, allow_pickle=False) as payload:
                         meta = json.loads(str(payload["__meta__"]))
-                except (OSError, ValueError, KeyError,
-                        json.JSONDecodeError):
+                except (OSError, ValueError, KeyError, EOFError,
+                        zipfile.BadZipFile, json.JSONDecodeError):
                     meta = {}
                 if meta.get("fn") != fn:
                     continue

@@ -27,6 +27,8 @@ signature churn):
                             dispatch (see :mod:`repro.exec.shm`)
 ``REPRO_SHM_MIN_BYTES``     size floor below which param arrays stay
                             pickled
+``REPRO_MAX_RETRIES``       default per-task retry budget
+``REPRO_TASK_TIMEOUT``      default per-task deadline in seconds
 ==========================  ===========================================
 
 On the process backend, parameter ndarrays are moved into one shared
@@ -37,17 +39,34 @@ to ~:data:`AUTO_CHUNK_TARGET_S` of compute each.  The
 ``exec.dispatch.*`` telemetry family quantifies this dispatch overhead
 (pack/unpack time, payload and segment bytes, chosen chunk size)
 separately from task compute time (``exec.task.wall_ns``).
+
+Fault tolerance (:mod:`repro.exec.recovery`) is layered on top:
+``max_retries`` / ``task_timeout`` enable bounded retry with seeded
+exponential backoff and per-task deadlines; a ``BrokenProcessPool`` is
+survived (results salvaged, pool respawned, lost chunks re-dispatched
+split in half to isolate the culprit); tasks that exhaust their budget
+are quarantined as typed :class:`~repro.exec.task.TaskFailure` records
+instead of unwinding the sweep; and a pool that keeps breaking demotes
+down the ``process -> thread -> serial`` ladder.  Every transition is
+emitted as ``exec.recovery.*`` telemetry.  ``chaos`` injects seeded
+failures at each of those boundaries (:mod:`repro.exec.chaos`) so the
+machinery is testable deterministically.
 """
 
 from __future__ import annotations
 
+import heapq
 import importlib
+import itertools
 import math
 import os
 import pickle
 import time
+from collections import deque
 from concurrent.futures import (
+    FIRST_COMPLETED,
     FIRST_EXCEPTION,
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
@@ -58,9 +77,11 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.exec import chaos as chaos_injection
 from repro.exec import shm as shm_transport
 from repro.exec.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.exec.manifest import SweepManifest
+from repro.exec.recovery import FailureLedger, RetryPolicy, next_backend
 from repro.exec.task import resolve_task_fn
 from repro.telemetry.collector import (
     TelemetryCollector,
@@ -147,6 +168,15 @@ class SweepStats:
     wall_s: float = 0.0
     chunk_size: Optional[int] = None
     shm_bytes: int = 0
+    # -- fault tolerance ----------------------------------------------------
+    retries: int = 0              # failed attempts re-dispatched
+    timeouts: int = 0             # deadline expiries observed
+    worker_crashes: int = 0       # pool breakages (BrokenProcessPool)
+    respawns: int = 0             # pools replaced (breaks + stuck kills)
+    quarantined: int = 0          # tasks given up on (TaskFailure records)
+    chunk_splits: int = 0         # lost chunks halved to isolate a culprit
+    orphans_reclaimed: int = 0    # dead runs' shm segments swept at start
+    degraded_to: Optional[str] = None   # final ladder rung, if demoted
     cache: Optional[object] = field(default=None, repr=False)
 
     def summary(self):
@@ -160,16 +190,45 @@ class SweepStats:
             parts.append(f"chunk={self.chunk_size}")
         if self.shm_bytes:
             parts.append(f"shm={self.shm_bytes}B")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.worker_crashes:
+            parts.append(f"{self.worker_crashes} worker crashes")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        if self.degraded_to:
+            parts.append(f"degraded->{self.degraded_to}")
         parts.append(f"{self.wall_s:.2f}s")
         return ", ".join(parts)
 
 
 @dataclass
 class SweepResult:
-    """Ordered results plus execution statistics."""
+    """Ordered results plus execution statistics.
+
+    When quarantine is active, a failed task's slot in ``results``
+    holds its :class:`~repro.exec.task.TaskFailure` record and the
+    record is also listed in ``failures`` (ordered by task index).
+    """
 
     results: List
     stats: SweepStats
+    failures: List = field(default_factory=list)
+
+    @property
+    def ok(self):
+        """True when no task was quarantined."""
+        return not self.failures
+
+    def raise_if_failed(self):
+        """Raise if any task was quarantined (for callers that cannot
+        tolerate holes in ``results``)."""
+        if self.failures:
+            raise RuntimeError(
+                f"{len(self.failures)} of {self.stats.total} tasks "
+                f"quarantined; first: {self.failures[0]}")
 
     def __iter__(self):
         return iter(self.results)
@@ -189,21 +248,54 @@ def last_sweep_stats():
     return _LAST_STATS[-1] if _LAST_STATS else None
 
 
-def _execute_item(item):
-    """Run one ``(index, module, fn_name, params, seed)`` work unit.
+def _execute_item(item, chaos=None):
+    """Run one ``(index, module, fn_name, params, seed, attempt)`` unit.
 
     The defining module is imported first so spawned processes populate
-    the task registry before resolving the function name.
+    the task registry before resolving the function name.  With a chaos
+    plan, the seeded injection for (task index, attempt) fires before
+    the task function runs.
     """
-    index, module, fn_name, params, seed = item
+    index, module, fn_name, params, seed, attempt = item
     importlib.import_module(module)
     fn, _ = resolve_task_fn(fn_name)
+    if chaos is not None:
+        chaos_injection.maybe_inject(chaos, index, attempt)
     if seed is None:
         return index, fn(**params)
     return index, fn(**params, rng=np.random.default_rng(seed))
 
 
-def _run_chunk(items, collect=False, shard=None, packed=False):
+def _portable_error(exc):
+    """``exc`` if it survives pickling, else a summarising RuntimeError.
+
+    Captured outcomes cross the process boundary inside the chunk
+    result; an unpicklable exception there would poison the whole
+    chunk, so it is swapped for a plain carrier up front.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc, pickle.HIGHEST_PROTOCOL))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _capture_item(item, chaos=None):
+    """Run one item, capturing failure instead of raising.
+
+    Returns ``(index, ("ok", value))`` or ``(index, ("err", exc))`` so
+    one raising task cannot take down its chunkmates — the parent's
+    ledger decides retry/quarantine per task.
+    """
+    try:
+        _, value = _execute_item(item, chaos)
+        return item[0], ("ok", value)
+    except Exception as exc:
+        return item[0], ("err", _portable_error(exc))
+
+
+def _run_chunk(items, collect=False, shard=None, packed=False,
+               capture=False, chaos=None):
     """Execute one chunk; returns ``(results, telemetry_payload)``.
 
     Runs in a worker (thread or process).  When ``packed`` is set the
@@ -212,6 +304,11 @@ def _run_chunk(items, collect=False, shard=None, packed=False):
     hydration cost is recorded as ``exec.dispatch.unpack_ns`` per
     shard, so serialization overhead is separable from task compute
     (``exec.task.wall_ns``).
+
+    ``capture`` switches per-item results to tagged outcomes (see
+    :func:`_capture_item`) for the fault-tolerant dispatcher; without
+    it a raising task propagates out of the chunk (the legacy
+    fail-fast contract).
 
     When ``collect`` is set the chunk gets its own
     :class:`~repro.telemetry.TelemetryCollector`, installed
@@ -224,11 +321,13 @@ def _run_chunk(items, collect=False, shard=None, packed=False):
     if packed:
         start = time.perf_counter()
         items = [(index, module, fn_name, shm_transport.hydrate(params),
-                  seed)
-                 for index, module, fn_name, params, seed in items]
+                  seed, attempt)
+                 for index, module, fn_name, params, seed, attempt in items]
         unpack_s = time.perf_counter() - start
     if not collect:
-        return [_execute_item(item) for item in items], None
+        if capture:
+            return [_capture_item(item, chaos) for item in items], None
+        return [_execute_item(item, chaos) for item in items], None
     collector = TelemetryCollector(origin=f"shard-{shard}")
     out = []
     with use_collector(collector), \
@@ -238,9 +337,17 @@ def _run_chunk(items, collect=False, shard=None, packed=False):
                                 shard=shard).observe(unpack_s * NS_PER_S)
         for item in items:
             fn_name = item[2]
-            pair, wall_s = timed_call(_execute_item, item)
+            if capture:
+                pair, wall_s = timed_call(_capture_item, item, chaos)
+                ok = pair[1][0] == "ok"
+            else:
+                pair, wall_s = timed_call(_execute_item, item, chaos)
+                ok = True
             out.append(pair)
-            collector.counter("exec.tasks.completed", fn=fn_name).inc()
+            if ok:
+                collector.counter("exec.tasks.completed", fn=fn_name).inc()
+            else:
+                collector.counter("exec.tasks.failed", fn=fn_name).inc()
             collector.histogram("exec.task.wall_ns", unit="ns",
                                 fn=fn_name).observe(wall_s * NS_PER_S)
     return out, collector.payload()
@@ -262,6 +369,7 @@ def _record_sweep_telemetry(tel, stats, cache):
         tel.gauge("exec.cache.misses").set(cache_stats.misses)
         tel.gauge("exec.cache.stores").set(cache_stats.stores)
         tel.gauge("exec.cache.invalidations").set(cache_stats.invalidations)
+        tel.gauge("exec.cache.corrupt").set(cache_stats.corrupt)
         tel.gauge("exec.cache.hit_rate").set(cache_stats.hit_rate)
 
 
@@ -289,8 +397,367 @@ def _chunked(pending, jobs, chunk_size):
             for i in range(0, len(pending), chunk_size)]
 
 
+class _Flight:
+    """One chunk in flight on the pool."""
+
+    __slots__ = ("shard", "chunk", "deadline")
+
+    def __init__(self, shard, chunk, deadline):
+        self.shard = shard
+        self.chunk = chunk
+        self.deadline = deadline
+
+
+class _Dispatcher:
+    """Fault-tolerant chunk dispatch (the ``run_sweep`` engine room).
+
+    Owns the worker pool and the failure bookkeeping: captured task
+    errors are charged against the :class:`FailureLedger` and retried
+    with seeded backoff; a broken pool is respawned with lost chunks
+    re-dispatched (split in half to isolate the culprit); expired
+    deadlines reclaim stuck workers; and a pool that keeps breaking is
+    demoted one backend-ladder rung at a time down to inline serial
+    execution.  Tasks whose budget is spent are quarantined (or, with
+    quarantine off, stop dispatch and re-raise once in-flight work has
+    been salvaged).
+    """
+
+    def __init__(self, backend, jobs, policy, chaos, tel, collect, packed,
+                 stats, complete, quarantine, fn_of):
+        self.backend = backend
+        self.jobs = jobs
+        self.policy = policy
+        self.chaos = chaos
+        self.tel = tel
+        self.collect = collect
+        self.packed = packed
+        self.stats = stats
+        self._complete = complete
+        self._quarantine_cb = quarantine
+        self._fn_of = fn_of
+        self.ledger = FailureLedger(policy)
+        self.queue = deque()
+        self.delayed = []               # heap of (ready_at, seq, chunk)
+        self.inflight = {}              # future -> _Flight
+        self.payloads = []              # (shard, telemetry payload)
+        self.abandoned = 0              # wedged thread workers written off
+        self._pool = None
+        self._seq = itertools.count()
+        self._shard = itertools.count()
+        self._breaks = 0                # consecutive pool breakages
+        self._fatal = {}                # index -> exception to raise
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self, chunks):
+        """Dispatch ``chunks`` to completion (or first fatal error)."""
+        self.queue.extend(chunks)
+        try:
+            while self.queue or self.delayed or self.inflight:
+                if self._fatal:
+                    self.queue.clear()
+                    self.delayed.clear()
+                    if not self.inflight:
+                        break
+                now = time.monotonic()
+                self._promote_delayed(now)
+                if self.backend == "serial":
+                    self._drain_serial()
+                    self._sleep_until_delayed()
+                    continue
+                self._submit()
+                if not self.inflight:
+                    self._sleep_until_delayed()
+                    continue
+                self._wait_and_harvest()
+        finally:
+            # Drain workers on a clean exit, but never block on a hung
+            # thread that was already written off by a deadline.
+            self._discard_pool(wait_workers=not self._fatal
+                               and self.abandoned == 0)
+            for _, payload in sorted(self.payloads, key=lambda p: p[0]):
+                self.tel.merge(payload)
+        if self._fatal:
+            raise self._fatal[min(self._fatal)]
+
+    def _discard_pool(self, wait_workers=False):
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=wait_workers, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            pool_cls = (ThreadPoolExecutor if self.backend == "thread"
+                        else ProcessPoolExecutor)
+            self._pool = pool_cls(max_workers=self.jobs)
+        return self._pool
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _promote_delayed(self, now):
+        while self.delayed and self.delayed[0][0] <= now:
+            _, _, chunk = heapq.heappop(self.delayed)
+            self.queue.append(chunk)
+
+    def _sleep_until_delayed(self):
+        if self.delayed and not self.queue and not self.inflight:
+            pause = self.delayed[0][0] - time.monotonic()
+            if pause > 0:
+                time.sleep(min(pause, self.policy.backoff_max_s))
+
+    def _submit(self):
+        if self._fatal:
+            return
+        # With deadlines armed, cap in-flight chunks at one per worker
+        # so a chunk's clock starts ticking only once it can actually
+        # run; without deadlines, keep the pool's queue full.
+        limit = self.jobs if self.policy.task_timeout_s is not None else None
+        while self.queue and (limit is None or len(self.inflight) < limit):
+            chunk = self.queue[0]
+            pool = self._ensure_pool()
+            shard = next(self._shard)
+            if self.collect and self.backend == "process":
+                self.tel.histogram(
+                    "exec.dispatch.payload_bytes",
+                    unit="layout").observe(len(pickle.dumps(
+                        chunk, pickle.HIGHEST_PROTOCOL)))
+            try:
+                future = pool.submit(_run_chunk, chunk, self.collect, shard,
+                                     self.packed, True, self.chaos)
+            except (BrokenExecutor, RuntimeError):
+                # The pool broke between harvests; the break handler
+                # requeues in-flight work and respawns or degrades.
+                self._handle_pool_break()
+                if self.backend == "serial":
+                    return
+                continue
+            self.queue.popleft()
+            deadline = None
+            if self.policy.task_timeout_s is not None:
+                deadline = (time.monotonic()
+                            + self.policy.task_timeout_s * len(chunk)
+                            + self.policy.timeout_grace_s)
+            self.inflight[future] = _Flight(shard, chunk, deadline)
+
+    def _wait_and_harvest(self):
+        bounded = (self.policy.task_timeout_s is not None or self.delayed
+                   or self._fatal)
+        done, _ = wait(set(self.inflight),
+                       timeout=self.policy.poll_s if bounded else None,
+                       return_when=FIRST_COMPLETED)
+        broke = False
+        for future in done:
+            flight = self.inflight.pop(future)
+            error = future.exception()
+            if error is None:
+                self._harvest(flight.shard, flight.chunk, future.result())
+                self._breaks = 0
+            elif isinstance(error, BrokenExecutor):
+                broke = True
+                self._chunk_failed(flight.chunk, "worker-crash",
+                                   "worker process died mid-chunk")
+            else:
+                # Chunk-level infrastructure failure (result transport,
+                # pool internals) — not attributable to one task, so
+                # the same split-to-isolate treatment as a crash.
+                self._chunk_failed(flight.chunk, "exception", error)
+        if broke:
+            self._handle_pool_break()
+        if self.policy.task_timeout_s is not None:
+            self._check_deadlines(time.monotonic())
+
+    # -- completion and failure paths ----------------------------------------
+
+    def _harvest(self, shard, chunk, result):
+        out, payload = result
+        if payload is not None:
+            self.payloads.append((shard, payload))
+        items = {item[0]: item for item in chunk}
+        for index, outcome in out:
+            if outcome[0] == "ok":
+                self._complete(index, outcome[1])
+            else:
+                self._charge(items[index], "exception", outcome[1])
+
+    def _chunk_failed(self, chunk, kind, error):
+        """A whole chunk was lost (crash, timeout, transport failure).
+
+        Multi-task chunks are split in half and re-dispatched without
+        charging anyone — repeated losses shrink the blast radius until
+        the culprit stands alone and pays for its own failures.
+        """
+        if len(chunk) > 1:
+            mid = (len(chunk) + 1) // 2
+            self.queue.appendleft(chunk[mid:])
+            self.queue.appendleft(chunk[:mid])
+            self.stats.chunk_splits += 1
+            if self.tel.enabled:
+                self.tel.counter("exec.recovery.chunk_splits",
+                                 kind=kind).inc()
+                self.tel.event("exec.recovery.transition", action="split",
+                               kind=kind, tasks=len(chunk))
+            return
+        self._charge(chunk[0], kind, error)
+
+    def _charge(self, item, kind, error):
+        index, fn_name = item[0], item[2]
+        verdict = self.ledger.charge(index, kind, error)
+        if verdict == "retry":
+            self.stats.retries += 1
+            failures = self.ledger.failures(index)
+            if self.tel.enabled:
+                self.tel.counter("exec.recovery.retries", kind=kind,
+                                 fn=fn_name).inc()
+                self.tel.event("exec.recovery.transition", action="retry",
+                               kind=kind, task=index, attempt=failures)
+            retry_item = item[:5] + (item[5] + 1,)
+            heapq.heappush(self.delayed,
+                           (time.monotonic() + self.ledger.delay_s(index),
+                            next(self._seq), [retry_item]))
+        else:
+            self._give_up(index, fn_name)
+
+    def _give_up(self, index, fn_name):
+        if self.policy.quarantine_enabled:
+            failure = self.ledger.failure_record(index, fn_name)
+            self.stats.quarantined += 1
+            if self.tel.enabled:
+                self.tel.counter("exec.recovery.quarantined",
+                                 fn=fn_name).inc()
+                self.tel.event("exec.recovery.transition",
+                               action="quarantine", task=index,
+                               attempts=failure.attempts)
+            self._quarantine_cb(failure)
+        else:
+            self._fatal[index] = self.ledger.final_error(index)
+
+    # -- pool recovery ---------------------------------------------------------
+
+    def _handle_pool_break(self):
+        """Salvage, respawn (or degrade), re-dispatch — never die."""
+        self.stats.worker_crashes += 1
+        if self.tel.enabled:
+            self.tel.counter("exec.recovery.worker_crashes").inc()
+        leftovers = list(self.inflight.items())
+        self.inflight.clear()
+        if leftovers:
+            # A broken pool settles every outstanding future promptly;
+            # the timeout is a backstop, not an expectation.
+            wait([future for future, _ in leftovers], timeout=5.0)
+        for future, flight in leftovers:
+            if (future.done() and not future.cancelled()
+                    and future.exception() is None):
+                self._harvest(flight.shard, flight.chunk, future.result())
+            else:
+                self._chunk_failed(flight.chunk, "worker-crash",
+                                   "worker process died mid-chunk")
+        self._discard_pool()
+        self._breaks += 1
+        if self._breaks >= self.policy.pool_break_budget:
+            self._breaks = 0
+            self._degrade("pool keeps breaking")
+        else:
+            self._note_respawn()
+
+    def _note_respawn(self):
+        self.stats.respawns += 1
+        if self.tel.enabled:
+            self.tel.counter("exec.recovery.respawns",
+                             backend=self.backend).inc()
+            self.tel.event("exec.recovery.transition", action="respawn",
+                           backend=self.backend)
+
+    def _degrade(self, reason):
+        down = next_backend(self.backend)
+        if down is None:
+            # Already serial: nothing below — keep executing inline.
+            return
+        if self.tel.enabled:
+            self.tel.counter("exec.recovery.backend_degraded",
+                             **{"from": self.backend, "to": down}).inc()
+            self.tel.event("exec.recovery.transition", action="degrade",
+                           **{"from": self.backend, "to": down,
+                              "reason": reason})
+        self._discard_pool()
+        self.backend = down
+        self.stats.degraded_to = down
+
+    def _check_deadlines(self, now):
+        expired = {future: flight
+                   for future, flight in self.inflight.items()
+                   if flight.deadline is not None and now > flight.deadline
+                   and not future.done()}
+        if not expired:
+            return
+        self.stats.timeouts += len(expired)
+        if self.tel.enabled:
+            for flight in expired.values():
+                self.tel.counter("exec.recovery.timeouts",
+                                 backend=self.backend).inc()
+                self.tel.event("exec.recovery.transition", action="timeout",
+                               tasks=len(flight.chunk))
+        if self.backend == "process":
+            # Stuck workers cannot be preempted politely: kill the
+            # pool, salvage what finished, charge the expired chunks
+            # and re-dispatch the innocent bystanders uncharged.
+            processes = getattr(self._pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.kill()
+                except Exception:
+                    pass
+            leftovers = list(self.inflight.items())
+            self.inflight.clear()
+            wait([future for future, _ in leftovers], timeout=5.0)
+            for future, flight in leftovers:
+                if (future.done() and not future.cancelled()
+                        and future.exception() is None):
+                    self._harvest(flight.shard, flight.chunk,
+                                  future.result())
+                elif future in expired:
+                    self._chunk_failed(
+                        flight.chunk, "timeout",
+                        f"exceeded {self.policy.task_timeout_s:.3g}s "
+                        f"deadline")
+                else:
+                    self.queue.appendleft(flight.chunk)
+            self._discard_pool()
+            self._note_respawn()
+        else:
+            # Threads cannot be killed: write the future off (its late
+            # result, if any, is discarded) and retry the task.  Once
+            # every worker is wedged, leak the pool and start fresh.
+            for future, flight in expired.items():
+                del self.inflight[future]
+                self.abandoned += 1
+                self._chunk_failed(
+                    flight.chunk, "timeout",
+                    f"exceeded {self.policy.task_timeout_s:.3g}s deadline "
+                    f"(thread abandoned)")
+            if self.abandoned >= self.jobs and self._pool is not None:
+                stale = self._pool
+                self._pool = None
+                self.abandoned = 0
+                stale.shutdown(wait=False)
+                self._note_respawn()
+
+    # -- the serial rung -------------------------------------------------------
+
+    def _drain_serial(self):
+        while self.queue and not self._fatal:
+            chunk = self.queue.popleft()
+            shard = next(self._shard)
+            result = _run_chunk(chunk, self.collect, shard, self.packed,
+                                True, self.chaos)
+            self._harvest(shard, chunk, result)
+
+
 def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
-              chunk_size=None):
+              chunk_size=None, max_retries=None, task_timeout=None,
+              quarantine=None, chaos=None, retry_policy=None):
     """Run ``tasks`` and return a :class:`SweepResult` in task order.
 
     ``jobs``/``backend``/``cache`` default from the environment (see
@@ -304,6 +771,20 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
     time sizes the remaining chunks to ~:data:`AUTO_CHUNK_TARGET_S`
     of compute each.  Results are bit-identical whatever the chunk
     layout — only dispatch overhead changes.
+
+    Fault tolerance: ``max_retries`` re-runs failing tasks with seeded
+    exponential backoff (default ``REPRO_MAX_RETRIES`` or 0);
+    ``task_timeout`` arms a per-task deadline in seconds (default
+    ``REPRO_TASK_TIMEOUT`` or none — serial execution cannot preempt
+    and does not enforce it); ``quarantine`` forces the
+    give-up behaviour (default: quarantine exactly when any fault
+    tolerance is configured, else raise as before); ``chaos`` takes a
+    :class:`~repro.exec.chaos.ChaosPolicy` injecting seeded failures;
+    ``retry_policy`` supplies a full :class:`RetryPolicy` overriding
+    the granular knobs.  Worker-crash recovery is always on: a
+    ``BrokenProcessPool`` salvages finished results, respawns the pool
+    and re-dispatches lost chunks, degrading the backend
+    (process -> thread -> serial) if pools keep breaking.
     """
     tasks = list(tasks)
     jobs = default_jobs() if jobs is None else int(jobs)
@@ -316,12 +797,35 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
     cache = resolve_cache(cache)
     if checkpoint is not None and cache is None:
         cache = ResultCache(DEFAULT_CACHE_DIR)
+    if retry_policy is not None:
+        policy = retry_policy
+        policy._configured = True
+    else:
+        policy = RetryPolicy.resolve(max_retries=max_retries,
+                                     task_timeout=task_timeout,
+                                     quarantine=quarantine, chaos=chaos)
+    tolerant = policy.enabled or chaos is not None
 
     stats = SweepStats(total=len(tasks), jobs=jobs, backend=backend,
                        cache=cache)
     start = time.perf_counter()
     results = [None] * len(tasks)
     done = [False] * len(tasks)
+    failures = []
+
+    tel = current_collector()
+    collect = tel.enabled
+
+    # Sweep-start hygiene: segments a SIGKILLed run left in /dev/shm
+    # are unlinked before this run creates its own (age-gated, dead
+    # owners only — see repro.exec.shm.reap_orphans).
+    try:
+        stats.orphans_reclaimed = shm_transport.reap_orphans()
+    except Exception:
+        stats.orphans_reclaimed = 0
+    if stats.orphans_reclaimed and collect:
+        tel.counter("exec.shm.orphans_reclaimed").inc(
+            stats.orphans_reclaimed)
 
     keys = None
     if cache is not None:
@@ -357,9 +861,11 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
             continue
         fn, _ = resolve_task_fn(task.fn)
         pending.append((index, fn.__module__, task.fn,
-                        dict(task.params), task.seed))
+                        dict(task.params), task.seed, 0))
 
     def _complete(index, value):
+        if done[index]:
+            return
         results[index] = value
         done[index] = True
         stats.executed += 1
@@ -370,20 +876,35 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
         if manifest is not None:
             manifest.record(index, keys[index])
 
-    tel = current_collector()
-    collect = tel.enabled
+    def _quarantine(failure):
+        # A quarantined task's slot holds the typed record; it is never
+        # cached or checkpointed, so a rerun tries it afresh.
+        if done[failure.index]:
+            return
+        results[failure.index] = failure
+        done[failure.index] = True
+        failures.append(failure)
+
+    def _fn_of(index):
+        return tasks[index].fn
+
     arena = None
 
     try:
         with tel.span("exec.sweep", backend=backend, jobs=jobs):
             if backend == "serial" or jobs == 1 or len(pending) <= 1:
                 stats.backend = "serial" if jobs == 1 else backend
-                for shard, item in enumerate(pending):
-                    out, payload = _run_chunk([item], collect=collect,
-                                              shard=shard)
-                    tel.merge(payload)
-                    for index, value in out:
-                        _complete(index, value)
+                if tolerant:
+                    dispatcher = _Dispatcher(
+                        "serial", 1, policy, chaos, tel, collect, False,
+                        stats, _complete, _quarantine, _fn_of)
+                    dispatcher.run([[item] for item in pending])
+                else:
+                    for shard, item in enumerate(pending):
+                        out, payload = _run_chunk([item], collect, shard)
+                        tel.merge(payload)
+                        for index, value in out:
+                            _complete(index, value)
                 stats.chunks = len(pending)
             else:
                 probed = 0
@@ -392,14 +913,28 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
                     # chunks dispatched to the pool.  pending[0] keeps
                     # telemetry merge order == task order.
                     (out, payload), probe_s = timed_call(
-                        _run_chunk, [pending[0]], collect, "probe")
+                        _run_chunk, [pending[0]], collect, "probe", False,
+                        tolerant, chaos)
                     tel.merge(payload)
+                    probe_failed = False
                     for index, value in out:
+                        if tolerant:
+                            kind, value = value
+                            if kind != "ok":
+                                # The probe's failure is not charged —
+                                # it re-enters the dispatcher at
+                                # attempt 0 and pays there if it keeps
+                                # failing.
+                                probe_failed = True
+                                continue
                         _complete(index, value)
-                    pending = pending[1:]
-                    probed = 1
-                    chunk_size = _auto_chunk_size(probe_s, len(pending),
-                                                  jobs)
+                    if probe_failed:
+                        chunk_size = None
+                    else:
+                        pending = pending[1:]
+                        probed = 1
+                        chunk_size = _auto_chunk_size(probe_s, len(pending),
+                                                      jobs)
                 size = _resolve_chunk_size(len(pending), jobs, chunk_size)
                 stats.chunk_size = size
                 # Process workers get param ndarrays through one shared
@@ -410,9 +945,9 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
                         shm_transport.pack, [item[3] for item in pending])
                     if arena is not None:
                         pending = [
-                            (index, module, fn_name, params, seed)
-                            for (index, module, fn_name, _, seed), params
-                            in zip(pending, packed_params)]
+                            (index, module, fn_name, params, seed, attempt)
+                            for (index, module, fn_name, _, seed, attempt),
+                            params in zip(pending, packed_params)]
                         stats.shm_bytes = arena.nbytes
                         tel.histogram("exec.dispatch.pack_ns",
                                       unit="ns").observe(pack_s * NS_PER_S)
@@ -425,43 +960,25 @@ def run_sweep(tasks, jobs=None, backend=None, cache=None, checkpoint=None,
                 stats.chunks = len(chunks) + probed
                 tel.gauge("exec.dispatch.chunk_size",
                           unit="layout").set(size)
-                pool_cls = (ThreadPoolExecutor if backend == "thread"
-                            else ProcessPoolExecutor)
-                with pool_cls(max_workers=jobs) as pool:
-                    futures = []
-                    for shard, chunk in enumerate(chunks):
-                        if collect and backend == "process":
-                            tel.histogram(
-                                "exec.dispatch.payload_bytes",
-                                unit="layout").observe(len(pickle.dumps(
-                                    chunk, pickle.HIGHEST_PROTOCOL)))
-                        futures.append(pool.submit(
-                            _run_chunk, chunk, collect, shard, packed))
-                    done_set, _ = wait(futures, return_when=FIRST_EXCEPTION)
-                    # Record whatever completed (even if another chunk
-                    # failed) so the checkpoint keeps its progress, then
-                    # surface the first error in submission order.
-                    # Merging telemetry in submission (= task) order is
-                    # what keeps the merged aggregate backend-invariant.
-                    for future in futures:
-                        if future in done_set and future.exception() is None:
-                            out, payload = future.result()
-                            tel.merge(payload)
-                            for index, value in out:
-                                _complete(index, value)
-                    for future in futures:
-                        if future in done_set:
-                            future.result()     # raises the chunk's error
+                dispatcher = _Dispatcher(
+                    backend, jobs, policy, chaos, tel, collect, packed,
+                    stats, _complete, _quarantine, _fn_of)
+                dispatcher.run(chunks)
     finally:
         if arena is not None:
-            # The pool context has exited (workers drained or dead), so
+            # The pool has been shut down (workers drained or dead), so
             # the parent's unlink is the last reference's cleanup.
             arena.dispose()
         if manifest is not None:
             manifest.close()
         stats.wall_s = time.perf_counter() - start
         _record_sweep_telemetry(tel, stats, cache)
+        if collect and (stats.retries or stats.timeouts
+                        or stats.worker_crashes or stats.quarantined):
+            tel.gauge("exec.recovery.degraded",
+                      unit="layout").set(1.0 if stats.degraded_to else 0.0)
         _LAST_STATS.append(stats)
         del _LAST_STATS[:-1]
 
-    return SweepResult(results=results, stats=stats)
+    failures.sort(key=lambda failure: failure.index)
+    return SweepResult(results=results, stats=stats, failures=failures)

@@ -21,6 +21,7 @@ import os
 from pathlib import Path
 
 from repro.exec.hashing import digest
+from repro.telemetry.collector import current_collector
 
 
 def sweep_id(keys):
@@ -36,6 +37,8 @@ class SweepManifest:
         self.sweep = sweep
         self.total = int(total)
         self.completed = {}
+        #: Torn trailing lines ignored on load (kill-mid-write resume).
+        self.truncated_lines = 0
         self._fh = None
 
     @classmethod
@@ -61,24 +64,35 @@ class SweepManifest:
 
     def _read_existing(self):
         try:
-            lines = self.path.read_text(encoding="utf-8").splitlines()
+            raw = self.path.read_bytes()
         except FileNotFoundError:
             return None
+        # A kill mid-write can tear a line anywhere — even inside a
+        # multi-byte character — so decode tolerantly rather than let a
+        # UnicodeDecodeError abort the resume.
+        lines = raw.decode("utf-8", errors="replace").splitlines()
         if not lines:
             return None
         try:
             header = json.loads(lines[0])
         except json.JSONDecodeError:
             return None
-        if header.get("sweep") != self.sweep:
+        if not isinstance(header, dict) or header.get("sweep") != self.sweep:
             return None
         completed = {}
-        for line in lines[1:]:
+        for position, line in enumerate(lines[1:], start=1):
             try:
                 record = json.loads(line)
                 completed[int(record["i"])] = record["key"]
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                break               # half-written tail: ignore the rest
+                # Half-written tail: keep the valid prefix, count what
+                # was torn so the loss is observable.
+                self.truncated_lines = len(lines) - position
+                tel = current_collector()
+                if tel.enabled:
+                    tel.counter("exec.manifest.truncated").inc(
+                        self.truncated_lines)
+                break
         return completed
 
     def _append(self, record):

@@ -33,8 +33,13 @@ overhead beats pickling only past a few hundred bytes).
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import mmap
 import os
+import secrets
+import time
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -43,6 +48,19 @@ import numpy as np
 #: Arrays smaller than this stay pickled (descriptor + view overhead
 #: beats pickling only once the payload dwarfs it).
 DEFAULT_MIN_BYTES = 512
+
+#: Where POSIX shared memory appears as files (Linux).
+SHM_DIR = "/dev/shm"
+
+#: Segment name prefix: ``repro-shm-<pid>-<n>-<hex>``.  Embedding the
+#: creating pid lets the next run tell a dead run's litter from a
+#: concurrent run's live segments (see :func:`reap_orphans`).
+SEGMENT_PREFIX = "repro-shm"
+
+#: Default minimum age before a dead run's segment is reclaimed
+#: (guards against pid-reuse races and clock skew); override with
+#: ``REPRO_SHM_REAP_AGE_S``.
+DEFAULT_REAP_AGE_S = 60.0
 
 #: Segment offsets are aligned so every view starts on a cache line.
 _ALIGN = 64
@@ -77,6 +95,88 @@ class ShmSlice:
     dtype: str
 
 
+_NAME_COUNTER = itertools.count()
+
+#: Arenas created by this process that are not yet disposed; the
+#: atexit hook below unlinks whatever a crashing (but not SIGKILLed)
+#: run leaves behind.
+_LIVE_ARENAS = weakref.WeakSet()
+
+
+def _segment_name(pid=None):
+    """A fresh segment name carrying the creating pid."""
+    pid = os.getpid() if pid is None else int(pid)
+    return (f"{SEGMENT_PREFIX}-{pid}-{next(_NAME_COUNTER)}-"
+            f"{secrets.token_hex(4)}")
+
+
+def orphan_segment_name(pid):
+    """A segment name attributed to ``pid`` (chaos/test helper)."""
+    return _segment_name(pid)
+
+
+@atexit.register
+def _dispose_live_arenas():
+    for arena in list(_LIVE_ARENAS):
+        arena.dispose()
+
+
+def _pid_alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True                      # someone else's live process
+    except OSError:
+        return True                      # unknown: err on the safe side
+    return True
+
+
+def reap_orphans(max_age_s=None, now=None):
+    """Unlink ``repro-shm-*`` segments whose creating run is dead.
+
+    Called at every sweep start: a SIGKILLed run cannot unlink its own
+    segments (its atexit hooks never ran), so the *next* run sweeps up.
+    A segment is reclaimed only when (a) the pid embedded in its name
+    no longer exists and (b) it is older than ``max_age_s`` (default
+    ``REPRO_SHM_REAP_AGE_S`` or :data:`DEFAULT_REAP_AGE_S` — the age
+    gate guards against pid reuse and files caught mid-creation).
+    Segments with unparseable names are never touched.  Returns the
+    number of segments reclaimed.
+    """
+    if not os.path.isdir(SHM_DIR):
+        return 0                         # non-POSIX-shm platform: no-op
+    if max_age_s is None:
+        raw = os.environ.get("REPRO_SHM_REAP_AGE_S", "").strip()
+        max_age_s = float(raw) if raw else DEFAULT_REAP_AGE_S
+    now = time.time() if now is None else float(now)
+    reclaimed = 0
+    for name in os.listdir(SHM_DIR):
+        if not name.startswith(f"{SEGMENT_PREFIX}-"):
+            continue
+        parts = name.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        path = os.path.join(SHM_DIR, name)
+        try:
+            age = now - os.stat(path).st_mtime
+        except OSError:
+            continue                     # raced with another reaper
+        if age < max_age_s:
+            continue
+        try:
+            os.unlink(path)
+            reclaimed += 1
+        except OSError:
+            pass
+    return reclaimed
+
+
 class ShmArena:
     """One shared-memory segment holding a sweep's distinct param arrays.
 
@@ -96,8 +196,18 @@ class ShmArena:
             contiguous.append(array)
             offsets.append(offset)
             total = offset + array.nbytes
-        self._shm = shared_memory.SharedMemory(create=True,
-                                               size=max(total, 1))
+        self._shm = None
+        for _ in range(8):               # token collisions are ~impossible
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=max(total, 1), name=_segment_name())
+                break
+            except FileExistsError:
+                continue
+        if self._shm is None:            # pragma: no cover - 8 collisions
+            self._shm = shared_memory.SharedMemory(create=True,
+                                                   size=max(total, 1))
+        _LIVE_ARENAS.add(self)
         self.nbytes = total
         self.slices = []
         for array, offset in zip(contiguous, offsets):
@@ -117,6 +227,7 @@ class ShmArena:
 
     def dispose(self):
         """Close and unlink the segment (idempotent)."""
+        _LIVE_ARENAS.discard(self)
         try:
             self._shm.close()
         except Exception:

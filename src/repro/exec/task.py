@@ -81,6 +81,33 @@ def spawn_seeds(root_seed, count):
 
 
 @dataclass(frozen=True)
+class TaskFailure:
+    """Typed record of a task the executor gave up on.
+
+    When quarantine is enabled (see
+    :class:`repro.exec.recovery.RetryPolicy`), a task whose retry
+    budget is spent contributes one of these at its position in
+    ``SweepResult.results`` — and in ``SweepResult.failures`` — instead
+    of unwinding the whole sweep with an exception.  ``history`` keeps
+    every failed attempt as ``(kind, message)`` pairs so a
+    post-mortem can distinguish a poison task (same error every time)
+    from plain bad luck (crash, then timeout, then success elsewhere).
+    """
+
+    index: int
+    fn: str
+    attempts: int
+    kind: str            # final failure kind: exception/timeout/worker-crash
+    error: str
+    history: tuple = ()
+
+    def __str__(self):
+        return (f"task {self.index} ({self.fn}) quarantined after "
+                f"{self.attempts} failed attempts; last: "
+                f"[{self.kind}] {self.error}")
+
+
+@dataclass(frozen=True)
 class Task:
     """One pure, seeded unit of work.
 

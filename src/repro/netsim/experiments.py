@@ -16,7 +16,11 @@ derived exactly as the original serial loops derived them, so
 
 Each runner accepts ``jobs=``, ``cache=``, ``backend=`` and
 ``checkpoint=`` keywords (``None`` defers to the ``REPRO_JOBS`` /
-``REPRO_CACHE`` / ``REPRO_BACKEND`` environment defaults).
+``REPRO_CACHE`` / ``REPRO_BACKEND`` environment defaults), plus the
+fault-tolerance trio ``max_retries=`` / ``task_timeout=`` / ``chaos=``
+passed straight through to :func:`repro.exec.run_sweep` (``None``
+defers to ``REPRO_MAX_RETRIES`` / ``REPRO_TASK_TIMEOUT``; see
+:mod:`repro.exec.recovery`).
 """
 
 from __future__ import annotations
@@ -145,6 +149,12 @@ def _block_rows(results):
 def _sub_checkpoint(checkpoint, label):
     """A per-phase manifest path for experiments that run >1 sweep."""
     return None if checkpoint is None else f"{checkpoint}.{label}"
+
+
+def _ft_kwargs(max_retries, task_timeout, chaos):
+    """The fault-tolerance trio every runner forwards to ``run_sweep``."""
+    return {"max_retries": max_retries, "task_timeout": task_timeout,
+            "chaos": chaos}
 
 
 # ---------------------------------------------------------------------------
@@ -355,7 +365,8 @@ def _traced(name):
 def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
                              relay_config=None, jobs=None, cache=None,
                              backend=None, checkpoint=None,
-                             block_size=None):
+                             block_size=None, max_retries=None,
+                             task_timeout=None, chaos=None):
     """Figs. 12/13/15 data: per-client rates for the three schemes (2x2).
 
     Returns arrays ``ap_only``, ``half_duplex``, ``fastforward`` (Mbps)
@@ -367,8 +378,10 @@ def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
     tasks = _client_tasks("netsim.overall-gains-client", scenarios,
                           num_clients, seed, stream=100, extra=extra,
                           block_size=block_size)
-    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
-                                 cache=cache, checkpoint=checkpoint).results)
+    rows = _block_rows(run_sweep(
+        tasks, jobs=jobs, backend=backend, cache=cache,
+        checkpoint=checkpoint,
+        **_ft_kwargs(max_retries, task_timeout, chaos)).results)
 
     out = {
         "ap_only": np.asarray([r["ap"] for r in rows]),
@@ -389,14 +402,17 @@ def overall_gains_experiment(num_clients=60, seed=0, scenarios=None,
 @_traced("siso-gains")
 def siso_gains_experiment(num_clients=60, seed=0, scenarios=None, jobs=None,
                           cache=None, backend=None, checkpoint=None,
-                          block_size=None):
+                          block_size=None, max_retries=None,
+                          task_timeout=None, chaos=None):
     """Fig. 14 data: SISO AP/relay/client — pure SNR-gain territory."""
     scenarios = scenarios if scenarios is not None else paper_scenarios()
     tasks = _client_tasks("netsim.siso-gains-client", scenarios,
                           num_clients, seed, stream=200,
                           block_size=block_size)
-    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
-                                 cache=cache, checkpoint=checkpoint).results)
+    rows = _block_rows(run_sweep(
+        tasks, jobs=jobs, backend=backend, cache=cache,
+        checkpoint=checkpoint,
+        **_ft_kwargs(max_retries, task_timeout, chaos)).results)
 
     out = {
         "ap_only": np.asarray([r["ap"] for r in rows]),
@@ -413,7 +429,9 @@ def siso_gains_experiment(num_clients=60, seed=0, scenarios=None, jobs=None,
 @_traced("uplink-gains")
 def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0,
                             jobs=None, cache=None, backend=None,
-                            checkpoint=None, block_size=None):
+                            checkpoint=None, block_size=None,
+                            max_retries=None, task_timeout=None,
+                            chaos=None):
     """Uplink (client -> AP) gains — "the relay can be used to improve
     the link from the client to the AP as well" (§1, footnote 1).
 
@@ -427,8 +445,10 @@ def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0,
         "netsim.uplink-gains-client", paper_scenarios(), num_clients, seed,
         stream=700, extra={"client_tx_power_dbm": client_tx_power_dbm},
         block_size=block_size)
-    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
-                                 cache=cache, checkpoint=checkpoint).results)
+    rows = _block_rows(run_sweep(
+        tasks, jobs=jobs, backend=backend, cache=cache,
+        checkpoint=checkpoint,
+        **_ft_kwargs(max_retries, task_timeout, chaos)).results)
     out = {
         "ap_only": np.asarray([r["ap"] for r in rows]),
         "fastforward": np.asarray([r["ff"] for r in rows]),
@@ -443,7 +463,9 @@ def uplink_gains_experiment(num_clients=40, seed=0, client_tx_power_dbm=15.0,
 
 @_traced("scenario-classes")
 def scenario_class_experiment(num_clients=90, seed=0, jobs=None, cache=None,
-                              backend=None, checkpoint=None):
+                              backend=None, checkpoint=None,
+                              max_retries=None, task_timeout=None,
+                              chaos=None):
     """Fig. 15: gains partitioned by (SNR, rank) client class.
 
     Classes: a) low SNR + low rank (edge); b) medium/high SNR + low
@@ -451,7 +473,9 @@ def scenario_class_experiment(num_clients=90, seed=0, jobs=None, cache=None,
     """
     data = overall_gains_experiment(num_clients=num_clients, seed=seed,
                                     jobs=jobs, cache=cache, backend=backend,
-                                    checkpoint=checkpoint)
+                                    checkpoint=checkpoint,
+                                    max_retries=max_retries,
+                                    task_timeout=task_timeout, chaos=chaos)
     snr = data["direct_snr_db"]
     streams = data["direct_streams"]
     gains = {}
@@ -476,7 +500,8 @@ def scenario_class_experiment(num_clients=90, seed=0, jobs=None, cache=None,
 def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
                              num_clients=40, seed=0, jobs=None, cache=None,
                              backend=None, checkpoint=None,
-                             block_size=None):
+                             block_size=None, max_retries=None,
+                             task_timeout=None, chaos=None):
     """Fig. 16: median throughput gain vs relay processing latency.
 
     Extra buffering is added to the relay's budget; past the CP the
@@ -504,8 +529,10 @@ def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
         spans.append((clients_so_far, clients_so_far + covered))
         clients_so_far += covered
         tasks.extend(lat_tasks)
-    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
-                                 cache=cache, checkpoint=checkpoint).results)
+    rows = _block_rows(run_sweep(
+        tasks, jobs=jobs, backend=backend, cache=cache,
+        checkpoint=checkpoint,
+        **_ft_kwargs(max_retries, task_timeout, chaos)).results)
 
     medians = []
     for lo, hi in spans:
@@ -518,17 +545,20 @@ def latency_sweep_experiment(latencies_ns=(0, 100, 200, 300, 400, 500),
 
 @_traced("no-cnf")
 def no_cnf_experiment(num_clients=60, seed=0, jobs=None, cache=None,
-                      backend=None, checkpoint=None):
+                      backend=None, checkpoint=None, max_retries=None,
+                      task_timeout=None, chaos=None):
     """Fig. 17: the blind amplify-and-forward repeater vs FastForward."""
     data = overall_gains_experiment(
         num_clients=num_clients, seed=seed, jobs=jobs, cache=cache,
-        backend=backend, checkpoint=_sub_checkpoint(checkpoint, "overall"))
+        backend=backend, checkpoint=_sub_checkpoint(checkpoint, "overall"),
+        max_retries=max_retries, task_timeout=task_timeout, chaos=chaos)
     # Stream 100 on purpose: the repeater sees the same clients and
     # channel draws as the FastForward arm above.
     tasks = _client_tasks("netsim.no-cnf-client", paper_scenarios(),
                           num_clients, seed, stream=100)
     rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
-                     checkpoint=_sub_checkpoint(checkpoint, "af")).results
+                     checkpoint=_sub_checkpoint(checkpoint, "af"),
+                     **_ft_kwargs(max_retries, task_timeout, chaos)).results
     data["amplify_forward"] = np.asarray([r["af"] for r in rows])
     data["af_gain_vs_hd"] = relative_gains(data["amplify_forward"],
                                            data["half_duplex"])
@@ -541,7 +571,8 @@ def no_cnf_experiment(num_clients=60, seed=0, jobs=None, cache=None,
 def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110),
                                   num_clients=40, seed=0, jobs=None,
                                   cache=None, backend=None, checkpoint=None,
-                                  block_size=None):
+                                  block_size=None, max_retries=None,
+                                  task_timeout=None, chaos=None):
     """Fig. 18: median gain vs the cancellation the relay achieves.
 
     Cancellation caps amplification (minus the loop margin); dead-spot
@@ -558,8 +589,10 @@ def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110
         spans.append((clients_so_far, clients_so_far + covered))
         clients_so_far += covered
         tasks.extend(c_tasks)
-    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
-                                 cache=cache, checkpoint=checkpoint).results)
+    rows = _block_rows(run_sweep(
+        tasks, jobs=jobs, backend=backend, cache=cache,
+        checkpoint=checkpoint,
+        **_ft_kwargs(max_retries, task_timeout, chaos)).results)
 
     medians, tails = [], []
     for lo, hi in spans:
@@ -578,7 +611,8 @@ def cancellation_sweep_experiment(cancellations_db=(100, 102, 104, 106, 108, 110
 def link_health_experiment(num_clients=4, seed=2014, n_symbols=24,
                            fault=None, scenarios=None, jobs=None,
                            cache=None, backend=None, checkpoint=None,
-                           block_size=None):
+                           block_size=None, max_retries=None,
+                           task_timeout=None, chaos=None):
     """Probe-instrumented relay passes: the link-health sweep.
 
     Each client runs a known reference frame through its sample-level
@@ -599,8 +633,10 @@ def link_health_experiment(num_clients=4, seed=2014, n_symbols=24,
     tasks = _client_tasks("netsim.link-health-client", scenarios,
                           num_clients, seed, stream=800, extra=extra,
                           block_size=block_size)
-    rows = _block_rows(run_sweep(tasks, jobs=jobs, backend=backend,
-                                 cache=cache, checkpoint=checkpoint).results)
+    rows = _block_rows(run_sweep(
+        tasks, jobs=jobs, backend=backend, cache=cache,
+        checkpoint=checkpoint,
+        **_ft_kwargs(max_retries, task_timeout, chaos)).results)
 
     keys = sorted({k for row in rows for k in row})
     aggregate = {}
@@ -876,7 +912,8 @@ def fault_sweep_experiment(fault_rates=(0.0, 0.1, 0.2, 0.4), num_clients=5,
                            si_jump_db=35.0, clip_burst_steps=6,
                            clip_fraction=0.25, retune_success_prob=0.8,
                            jobs=None, cache=None, backend=None,
-                           checkpoint=None):
+                           checkpoint=None, max_retries=None,
+                           task_timeout=None, chaos=None):
     """Throughput vs fault rate, with and without the supervisor.
 
     The fault-injection counterpart of the gains experiments: SISO
@@ -913,8 +950,9 @@ def fault_sweep_experiment(fault_rates=(0.0, 0.1, 0.2, 0.4), num_clients=5,
         for client, client_seed in zip(positions, seeds)
     ]
     clients = run_sweep(probe_tasks, jobs=jobs, backend=backend, cache=cache,
-                        checkpoint=_sub_checkpoint(checkpoint,
-                                                   "probe")).results
+                        checkpoint=_sub_checkpoint(checkpoint, "probe"),
+                        **_ft_kwargs(max_retries, task_timeout,
+                                     chaos)).results
     selected = [c for c in clients if c["ff"] >= 1.3 * max(c["hd"], 1e-9)]
     if not selected:
         selected = [max(clients,
@@ -936,7 +974,8 @@ def fault_sweep_experiment(fault_rates=(0.0, 0.1, 0.2, 0.4), num_clients=5,
         for c_idx, c in enumerate(selected)
     ]
     runs = run_sweep(run_tasks, jobs=jobs, backend=backend, cache=cache,
-                     checkpoint=_sub_checkpoint(checkpoint, "run")).results
+                     checkpoint=_sub_checkpoint(checkpoint, "run"),
+                     **_ft_kwargs(max_retries, task_timeout, chaos)).results
 
     supervised = np.zeros(fault_rates.size)
     unsupervised = np.zeros(fault_rates.size)

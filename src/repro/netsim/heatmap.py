@@ -65,7 +65,8 @@ def _coverage_point(testbed, point, rng=None):
 
 
 def coverage_heatmap(testbed: Testbed, spacing_m=1.0, seed=0, jobs=None,
-                     cache=None, backend=None, checkpoint=None):
+                     cache=None, backend=None, checkpoint=None,
+                     max_retries=None, task_timeout=None, chaos=None):
     """Sweep a grid of client positions; compute both coverage fields.
 
     For each point: the AP-only effective SNR and usable MIMO stream
@@ -76,18 +77,22 @@ def coverage_heatmap(testbed: Testbed, spacing_m=1.0, seed=0, jobs=None,
                                   experiment="coverage"):
         return _coverage_heatmap(testbed, spacing_m=spacing_m, seed=seed,
                                  jobs=jobs, cache=cache, backend=backend,
-                                 checkpoint=checkpoint)
+                                 checkpoint=checkpoint,
+                                 max_retries=max_retries,
+                                 task_timeout=task_timeout, chaos=chaos)
 
 
 def _coverage_heatmap(testbed, spacing_m, seed, jobs, cache, backend,
-                      checkpoint):
+                      checkpoint, max_retries=None, task_timeout=None,
+                      chaos=None):
     grid = testbed.scenario.floorplan.grid(spacing_m=spacing_m)
     seeds = child_seeds(seed, len(grid))
     tasks = [Task("netsim.coverage-point",
                   {"testbed": testbed, "point": point}, seed=point_seed)
              for point, point_seed in zip(grid, seeds)]
     rows = run_sweep(tasks, jobs=jobs, backend=backend, cache=cache,
-                     checkpoint=checkpoint).results
+                     checkpoint=checkpoint, max_retries=max_retries,
+                     task_timeout=task_timeout, chaos=chaos).results
 
     return HeatmapResult(
         positions=grid,

@@ -65,6 +65,12 @@ KNOWN_METRIC_PREFIXES = (
     # covered by "exec." above but registered explicitly so the family
     # survives any future narrowing of the exec prefix.
     "exec.dispatch.",
+    # Fault-tolerance families: manifest torn-tail repairs,
+    # retry/timeout/crash/quarantine/degrade transitions, and shm
+    # orphan reaping.
+    "exec.manifest.",
+    "exec.recovery.",
+    "exec.shm.",
     "netsim.",
     "probes.",
     "relay.",

@@ -93,3 +93,32 @@ class TestCorruptionAndInvalidation:
         key_v1 = digest(["task", "fn", "1", {"x": 1}, 0])
         key_v2 = digest(["task", "fn", "2", {"x": 1}, 0])
         assert key_v1 != key_v2
+
+    def test_corrupt_stat_counts_torn_entries(self, cache):
+        key = "y" * 64
+        cache.put(key, {"v": np.arange(40.0)})
+        path = cache._path(key)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])   # torn zip
+        assert cache.get(key, default="gone") == "gone"
+        assert cache.stats.corrupt == 1
+        assert cache.stats.invalidations == 1
+        assert not path.exists()
+        # Recompute-and-store repopulates cleanly.
+        cache.put(key, {"v": np.arange(40.0)})
+        assert np.array_equal(cache.get(key)["v"], np.arange(40.0))
+        assert cache.stats.corrupt == 1                  # unchanged
+
+    def test_plain_miss_is_not_corrupt(self, cache):
+        assert cache.get("m" * 64) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 0
+
+    def test_invalidate_by_fn_skips_corrupt_entries(self, cache):
+        cache.put("p" * 64, {"v": 1}, fn="fn.a", version="1")
+        cache.put("q" * 64, {"v": 2}, fn="fn.b", version="1")
+        cache._path("p" * 64).write_bytes(b"\x00garbage")
+        # The torn entry has no readable fn metadata: a targeted
+        # invalidation must not crash (nor remove the other entry).
+        assert cache.invalidate(fn="fn.b") == 1
+        assert cache.get("q" * 64) is None

@@ -121,3 +121,57 @@ class TestResume:
         out = run_sweep(_tasks(3), checkpoint=tmp_path / "m.jsonl")
         assert out.stats.cache is not None
         assert (tmp_path / ".repro-cache").is_dir()
+
+
+class TestTornTails:
+    def test_truncated_lines_counted(self, tmp_path):
+        keys = [t.cache_key() for t in _tasks(4)]
+        path = tmp_path / "m.jsonl"
+        with SweepManifest.open(path, keys) as m:
+            m.record(0, keys[0])
+            m.record(1, keys[1])
+        with open(path, "a") as fh:
+            fh.write('{"i": 2, "ke')
+        with SweepManifest.open(path, keys) as m:
+            assert m.completed == {0: keys[0], 1: keys[1]}
+            assert m.truncated_lines == 1
+
+    def test_truncation_counter_emitted(self, tmp_path):
+        from repro.telemetry.collector import (
+            TelemetryCollector,
+            use_collector,
+        )
+
+        keys = [t.cache_key() for t in _tasks(3)]
+        path = tmp_path / "m.jsonl"
+        with SweepManifest.open(path, keys) as m:
+            m.record(0, keys[0])
+        with open(path, "a") as fh:
+            fh.write('{"i": 1')
+        tel = TelemetryCollector()
+        with use_collector(tel):
+            with SweepManifest.open(path, keys):
+                pass
+        counts = tel.metrics.counter_values("exec.manifest.truncated")
+        assert sum(counts.values()) == 1
+
+    def test_tail_torn_inside_multibyte_char(self, tmp_path):
+        # A kill can cut a UTF-8 sequence in half; the resume must not
+        # die on the decode.
+        keys = [t.cache_key() for t in _tasks(2)]
+        path = tmp_path / "m.jsonl"
+        with SweepManifest.open(path, keys) as m:
+            m.record(0, keys[0])
+        with open(path, "ab") as fh:
+            fh.write('{"i": 1, "key": "é'.encode()[:-1])
+        with SweepManifest.open(path, keys) as m:
+            assert m.completed == {0: keys[0]}
+            assert m.truncated_lines == 1
+
+    def test_clean_manifest_reports_zero_truncated(self, tmp_path):
+        keys = [t.cache_key() for t in _tasks(2)]
+        path = tmp_path / "m.jsonl"
+        with SweepManifest.open(path, keys) as m:
+            m.record(0, keys[0])
+        with SweepManifest.open(path, keys) as m:
+            assert m.truncated_lines == 0

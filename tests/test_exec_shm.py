@@ -178,3 +178,112 @@ class TestDispatchTelemetry:
 
     def test_dispatch_prefix_registered(self):
         assert "exec.dispatch." in KNOWN_METRIC_PREFIXES
+
+
+class TestOrphanReaping:
+    def test_segment_names_carry_pid(self):
+        import os
+
+        name = shm_mod._segment_name()
+        assert name.startswith("repro-shm-")
+        assert int(name.split("-")[2]) == os.getpid()
+
+    def test_age_gate_spares_young_segments(self):
+        from repro.exec.chaos import plant_orphan_segment
+
+        import os
+
+        young = plant_orphan_segment(age_s=0.0)
+        old = plant_orphan_segment(age_s=3600.0)
+        try:
+            reaped = shm_mod.reap_orphans(max_age_s=60.0)
+            assert reaped >= 1
+            assert os.path.exists(os.path.join(shm_mod.SHM_DIR, young))
+            assert not os.path.exists(os.path.join(shm_mod.SHM_DIR, old))
+        finally:
+            for name in (young, old):
+                try:
+                    os.unlink(os.path.join(shm_mod.SHM_DIR, name))
+                except OSError:
+                    pass
+
+    def test_live_owner_never_reaped(self):
+        from repro.exec.chaos import plant_orphan_segment
+
+        import os
+
+        # Attributed to *this* process: alive, so never reclaimed no
+        # matter how old the file looks.
+        name = plant_orphan_segment(pid=os.getpid(), age_s=3600.0)
+        try:
+            shm_mod.reap_orphans(max_age_s=0.0)
+            assert os.path.exists(os.path.join(shm_mod.SHM_DIR, name))
+        finally:
+            os.unlink(os.path.join(shm_mod.SHM_DIR, name))
+
+    def test_foreign_names_untouched(self, tmp_path):
+        # Unparseable segment names are never unlinked.
+        import os
+
+        path = os.path.join(shm_mod.SHM_DIR, "repro-shm-notapid-x")
+        with open(path, "wb") as fh:
+            fh.write(b"\x00")
+        stamp = 0.0
+        os.utime(path, (stamp, stamp))
+        try:
+            shm_mod.reap_orphans(max_age_s=0.0)
+            assert os.path.exists(path)
+        finally:
+            os.unlink(path)
+
+    def test_killed_run_reaped_by_next_sweep(self, tmp_path):
+        """SIGKILL a sweep mid-dispatch; the next run sweeps its litter."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        marker = tmp_path / "segment-name"
+        # The child creates an arena, reports the segment name, then
+        # hangs until it is SIGKILLed — its atexit hooks never run.
+        # It also unregisters the segment from its resource tracker:
+        # the tracker is a separate process that survives the SIGKILL
+        # and would otherwise unlink the "leak" at a random moment,
+        # racing this test (a genuinely hard-killed run — OOM killer,
+        # node loss — takes its tracker with it).
+        child = subprocess.Popen(
+            [sys.executable, "-c", (
+                "import sys, time\n"
+                "import numpy as np\n"
+                "from multiprocessing import resource_tracker\n"
+                "from repro.exec.shm import ShmArena\n"
+                "arena = ShmArena([np.arange(512.0)])\n"
+                "resource_tracker.unregister(arena._shm._name,"
+                " 'shared_memory')\n"
+                f"open({str(marker)!r}, 'w').write(arena.name)\n"
+                "time.sleep(60)\n")],
+            env={**os.environ,
+                 "PYTHONPATH": os.environ.get("PYTHONPATH", "src")})
+        try:
+            deadline = time.monotonic() + 20
+            while not marker.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert marker.exists(), "child never created its arena"
+            name = marker.read_text().strip()
+            path = os.path.join(shm_mod.SHM_DIR, name)
+            assert os.path.exists(path)
+        finally:
+            child.send_signal(signal.SIGKILL)
+            child.wait()
+        # The kill left the segment behind (no atexit ran) ...
+        assert os.path.exists(path)
+        # ... and the next sweep's start-of-run reaper reclaims it once
+        # it is old enough.
+        stamp = time.time() - 3600.0
+        os.utime(path, (stamp, stamp))
+        out = run_sweep([Task("shm-test.norm",
+                              {"vec": np.arange(8.0), "scale": 1},
+                              seed=0)], jobs=1, cache=False)
+        assert out.stats.orphans_reclaimed >= 1
+        assert not os.path.exists(path)
