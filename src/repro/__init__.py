@@ -46,6 +46,11 @@ Subpackages
 ``repro.netsim``
     Testbeds, throughput models, per-figure experiment runners, and
     design-choice ablations.
+``repro.fleet``
+    District-scale multi-relay deployments: seeded home-grid
+    generation, client→relay association policies with precomputed
+    backups, fast reroute off the supervisor's typed event log, and
+    district sweeps on the exec engine.
 ``repro.cli``
     ``python -m repro.cli`` — the headline experiments from a shell.
 """

@@ -11,6 +11,8 @@ gains          Fig. 12: relative throughput gains (three schemes)
 latency        Fig. 16: median gain vs processing latency
 fingerprint    Fig. 21: uplink identification error rates
 faults         fault sweep: supervised vs unsupervised degradation
+fleet          district-scale multi-relay sweep: association policy,
+               fault storm, fast-reroute latency / rescue-rate CDFs
 sweep          any experiment through the parallel engine
                (``--jobs``, on-disk result cache, checkpoint/resume)
 report         any sweep experiment under a telemetry collector:
@@ -118,10 +120,47 @@ def _cmd_faults(args):
             print(f"  {line}")
 
 
+def _cmd_fleet(args):
+    from repro.exec import last_sweep_stats
+    from repro.fleet import fleet_experiment
+
+    data = fleet_experiment(
+        rows=args.rows, cols=args.cols, clients_per_home=args.density,
+        seed=args.seed, policy=args.policy, storm=args.storm,
+        num_steps=args.steps, **_sweep_kwargs(args))
+    tp = data["throughput_cdf"]["percentiles"]
+    lat = data["latency_cdf"]
+    print(f"district: {data['num_relays']} relays, "
+          f"{data['num_clients']} clients, policy {data['policy']}, "
+          f"storm rate {data['storm']['rate']:.2f}, "
+          f"{data['num_steps']} steps of 50 ms")
+    print(f"  relay load          : min {int(data['relay_load'].min())}, "
+          f"max {int(data['relay_load'].max())} clients")
+    print(f"  throughput (Mbps)   : p5 {tp['5']:.1f}  p50 {tp['50']:.1f}  "
+          f"p95 {tp['95']:.1f}")
+    print(f"  reroutes            : {data['reroutes']} "
+          f"({data['outage_relays']} relays muted, "
+          f"{data['failbacks']} failbacks)")
+    print(f"  rescue rate         : {data['rescue_rate']:.1%}")
+    if data["reroutes"]:
+        print(f"  reroute latency     : median "
+              f"{lat['percentiles']['50']:.0f}, max "
+              f"{data['max_latency_intervals']} sounding intervals "
+              f"(bound {data['latency_bound_intervals']})")
+    stats = last_sweep_stats()
+    if stats is not None:
+        print(f"engine: {stats.summary()}")
+
+
 #: ``repro sweep`` experiment registry: name -> (runner factory, printer).
 SWEEP_EXPERIMENTS = ("gains", "siso", "uplink", "scenarios", "latency",
                      "no-cnf", "cancellation", "faults", "coverage",
                      "link-health")
+
+#: ``repro fleet`` association policies — mirrors
+#: ``repro.fleet.POLICIES`` (kept literal so building the parser never
+#: imports the fleet stack; a test asserts the two stay in sync).
+FLEET_POLICIES = ("strongest-rss", "hashed-lb", "throughput-predictive")
 
 
 def _sweep_kwargs(args):
@@ -322,6 +361,26 @@ def build_parser():
                         help="print the sample supervisor event log")
     faults.set_defaults(func=_cmd_faults)
 
+    fleet = sub.add_parser(
+        "fleet", help="district-scale multi-relay deployment sweep")
+    fleet.add_argument("--rows", type=int, default=4,
+                       help="home-grid rows (one relay per home)")
+    fleet.add_argument("--cols", type=int, default=4,
+                       help="home-grid columns")
+    fleet.add_argument("--density", type=int, default=4,
+                       help="clients per home (default 4)")
+    fleet.add_argument("--policy", default="hashed-lb",
+                       choices=sorted(FLEET_POLICIES),
+                       help="association policy (default hashed-lb)")
+    fleet.add_argument("--storm", type=float, default=0.25,
+                       help="relay fault-storm rate, 0 disables "
+                            "(default 0.25)")
+    fleet.add_argument("--steps", type=int, default=240,
+                       help="50 ms sounding intervals to simulate "
+                            "(default 240 = 12 s)")
+    _add_engine_args(fleet)
+    fleet.set_defaults(func=_cmd_fleet)
+
     sweep = sub.add_parser(
         "sweep", help="run any experiment through the parallel engine")
     sweep.add_argument("experiment", choices=SWEEP_EXPERIMENTS)
@@ -355,6 +414,13 @@ def _add_sweep_args(parser):
     """Engine options shared by the ``sweep`` and ``report`` commands."""
     parser.add_argument("--clients", type=int, default=24,
                         help="Monte-Carlo client count (default 24)")
+    _add_engine_args(parser)
+    parser.add_argument("--spacing", type=float, default=2.0,
+                        help="grid spacing in metres (coverage only)")
+
+
+def _add_engine_args(parser):
+    """The exec-engine flags every sweep-backed command shares."""
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel workers (default: REPRO_JOBS or 1)")
     parser.add_argument("--backend", choices=["serial", "thread", "process"],
@@ -382,8 +448,6 @@ def _add_sweep_args(parser):
                         help="inject seeded failures: a bare seed for the "
                              "default mix, or key=value pairs, e.g. "
                              "'seed=7,error=0.3,kill=0.1,poison=2:5'")
-    parser.add_argument("--spacing", type=float, default=2.0,
-                        help="grid spacing in metres (coverage only)")
 
 
 def main(argv=None):

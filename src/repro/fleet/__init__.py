@@ -1,0 +1,71 @@
+"""``repro.fleet`` — district-scale multi-relay deployment simulation.
+
+The paper deploys one FastForward relay per home; the fleet layer asks
+the question a real neighbourhood deployment faces: *which* relay
+should serve each client, and what happens when one degrades?  It
+provides:
+
+* :mod:`repro.fleet.district` — seeded district generation: Fig. 1
+  style homes tiled into a grid, one AP + one relay per home, clients
+  placed with configurable density, and a vectorised RSS model
+  (log-distance path loss + wall-crossing penetration losses);
+* :mod:`repro.fleet.association` — the client->relay association
+  control plane: strongest-RSS, ECMP-style hashed load balancing with
+  per-relay capacity, and throughput-predictive assignment, each also
+  precomputing every client's *backup* relay;
+* :mod:`repro.fleet.reroute` — fast reroute: per-relay outage
+  timelines driven by :class:`repro.supervision.RelaySupervisor`
+  under a seeded fault storm (the PR 2 typed event log is the failure
+  signal), and the per-client reroute state machine that switches to
+  the precomputed backup within a bounded number of 50 ms sounding
+  intervals;
+* :mod:`repro.fleet.experiment` — ``fleet_experiment``: the whole
+  district as one ``fleet.cell-block`` task family on
+  :func:`repro.exec.run_sweep` (sharded, cached, checkpointed,
+  chaos-survivable), emitting per-client throughput / rescue-rate /
+  reroute-latency CDFs and the ``fleet.*`` telemetry family.
+"""
+
+from repro.fleet.association import (
+    POLICIES,
+    AssociationPlan,
+    CandidateTable,
+    ClientPlan,
+    HashedLoadBalancingPolicy,
+    StrongestRssPolicy,
+    ThroughputPredictivePolicy,
+    build_candidate_table,
+    make_policy,
+)
+from repro.fleet.district import District, DistrictConfig, HomeCell
+from repro.fleet.experiment import fleet_experiment
+from repro.fleet.reroute import (
+    ClientRerouteMachine,
+    FleetReroutePolicy,
+    RelayFaultStorm,
+    RelayTimeline,
+    RerouteTrace,
+    relay_outage_timeline,
+)
+
+__all__ = [
+    "AssociationPlan",
+    "CandidateTable",
+    "ClientPlan",
+    "ClientRerouteMachine",
+    "District",
+    "DistrictConfig",
+    "FleetReroutePolicy",
+    "HashedLoadBalancingPolicy",
+    "HomeCell",
+    "POLICIES",
+    "RelayFaultStorm",
+    "RelayTimeline",
+    "RerouteTrace",
+    "StrongestRssPolicy",
+    "ThroughputPredictivePolicy",
+    "build_candidate_table",
+    "fleet_experiment",
+    "make_policy",
+    "relay_outage_timeline",
+]

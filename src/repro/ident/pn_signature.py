@@ -10,6 +10,8 @@ up at the standard preamble that follows.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.dsp.correlation import detect_sequence
@@ -17,6 +19,17 @@ from repro.utils.rng import make_rng
 
 #: 4 us at 20 Msps.
 DEFAULT_SIGNATURE_LENGTH = 80
+
+
+def _stable_word(value):
+    """A process-stable 32-bit word for namespaced signature seeds.
+
+    Python's builtin ``hash`` is salted per process for strings, so a
+    namespaced book keyed by e.g. ``"district-3"`` must not use it —
+    every AP/relay pair has to derive the identical sequence from the
+    shared ``(seed, namespace, client)`` triple alone.
+    """
+    return zlib.crc32(repr(value).encode("utf-8"))
 
 
 class SignatureBook:
@@ -27,9 +40,18 @@ class SignatureBook:
     the same seed agree without explicit exchange (the paper has the
     relay learn them on the fly; a shared seed models the learned
     state).
+
+    ``namespace`` scopes the book to one deployment (e.g. a fleet
+    district's home index): two books with equal seeds but different
+    namespaces generate disjoint signature sets, so a relay can never
+    correlation-match — and constructively amplify — a *foreign*
+    district's client just because both districts numbered their
+    clients from zero.  ``namespace=None`` keeps the historical
+    derivation bit-for-bit.
     """
 
-    def __init__(self, length=DEFAULT_SIGNATURE_LENGTH, repeats=2, seed=0):
+    def __init__(self, length=DEFAULT_SIGNATURE_LENGTH, repeats=2, seed=0,
+                 namespace=None):
         if length < 8:
             raise ValueError(f"signature length must be >= 8, got {length}")
         if repeats < 1:
@@ -37,12 +59,19 @@ class SignatureBook:
         self.length = int(length)
         self.repeats = int(repeats)
         self._seed = seed
+        self.namespace = namespace
         self._signatures = {}
 
     def signature(self, client_id):
         """The base PN sequence for one client (deterministic)."""
         if client_id not in self._signatures:
-            rng = make_rng(hash((self._seed, client_id)) % (2**63))
+            if self.namespace is None:
+                rng = make_rng(hash((self._seed, client_id)) % (2**63))
+            else:
+                rng = np.random.default_rng(np.random.SeedSequence(
+                    [_stable_word(self._seed),
+                     _stable_word(self.namespace),
+                     _stable_word(client_id)]))
             phases = rng.integers(0, 4, size=self.length)
             self._signatures[client_id] = np.exp(1j * np.pi * (phases / 2.0 + 0.25))
         return self._signatures[client_id]

@@ -71,6 +71,9 @@ KNOWN_METRIC_PREFIXES = (
     "exec.manifest.",
     "exec.recovery.",
     "exec.shm.",
+    # District-scale fleet simulation: deployment sizes, reroute event
+    # counts, rescue rate, reroute latency histograms.
+    "fleet.",
     "netsim.",
     "probes.",
     "relay.",

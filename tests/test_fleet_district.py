@@ -1,0 +1,142 @@
+"""District generation: seeded tiling, geometry, and the link budget."""
+
+import numpy as np
+import pytest
+
+from repro.channel.floorplan import fig1_home
+from repro.fleet import District, DistrictConfig
+
+
+def _district(**kwargs):
+    defaults = {"rows": 3, "cols": 3, "clients_per_home": 4, "seed": 7}
+    defaults.update(kwargs)
+    return District(DistrictConfig(**defaults))
+
+
+class TestDistrictConfig:
+    def test_counts(self):
+        cfg = DistrictConfig(rows=3, cols=5, clients_per_home=2)
+        assert cfg.num_homes == 15
+        assert cfg.num_clients == 30
+
+    @pytest.mark.parametrize("bad", [
+        {"rows": 0}, {"cols": 0}, {"clients_per_home": 0},
+        {"max_candidate_relays": 0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            DistrictConfig(**bad)
+
+
+class TestGeneration:
+    def test_shapes(self):
+        d = _district()
+        assert d.num_relays == 9
+        assert d.num_clients == 36
+        assert d.client_positions.shape == (36, 2)
+        assert d.relay_positions().shape == (9, 2)
+        assert d.ap_positions().shape == (9, 2)
+
+    def test_deterministic(self):
+        a = _district()
+        b = _district()
+        assert np.array_equal(a.client_positions, b.client_positions)
+        assert a.homes == b.homes
+
+    def test_seed_changes_layout(self):
+        a = _district(seed=7)
+        b = _district(seed=8)
+        assert not np.array_equal(a.client_positions, b.client_positions)
+
+    def test_homes_differ_from_each_other(self):
+        # Per-home jitter: no two homes place AP and relay identically
+        # relative to their own tile origin.
+        d = _district()
+        rel = {(round(h.relay[0] - h.origin[0], 6),
+                round(h.relay[1] - h.origin[1], 6)) for h in d.homes}
+        assert len(rel) == d.num_relays
+
+    def test_clients_inside_their_home_tile(self):
+        d = _district()
+        plan, _, _ = fig1_home()
+        for pos, home in zip(d.client_positions, d.client_home):
+            origin = np.asarray(d.homes[home].origin)
+            local = pos - origin
+            assert 0.0 < local[0] < plan.width_m
+            assert 0.0 < local[1] < plan.depth_m
+
+    def test_district_extent(self):
+        d = _district(rows=2, cols=4)
+        plan, _, _ = fig1_home()
+        assert d.width_m == pytest.approx(4 * plan.width_m)
+        assert d.depth_m == pytest.approx(2 * plan.depth_m)
+
+
+class TestLinkBudget:
+    def test_wall_losses_nonnegative_and_symmetric(self):
+        d = _district()
+        p = d.ap_positions()[:4]
+        q = d.client_positions[:4]
+        fwd = d.wall_losses_db(p, q)
+        rev = d.wall_losses_db(q, p)
+        assert np.all(fwd >= 0.0)
+        assert np.allclose(fwd, rev)
+
+    def test_cross_district_ray_crosses_walls(self):
+        # A ray from one corner home to the opposite corner must pierce
+        # multiple exterior walls; a ray within one open region may not.
+        d = _district()
+        far = d.wall_losses_db(d.relay_positions()[:1],
+                               d.relay_positions()[-1:])
+        assert far[0] >= 12.0       # at least an exterior wall's worth
+
+    def test_path_loss_grows_with_distance(self):
+        d = _district()
+        p = np.array([[1.0, 1.0], [1.0, 1.0]])
+        q = np.array([[2.0, 1.0], [6.0, 1.0]])
+        losses = d.path_loss_db(p, q)
+        assert losses[1] > losses[0]
+
+    def test_snr_uses_tx_power(self):
+        d = _district()
+        p, q = d.ap_positions()[:1], d.client_positions[:1]
+        base = d.snr_db(p, q)
+        hot = d.snr_db(p, q, tx_power_dbm=d.config.tx_power_dbm + 10.0)
+        assert hot[0] == pytest.approx(base[0] + 10.0)
+
+    def test_chunked_matches_unchunked(self):
+        # The chunk loop must be invisible: one big batch equals
+        # many small ones.
+        d = _district()
+        p = np.repeat(d.ap_positions(), 4, axis=0)
+        q = d.client_positions
+        whole = d.wall_losses_db(p, q)
+        parts = np.concatenate([d.wall_losses_db(p[i:i + 5], q[i:i + 5])
+                                for i in range(0, len(p), 5)])
+        assert np.array_equal(whole, parts)
+
+
+class TestCandidates:
+    def test_home_relay_always_candidate(self):
+        d = _district()
+        for c in range(d.num_clients):
+            assert int(d.client_home[c]) in d.candidate_relays(c)
+
+    def test_candidate_count_capped(self):
+        d = _district()
+        for c in range(d.num_clients):
+            cands = d.candidate_relays(c)
+            assert 1 <= len(cands) <= d.config.max_candidate_relays
+            assert len(set(cands)) == len(cands)
+
+    def test_radius_excludes_far_relays(self):
+        d = _district(rows=1, cols=4)
+        cfg = d.config
+        relays = d.relay_positions()
+        for c in range(d.num_clients):
+            pos = d.client_positions[c]
+            home = int(d.client_home[c])
+            for r in d.candidate_relays(c):
+                if r != home:
+                    assert np.linalg.norm(relays[r] - pos) \
+                        <= cfg.neighbor_radius_m

@@ -1,0 +1,259 @@
+"""Fast reroute: timelines, the policy contract, the client machine."""
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    ClientRerouteMachine,
+    FleetReroutePolicy,
+    RelayFaultStorm,
+    RelayTimeline,
+    relay_outage_timeline,
+)
+from repro.fleet.reroute import relay_timeline_seed
+from repro.ident.sounding import DEFAULT_SOUNDING_INTERVAL_S
+from repro.supervision.supervisor import (
+    SupervisorEvent,
+    SupervisorEventKind,
+    SupervisorState,
+)
+
+STEP = DEFAULT_SOUNDING_INTERVAL_S
+
+
+def _timeline(num_steps, spans, serve=True):
+    """Hand-built timeline with half-duplex outages at ``spans``.
+
+    Events are written exactly as the supervisor emits them: the mute
+    at the outage's first step, the recovery (tagged ``from:
+    half-duplex``) at its end step.
+    """
+    relaying = np.full(num_steps, serve, dtype=bool)
+    events = []
+    for start, end in spans:
+        relaying[start:end] = False
+        events.append(SupervisorEvent(
+            time_s=(start + 1) * STEP,
+            kind=SupervisorEventKind.FALLBACK_HALF_DUPLEX,
+            state=SupervisorState.HALF_DUPLEX))
+        if end < num_steps:
+            events.append(SupervisorEvent(
+                time_s=(end + 1) * STEP,
+                kind=SupervisorEventKind.RECOVERED,
+                state=SupervisorState.ACTIVE,
+                detail={"from": "half-duplex"}))
+    return RelayTimeline(relaying=relaying, events=tuple(events))
+
+
+class TestPolicy:
+    def test_bound_is_detection_plus_resound(self):
+        policy = FleetReroutePolicy(detection_intervals=2,
+                                    resound_intervals=5)
+        assert policy.max_reroute_intervals == 7
+
+    @pytest.mark.parametrize("bad", [
+        {"detection_intervals": 0}, {"resound_intervals": 0},
+        {"failback_hold_intervals": 0},
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            FleetReroutePolicy(**bad)
+
+    def test_client_phase_stable_and_in_range(self):
+        policy = FleetReroutePolicy(resound_intervals=4)
+        phases = [policy.client_phase(c) for c in range(64)]
+        assert all(0 <= p < 4 for p in phases)
+        assert phases == [policy.client_phase(c) for c in range(64)]
+        assert len(set(phases)) > 1     # clients are de-synchronised
+
+    def test_as_dict_round_trips(self):
+        policy = FleetReroutePolicy(detection_intervals=2,
+                                    resound_intervals=3,
+                                    failback_hold_intervals=9)
+        assert FleetReroutePolicy(**policy.as_dict()) == policy
+
+
+class TestRelayTimeline:
+    def test_outages_parse_typed_events(self):
+        tl = _timeline(40, [(5, 12), (20, 28)])
+        assert tl.outages(40) == ((5, 12), (20, 28))
+
+    def test_open_outage_ends_at_horizon(self):
+        tl = _timeline(40, [(30, 40)])
+        assert tl.outages(40) == ((30, 40),)
+
+    def test_gain_backoff_is_not_an_outage(self):
+        # Degraded-but-relaying rungs must never trigger reroute.
+        events = (
+            SupervisorEvent(time_s=3 * STEP,
+                            kind=SupervisorEventKind.GAIN_REDUCED,
+                            state=SupervisorState.REDUCED_GAIN),
+            SupervisorEvent(time_s=9 * STEP,
+                            kind=SupervisorEventKind.GAIN_RESTORED,
+                            state=SupervisorState.ACTIVE),
+            SupervisorEvent(time_s=11 * STEP,
+                            kind=SupervisorEventKind.RECOVERED,
+                            state=SupervisorState.ACTIVE,
+                            detail={"from": "reduced-gain"}),
+        )
+        tl = RelayTimeline(relaying=np.ones(20, dtype=bool), events=events)
+        assert tl.outages(20) == ()
+
+    def test_recovery_from_other_state_keeps_outage_open(self):
+        # Only a RECOVERED tagged from half-duplex closes the span.
+        events = (
+            SupervisorEvent(time_s=6 * STEP,
+                            kind=SupervisorEventKind.FALLBACK_HALF_DUPLEX,
+                            state=SupervisorState.HALF_DUPLEX),
+            SupervisorEvent(time_s=10 * STEP,
+                            kind=SupervisorEventKind.RETUNE_FAILED,
+                            state=SupervisorState.HALF_DUPLEX),
+        )
+        tl = RelayTimeline(relaying=np.zeros(20, dtype=bool), events=events)
+        assert tl.outages(20) == ((5, 20),)
+
+
+class TestStormTimelines:
+    def test_calm_storm_never_mutes(self):
+        tl = relay_outage_timeline(123, 120, RelayFaultStorm(rate=0.0))
+        assert tl.relaying.all()
+        assert tl.outages(120) == ()
+
+    def test_deterministic_across_calls(self):
+        storm = RelayFaultStorm(rate=0.4)
+        a = relay_outage_timeline(77, 160, storm)
+        b = relay_outage_timeline(77, 160, storm)
+        assert np.array_equal(a.relaying, b.relaying)
+        assert a.events == b.events
+
+    def test_dict_storm_equals_dataclass_storm(self):
+        storm = RelayFaultStorm(rate=0.4)
+        a = relay_outage_timeline(77, 160, storm)
+        b = relay_outage_timeline(77, 160, storm.as_dict())
+        assert np.array_equal(a.relaying, b.relaying)
+
+    def test_seed_changes_trajectory(self):
+        storm = RelayFaultStorm(rate=0.4)
+        a = relay_outage_timeline(1, 200, storm)
+        b = relay_outage_timeline(2, 200, storm)
+        assert not np.array_equal(a.relaying, b.relaying)
+
+    def test_storm_produces_real_outages(self):
+        storm = RelayFaultStorm(rate=0.5)
+        spans = []
+        for seed in range(8):
+            spans.extend(
+                relay_outage_timeline(seed, 240, storm).outages(240))
+        assert spans      # a heavy storm must mute at least one relay
+
+    def test_outage_spans_match_relaying_array(self):
+        # The typed event log and the boolean service array are two
+        # views of one trajectory and must agree exactly.
+        storm = RelayFaultStorm(rate=0.5)
+        for seed in range(8):
+            tl = relay_outage_timeline(seed, 240, storm)
+            for start, end in tl.outages(240):
+                assert not tl.relaying[start:end].any()
+                if end < 240:
+                    assert tl.relaying[end]
+
+    def test_timeline_seed_is_stable(self):
+        assert relay_timeline_seed(3, 5) == 3 * 100_003 + 5
+        assert relay_timeline_seed(3, 5) != relay_timeline_seed(3, 6)
+        assert relay_timeline_seed(3, 5) != relay_timeline_seed(4, 5)
+
+
+def _machine(policy, client=0, backup=1):
+    return ClientRerouteMachine(policy, client, direct_rate=10.0,
+                                primary_rate=90.0, backup_rate=60.0,
+                                primary=0, backup=backup)
+
+
+class TestClientRerouteMachine:
+    POLICY = FleetReroutePolicy(detection_intervals=1, resound_intervals=4,
+                                failback_hold_intervals=6)
+
+    def test_healthy_primary_serves_throughout(self):
+        trace = _machine(self.POLICY).run(_timeline(50, []),
+                                          _timeline(50, []), 50)
+        assert trace.reroutes == []
+        assert (trace.serving == 0).all()
+        assert trace.mean_mbps == pytest.approx(90.0)
+
+    def test_reroute_within_bound_and_rescued(self):
+        trace = _machine(self.POLICY).run(_timeline(60, [(10, 40)]),
+                                          _timeline(60, []), 60)
+        assert len(trace.reroutes) == 1
+        ev = trace.reroutes[0]
+        assert ev.mute_step == 10
+        assert ev.rescued
+        assert ev.switch_step >= 10 + self.POLICY.detection_intervals
+        assert 1 <= ev.latency_intervals <= self.POLICY.max_reroute_intervals
+        # Between mute and switch the client is direct-only; after the
+        # switch the backup serves at its precomputed rate.
+        assert (trace.serving[10:ev.switch_step] == -1).all()
+        assert trace.serving[ev.switch_step] == 1
+        assert trace.throughput_mbps[ev.switch_step] == pytest.approx(60.0)
+
+    def test_switch_lands_on_client_sounding_tick(self):
+        for client in range(8):
+            m = _machine(self.POLICY, client=client)
+            trace = m.run(_timeline(60, [(10, 40)]), _timeline(60, []), 60)
+            tick = trace.reroutes[0].switch_step
+            assert tick % self.POLICY.resound_intervals == m.phase
+
+    def test_bound_holds_for_every_phase_and_start(self):
+        for client in range(8):
+            for start in range(5, 13):
+                m = _machine(self.POLICY, client=client)
+                trace = m.run(_timeline(80, [(start, 60)]),
+                              _timeline(80, []), 80)
+                assert len(trace.reroutes) == 1
+                assert trace.reroutes[0].latency_intervals \
+                    <= self.POLICY.max_reroute_intervals
+
+    def test_muted_backup_serves_direct_and_counts_unrescued(self):
+        trace = _machine(self.POLICY).run(
+            _timeline(60, [(10, 40)]), _timeline(60, [], serve=False), 60)
+        assert len(trace.reroutes) == 1
+        ev = trace.reroutes[0]
+        assert not ev.rescued
+        assert trace.throughput_mbps[ev.switch_step] == pytest.approx(10.0)
+        assert trace.serving[ev.switch_step] == -1
+
+    def test_no_backup_means_no_reroute(self):
+        trace = ClientRerouteMachine(
+            self.POLICY, 0, direct_rate=10.0, primary_rate=90.0,
+            backup_rate=0.0, primary=0, backup=-1,
+        ).run(_timeline(60, [(10, 40)]), None, 60)
+        assert trace.reroutes == []
+        assert (trace.serving[10:40] == -1).all()
+        assert trace.throughput_mbps[20] == pytest.approx(10.0)
+
+    def test_failback_after_hysteresis(self):
+        trace = _machine(self.POLICY).run(_timeline(80, [(10, 30)]),
+                                          _timeline(80, []), 80)
+        assert trace.failbacks == 1
+        # The client must stay on the backup for the full hold window
+        # after the primary recovers, then return at a sounding tick.
+        first_back = int(np.argmax(trace.serving[30:] == 0)) + 30
+        assert first_back >= 30 + self.POLICY.failback_hold_intervals
+        assert (trace.serving[first_back:] == 0).all()
+
+    def test_short_flap_does_not_fail_back(self):
+        # Primary recovers for fewer intervals than the hold, then
+        # mutes again: the client must ride out the flap on the backup
+        # (no bounce, no second reroute event) and fail back exactly
+        # once when the primary is finally stable.
+        trace = _machine(self.POLICY).run(
+            _timeline(80, [(10, 30), (33, 60)]), _timeline(80, []), 80)
+        assert len(trace.reroutes) == 1
+        assert (trace.serving[30:60] == 1).all()
+        assert trace.failbacks == 1
+        assert trace.serving[79] == 0
+
+    def test_each_outage_gets_its_own_reroute(self):
+        trace = _machine(self.POLICY).run(
+            _timeline(120, [(10, 30), (60, 80)]), _timeline(120, []), 120)
+        assert [ev.mute_step for ev in trace.reroutes] == [10, 60]
+        assert trace.failbacks == 2

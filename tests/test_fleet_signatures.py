@@ -1,0 +1,128 @@
+"""Fleet-scale signature identity: namespaced books, no cross-district
+constructive relaying.
+
+A district deployment puts hundreds of (AP, relay) pairs in radio
+range of each other, every home numbering its clients from zero.  The
+PN-signature layer must therefore guarantee (a) namespaced books draw
+collision-free signature sets at fleet scale, and (b) a relay
+correlating against its own district's book never arms the
+constructive filter for a foreign district's packet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ident.controller import RelayController
+from repro.ident.pn_signature import (
+    SignatureBook,
+    SignatureDetector,
+    _stable_word,
+)
+from repro.utils.rng import make_rng
+
+SHARED_SEED = 2014          # every home in the district shares the seed
+
+
+class TestNamespacedDerivation:
+    def test_namespace_none_keeps_historical_bits(self):
+        # The pre-fleet derivation, reproduced verbatim: existing books
+        # (and every committed artifact built on them) must not move.
+        book = SignatureBook(seed=7)
+        for client in (0, 1, "sta-3"):
+            rng = make_rng(hash((7, client)) % (2**63))
+            phases = rng.integers(0, 4, size=book.length)
+            expected = np.exp(1j * np.pi * (phases / 2.0 + 0.25))
+            assert np.array_equal(book.signature(client), expected)
+
+    def test_namespaced_book_is_deterministic(self):
+        a = SignatureBook(seed=SHARED_SEED, namespace="district-3")
+        b = SignatureBook(seed=SHARED_SEED, namespace="district-3")
+        assert np.array_equal(a.signature(0), b.signature(0))
+        assert np.array_equal(a.signature("sta-9"), b.signature("sta-9"))
+
+    def test_namespace_changes_the_sequence(self):
+        plain = SignatureBook(seed=SHARED_SEED)
+        scoped = SignatureBook(seed=SHARED_SEED, namespace="district-0")
+        other = SignatureBook(seed=SHARED_SEED, namespace="district-1")
+        assert not np.array_equal(plain.signature(0), scoped.signature(0))
+        assert not np.array_equal(scoped.signature(0), other.signature(0))
+
+    def test_stable_word_distinguishes_types(self):
+        # "0" (str) and 0 (int) are different clients.
+        assert _stable_word(0) != _stable_word("0")
+        assert _stable_word("district-1") != _stable_word("district-2")
+
+    def test_signatures_unit_power(self):
+        book = SignatureBook(seed=1, namespace="district-5")
+        sig = book.signature(4)
+        assert np.allclose(np.abs(sig), 1.0)
+
+
+class TestFleetScaleCollisions:
+    def test_hundreds_of_relays_collision_free(self):
+        # 300 homes x 4 clients, one shared seed: every signature in
+        # the district must be distinct bit-for-bit.
+        seen = set()
+        for home in range(300):
+            book = SignatureBook(seed=SHARED_SEED,
+                                 namespace=f"district-{home}")
+            for client in range(4):
+                seen.add(book.signature(client).tobytes())
+        assert len(seen) == 300 * 4
+
+    def test_cross_district_correlation_stays_low(self):
+        # Same client id, shared seed, different namespace: the
+        # normalised cross-correlation must sit near noise level, far
+        # below the detector's 0.5 match threshold.
+        mine = SignatureBook(seed=SHARED_SEED, namespace="district-0")
+        sig = mine.signature(0)
+        for home in range(1, 40):
+            foreign = SignatureBook(seed=SHARED_SEED,
+                                    namespace=f"district-{home}")
+            other = foreign.signature(0)
+            rho = np.abs(np.vdot(sig, other)) / len(sig)
+            assert rho < 0.5
+
+
+def _stream_with(field):
+    return np.concatenate([np.zeros(16, dtype=complex), field,
+                           np.zeros(16, dtype=complex)])
+
+
+class TestForeignDistrictRejection:
+    @pytest.fixture()
+    def controller(self):
+        ctl = RelayController(
+            book=SignatureBook(seed=SHARED_SEED, namespace="district-0"))
+        for client in range(4):
+            ctl.register_client(client)
+        return ctl
+
+    def test_own_clients_are_identified(self, controller):
+        for client in range(4):
+            stream = _stream_with(controller.book.prepend_field(client))
+            decision = controller.decide_downlink(stream, now_s=0.0)
+            # Channel state was never sounded, so the controller still
+            # refuses to relay — but it named the right client, which
+            # is the identification contract under test here.
+            assert decision.client_id == client
+
+    def test_foreign_district_never_matches(self, controller):
+        # A neighbouring home's AP transmits to *its* client 0 with
+        # the same shared seed.  The relay must not find a signature
+        # match, and must not arm a filter.
+        for home in range(1, 12):
+            foreign = SignatureBook(seed=SHARED_SEED,
+                                    namespace=f"district-{home}")
+            stream = _stream_with(foreign.prepend_field(0))
+            decision = controller.decide_downlink(stream, now_s=0.0)
+            assert not decision.relay
+            assert decision.client_id is None
+            assert "no signature match" in decision.reason
+
+    def test_detector_level_rejection(self):
+        book = SignatureBook(seed=SHARED_SEED, namespace="district-0")
+        detector = SignatureDetector(book, threshold=0.5)
+        foreign = SignatureBook(seed=SHARED_SEED, namespace="district-7")
+        stream = _stream_with(foreign.prepend_field(2))
+        assert detector.identify(stream, client_ids=[0, 1, 2, 3]) is None

@@ -207,9 +207,30 @@ class TestPrefixGate:
         assert "probes." in KNOWN_METRIC_PREFIXES
         assert KNOWN_METRIC_PREFIXES == tuple(sorted(KNOWN_METRIC_PREFIXES))
 
+    def test_known_prefixes_cover_fleet(self):
+        from repro.telemetry import KNOWN_METRIC_PREFIXES
+
+        assert "fleet." in KNOWN_METRIC_PREFIXES
+
     def test_repo_prefix_accepted(self, tmp_path):
         assert validate_main(
             [str(self._write(tmp_path, "probes.samples"))]) == 0
+
+    def test_fleet_prefix_accepted(self, tmp_path):
+        assert validate_main(
+            [str(self._write(tmp_path, "fleet.reroute.events"))]) == 0
+
+    def test_unregistered_prefix_fails_with_actionable_message(
+            self, tmp_path, capsys):
+        # A new subsystem that emits metrics without registering its
+        # family in KNOWN_METRIC_PREFIXES must fail CI with a message
+        # naming both the offending metric and the accepted families.
+        assert validate_main(
+            [str(self._write(tmp_path, "flleet.reroute.events"))]) == 1
+        out = capsys.readouterr().out
+        assert "flleet.reroute.events" in out
+        assert "unknown prefix" in out
+        assert "fleet." in out          # the known list is printed
 
     def test_unknown_prefix_exits_nonzero(self, tmp_path, capsys):
         assert validate_main(
