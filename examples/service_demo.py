@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""A fault storm hits the always-on relay service, live sessions ride it out.
+
+Eight seeded client sessions stream IQ frames through two shared,
+memoised relay chains.  At t = 150 ms a storm window opens on
+``chain-0`` only: SI-channel jumps void its tuned cancellation and
+keep re-arriving, so the chain's supervisor walks the PR 2 ladder —
+retune fails mid-storm, gain backs off, the chain mutes to
+half-duplex and the scheduler sheds its frames with a declared
+``half-duplex`` reason while marking the affected sessions DEGRADED.
+Sessions on ``chain-1`` never notice.  When the window closes the
+next retune succeeds, the chain recovers, and the degraded sessions
+RESUME — every hop visible in the typed event logs printed below,
+and the frame ledger conserves: admitted == processed + shed.
+
+Run:  python examples/service_demo.py
+"""
+
+from repro.service import (
+    ChainPool,
+    PumpConfig,
+    SchedulerPolicy,
+    ServicePump,
+    ServiceScheduler,
+    ServiceStorm,
+    TrafficConfig,
+    make_sessions,
+)
+
+STORM_START_S = 0.15
+STORM_DURATION_S = 0.2
+
+
+def build_pump():
+    pool = ChainPool(seed=2014)
+    scheduler = ServiceScheduler(policy=SchedulerPolicy(), pool=pool)
+    sessions = make_sessions(
+        8, tenants=("tenant-a", "tenant-b"), seed=2014,
+        chain_keys=("chain-0", "chain-1"), model_mix=("cbr",),
+        traffic=TrafficConfig(model="cbr", rate_fps=100.0,
+                              start_s=0.05, duration_s=0.6))
+    # One explicit storm window, on chain-0 only -- chain-1 is the
+    # control group.  Re-jumps every 50 ms keep retunes failing for
+    # the whole window.
+    storm = ServiceStorm.scheduled(STORM_START_S, STORM_DURATION_S,
+                                   chain_keys=("chain-0",))
+    return ServicePump(scheduler, sessions, storm=storm,
+                       config=PumpConfig(tick_s=0.005))
+
+
+def main():
+    pump = build_pump()
+    print(__doc__.splitlines()[0])
+    print("=" * 70)
+    print(f"storm window: [{STORM_START_S * 1e3:.0f} ms, "
+          f"{(STORM_START_S + STORM_DURATION_S) * 1e3:.0f} ms) on chain-0\n")
+
+    pump.run()
+    sched = pump.scheduler
+
+    print("Supervisor ladder, per chain")
+    print("-" * 70)
+    for entry in sched.pool.entries():
+        print(f"chain {entry.key}: state={entry.supervisor.state.value}, "
+              f"SI jumps={entry.stage.jump_count}, "
+              f"frames carried={entry.frames}")
+        log = entry.supervisor.event_log()
+        print(log if log else "  (no events -- the storm never touched it)")
+        print()
+
+    print("Sessions that degraded and resumed")
+    print("-" * 70)
+    touched = [s for s in pump.sessions
+               if any(e.kind.value == "degraded" for e in s.events)]
+    for session in touched:
+        print(f"{session.session_id} (tenant={session.tenant}, "
+              f"chain={session.chain_key}):")
+        for event in session.events:
+            print(f"  {event}")
+        print()
+    spared = [s.session_id for s in pump.sessions if s not in touched]
+    print(f"untouched sessions (all on chain-1 or out of window): "
+          f"{', '.join(spared)}\n")
+
+    print("Frame ledger")
+    print("-" * 70)
+    sheds = {}
+    for event in sched.events:
+        if event.kind.value == "shed":
+            reason = event.detail["reason"]
+            sheds[reason] = sheds.get(reason, 0) + 1
+    print(f"offered {sched.offered}, admitted {sched.admitted}, "
+          f"processed {sched.processed}, shed {sched.shed}")
+    for reason, count in sorted(sheds.items()):
+        print(f"  shed[{reason}] = {count}")
+    sched.check_conservation()
+    print("conservation holds: admitted == processed + shed, "
+          "every shed declared")
+
+    # The demo's own assertions -- the storm must actually bite and heal.
+    assert touched, "at least one session should ride the ladder down"
+    assert all(not s.degraded for s in pump.sessions), \
+        "every degraded session should have resumed"
+    kinds = [e.kind for e in
+             sched.pool.entry("chain-0").supervisor.events]
+    names = [k.value for k in kinds]
+    assert "fallback-half-duplex" in names and "recovered" in names, \
+        "chain-0 should mute and recover"
+    print("\nThe service stayed up: chain-0 muted and recovered, its "
+          "sessions resumed,\nand not one frame went missing "
+          "unexplained.")
+
+
+if __name__ == "__main__":
+    main()

@@ -51,6 +51,11 @@ Subpackages
     generation, client→relay association policies with precomputed
     backups, fast reroute off the supervisor's typed event log, and
     district sweeps on the exec engine.
+``repro.service``
+    The always-on relay service: session lifecycle over seeded
+    traffic, weighted-DRR scheduling with typed backpressure, shared
+    memoised relay chains under per-chain supervisors, live health
+    snapshots, and closed-loop load testing (``repro serve``).
 ``repro.cli``
     ``python -m repro.cli`` — the headline experiments from a shell.
 """

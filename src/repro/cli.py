@@ -19,6 +19,10 @@ report         any sweep experiment under a telemetry collector:
                per-stage/per-shard summary tables, JSONL and Chrome
                trace exports (``--jsonl``, ``--trace``, ``--csv``) and
                the static HTML link-health report (``--html``)
+serve          the always-on relay service: concurrent seeded client
+               sessions through shared chains with fair scheduling,
+               backpressure, fault storms, and a live status
+               directory (``--status-dir``, ``--once``)
 =============  =====================================================
 """
 
@@ -316,6 +320,43 @@ def _cmd_report(args):
         print(f"wrote link-health report to {args.html}")
 
 
+def _cmd_serve(args):
+    from repro.service import RelayService, ServeConfig, build_service
+    from repro.telemetry import use_collector
+
+    config = ServeConfig(
+        sessions=args.sessions, tenants=args.tenants, chains=args.chains,
+        seed=args.seed, rate_fps=args.rate, duration_s=args.duration,
+        queue_high_water=args.queue_high_water,
+        capacity_per_tick=args.capacity,
+        status_interval_s=args.status_interval,
+        probe_interval_s=args.probe_interval,
+        storm_rate_per_s=args.storm)
+    pump, tel = build_service(config, status_dir=args.status_dir)
+    with use_collector(tel):
+        if args.once:
+            pump.run()
+        else:
+            RelayService(pump).serve_forever()
+    sched = pump.scheduler
+    frames = (f"offered {sched.offered}, processed {sched.processed}, "
+              f"shed {sched.shed}, rejected {sched.rejected_frames}")
+    closed = sum(1 for s in pump.sessions if s.state.value == "closed")
+    print(f"served {closed}/{len(pump.sessions)} sessions over "
+          f"{pump.now_s:.2f} s virtual ({pump.ticks} ticks)")
+    print(f"  frames : {frames}")
+    for entry in sched.pool.entries():
+        print(f"  chain {entry.key}: {entry.frames} frames, "
+              f"{entry.stage.jump_count} SI jumps, "
+              f"state {entry.supervisor.state.value}")
+    sched.check_conservation()
+    print("  conservation: offered == admitted + rejected; "
+          "admitted == processed + shed")
+    if args.status_dir is not None:
+        print(f"  status : {args.status_dir}/status.json, "
+              f"{args.status_dir}/link_health.html")
+
+
 def build_parser():
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -407,6 +448,45 @@ def build_parser():
                         help="also write the self-contained HTML "
                              "link-health report (probes.* panels)")
     report.set_defaults(func=_cmd_report)
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on relay service (asyncio; "
+                      "--once for a deterministic smoke run)")
+    serve.add_argument("--sessions", type=int, default=16,
+                       help="concurrent seeded client sessions (default 16)")
+    serve.add_argument("--tenants", type=int, default=2,
+                       help="fair-share tenants (default 2)")
+    serve.add_argument("--chains", type=int, default=2,
+                       help="shared relay chains in the pool (default 2)")
+    serve.add_argument("--rate", type=float, default=40.0,
+                       help="per-session frame rate, frames/s (default 40)")
+    serve.add_argument("--duration", type=float, default=0.5,
+                       help="per-session traffic window, seconds "
+                            "(default 0.5)")
+    serve.add_argument("--capacity", type=int, default=None, metavar="N",
+                       help="dispatch budget per tick, frames "
+                            "(default: unbounded)")
+    serve.add_argument("--queue-high-water", type=int, default=64,
+                       help="per-tenant queue bound; arrivals above it "
+                            "are shed (default 64)")
+    serve.add_argument("--storm", type=float, default=0.0,
+                       help="per-chain SI-jump storm rate per second, "
+                            "0 disables (default 0)")
+    serve.add_argument("--status-dir", default=None, metavar="DIR",
+                       help="write status.json + link_health.html here "
+                            "(atomically) while serving")
+    serve.add_argument("--status-interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="status snapshot cadence (default 0.5)")
+    serve.add_argument("--probe-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="probe/link-health refresh cadence "
+                            "(default: once, at shutdown)")
+    serve.add_argument("--once", action="store_true",
+                       help="run the whole schedule in virtual time and "
+                            "exit (deterministic smoke mode)")
+    _add_engine_args(serve)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -177,6 +177,7 @@ class SweepStats:
     chunk_splits: int = 0         # lost chunks halved to isolate a culprit
     orphans_reclaimed: int = 0    # dead runs' shm segments swept at start
     degraded_to: Optional[str] = None   # final ladder rung, if demoted
+    interrupted: bool = False     # Ctrl-C landed; finished work salvaged
     cache: Optional[object] = field(default=None, repr=False)
 
     def summary(self):
@@ -470,6 +471,9 @@ class _Dispatcher:
                     self._sleep_until_delayed()
                     continue
                 self._wait_and_harvest()
+        except KeyboardInterrupt:
+            self._salvage_on_interrupt()
+            raise
         finally:
             # Drain workers on a clean exit, but never block on a hung
             # thread that was already written off by a deadline.
@@ -479,6 +483,36 @@ class _Dispatcher:
                 self.tel.merge(payload)
         if self._fatal:
             raise self._fatal[min(self._fatal)]
+
+    def _salvage_on_interrupt(self):
+        """A Ctrl-C landed mid-sweep: bank whatever already finished.
+
+        In-flight chunks that completed before the interrupt are
+        harvested — each result goes through the normal completion
+        path, i.e. into the cache and onto the manifest's durable
+        (fsync'd) checkpoint — before the interrupt propagates.  A
+        resumed sweep with the same ``checkpoint`` file then skips
+        every salvaged task instead of recomputing it.
+        """
+        self.stats.interrupted = True
+        if self.tel.enabled:
+            self.tel.counter("exec.recovery.interrupts").inc()
+        if not self.inflight:
+            return
+        try:
+            done, _ = wait(set(self.inflight), timeout=self.policy.poll_s)
+            for future in done:
+                flight = self.inflight.pop(future)
+                if future.cancelled() or future.exception() is not None:
+                    continue
+                self._harvest(flight.shard, flight.chunk, future.result())
+                if self.tel.enabled:
+                    self.tel.counter("exec.recovery.interrupt_salvaged",
+                                     ).inc(len(flight.chunk))
+        except KeyboardInterrupt:
+            # A second Ctrl-C while banking results: stop salvaging,
+            # but still let the first interrupt propagate cleanly.
+            pass
 
     def _discard_pool(self, wait_workers=False):
         if self._pool is not None:

@@ -1,0 +1,163 @@
+"""Continuous observability for the running service.
+
+Three layers, cheapest first:
+
+* :class:`ServiceStatus` — a point-in-time snapshot of the scheduler:
+  session counts by state, the frame-conservation ledger, per-tenant
+  queue depths, p50/p99 latency (queue wait in virtual time, process
+  wall time from the ``service.latency.process_ns`` histogram) and
+  per-chain supervisor state.  Serialises to a plain dict.
+* :func:`refresh_probes` — runs a short seeded reference frame through
+  every chain in the pool with a :class:`repro.probes.ProbeSet`
+  attached, so the PR 5 ``probes.*`` link-health aggregates (EVM, SNR,
+  stage power) stay fresh while the service runs.
+* :class:`StatusWriter` — writes ``status.json`` plus the PR 5
+  ``link_health.html`` report into ``--status-dir`` *atomically*
+  (write to a temp file in the same directory, then ``os.replace``),
+  so a dashboard polling the directory never reads a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.probes import ProbeSet, make_reference_frame
+from repro.probes.html_report import write_html_report
+from repro.service.session import SessionState
+
+
+def latency_summary(values_s):
+    """p50/p99/max (milliseconds) of a list of seconds."""
+    if not len(values_s):
+        return {"count": 0, "p50_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+    ms = np.asarray(values_s, dtype=float) * 1e3
+    return {"count": int(ms.size),
+            "p50_ms": float(np.percentile(ms, 50)),
+            "p99_ms": float(np.percentile(ms, 99)),
+            "max_ms": float(ms.max())}
+
+
+@dataclass
+class ServiceStatus:
+    """One snapshot of the service, as written to ``status.json``."""
+
+    time_s: float
+    sessions: dict = field(default_factory=dict)
+    frames: dict = field(default_factory=dict)
+    queues: dict = field(default_factory=dict)
+    latency: dict = field(default_factory=dict)
+    chains: list = field(default_factory=list)
+
+    @classmethod
+    def capture(cls, scheduler, now_s, telemetry=None):
+        """Snapshot ``scheduler`` (and its chain pool) at ``now_s``."""
+        by_state = {state.value: 0 for state in SessionState}
+        for session in scheduler.sessions.values():
+            by_state[session.state.value] += 1
+        queues = {name: scheduler.queue_depth(name)
+                  for name in scheduler.tenant_names()}
+        latency = {"queue": latency_summary(scheduler.queue_wait_s)}
+        if telemetry is not None:
+            hist = telemetry.histogram("service.latency.process_ns",
+                                       unit="ns")
+            if hist.count:
+                latency["process"] = {
+                    "count": int(hist.count),
+                    "p50_ms": hist.percentile(50) / 1e6,
+                    "p99_ms": hist.percentile(99) / 1e6,
+                    "max_ms": hist.max / 1e6}
+        chains = [{"key": entry.key,
+                   "state": entry.supervisor.state.value,
+                   "relaying": bool(entry.relaying),
+                   "residual_si_db": float(entry.stage.residual_si_db),
+                   "si_jumps": int(entry.stage.jump_count),
+                   "frames": int(entry.frames)}
+                  for entry in scheduler.pool.entries()]
+        return cls(
+            time_s=float(now_s),
+            sessions={"by_state": by_state,
+                      "active": scheduler.active_sessions,
+                      "rejected": scheduler.rejected_sessions},
+            frames={"offered": scheduler.offered,
+                    "admitted": scheduler.admitted,
+                    "processed": scheduler.processed,
+                    "shed": scheduler.shed,
+                    "rejected": scheduler.rejected_frames,
+                    "queued": scheduler.queue_depth()},
+            queues=queues, latency=latency, chains=chains)
+
+    def as_dict(self):
+        return {"time_s": self.time_s, "sessions": self.sessions,
+                "frames": self.frames, "queues": self.queues,
+                "latency": self.latency, "chains": self.chains}
+
+
+def refresh_probes(pool, telemetry=None, n_symbols=8, seed=1905):
+    """Run a probed reference frame through every chain in ``pool``.
+
+    Keeps the ``probes.*`` link-health family (EVM, SNR, per-stage
+    power) current for the HTML report without touching client
+    traffic.  Returns the number of chains probed.
+    """
+    probed = 0
+    for entry in pool.entries():
+        params = entry.relay.config.params
+        rng = np.random.default_rng((seed, probed))
+        reference = make_reference_frame(params, n_symbols=n_symbols,
+                                         rng=rng)
+        probes = ProbeSet(params, reference=reference)
+        entry.relay.process(reference.iq, faults=[entry.stage],
+                            telemetry=telemetry, probes=probes)
+        probed += 1
+    return probed
+
+
+def _atomic_write_text(path, text):
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".status-")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class StatusWriter:
+    """Atomic ``status.json`` + ``link_health.html`` in a directory."""
+
+    def __init__(self, status_dir):
+        self.status_dir = str(status_dir)
+        os.makedirs(self.status_dir, exist_ok=True)
+        self.writes = 0
+
+    @property
+    def status_path(self):
+        return os.path.join(self.status_dir, "status.json")
+
+    @property
+    def report_path(self):
+        return os.path.join(self.status_dir, "link_health.html")
+
+    def write(self, status: ServiceStatus, telemetry=None):
+        """Write one snapshot; each file lands atomically."""
+        _atomic_write_text(self.status_path,
+                           json.dumps(status.as_dict(), indent=2,
+                                      sort_keys=True) + "\n")
+        if telemetry is not None:
+            tmp = self.report_path + ".tmp"
+            write_html_report(telemetry.payload(), tmp,
+                              title="FastForward relay service")
+            os.replace(tmp, self.report_path)
+        self.writes += 1
+        return self.status_path

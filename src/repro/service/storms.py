@@ -1,0 +1,155 @@
+"""Fault storms for the running service: SI jumps under live sessions.
+
+The service's relay chains are supervised by the PR 2 degradation
+ladder (:class:`repro.supervision.RelaySupervisor`).  A storm drives
+that ladder *while sessions are live*: inside a storm window the
+chain's residual self-interference jumps (someone walked past the
+antenna; a cable flexed) and every re-tune attempt fails — the SI
+channel keeps moving under the tuner — so the supervisor descends:
+re-tune → gain backoff → half-duplex mute.  A muted chain sheds its
+sessions' frames (``reason="half-duplex"``: clients keep the direct
+path, the relay contributes nothing) instead of amplifying garbage.
+Once the window closes, re-tunes succeed again, the residual returns
+to baseline, and the ladder recovers — all without the event loop ever
+seeing an exception.
+
+Windows come either from an explicit schedule (tests and demos assert
+exact timelines) or from a seeded :class:`repro.faults.FaultSchedule`
+burst process (load tests get reproducible randomness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.impairments import ResidualSiStage
+from repro.faults.schedule import FaultSchedule
+from repro.telemetry.collector import current_collector
+
+
+class InjectedSiStage(ResidualSiStage):
+    """A residual-SI stage whose jumps are service-driven, not sampled.
+
+    The parent stage draws jump arrivals from a per-sample burst
+    process; the service schedules storms in *service time*, so this
+    subclass keeps the rate at zero and exposes :meth:`jump` for the
+    storm driver to fire explicitly.  Everything else — the injected
+    in-band residual, :meth:`retune`, the health readings the
+    supervisor consumes — is inherited unchanged.
+    """
+
+    def __init__(self, jump_residual_db=-8.0, baseline_residual_db=-50.0,
+                 label="service-si", name="si-residual", seed=0):
+        super().__init__(FaultSchedule(seed), jump_rate_per_sample=0.0,
+                         jump_residual_db=jump_residual_db,
+                         baseline_residual_db=baseline_residual_db,
+                         label=label, name=name)
+
+    def jump(self):
+        """An SI-channel jump arrives: residual rises until re-tune."""
+        self._jumped = True
+        self.jump_count += 1
+
+
+@dataclass(frozen=True)
+class StormWindow:
+    """One storm: ``[start_s, end_s)`` on the chains in ``chain_keys``.
+
+    ``chain_keys`` of ``None`` means every chain in the pool.
+    """
+
+    start_s: float
+    end_s: float
+    chain_keys: tuple = None
+
+    def covers(self, key, now_s):
+        if self.chain_keys is not None and key not in self.chain_keys:
+            return False
+        return self.start_s <= now_s < self.end_s
+
+
+@dataclass
+class StormConfig:
+    """Seeded storm generation for load tests.
+
+    ``rate_per_s`` is the per-chain storm arrival rate; each storm
+    lasts ``duration_s``.  Zero rate disables generation (explicit
+    windows can still be passed to :class:`ServiceStorm`).
+    """
+
+    seed: int = 7
+    rate_per_s: float = 0.5
+    duration_s: float = 0.3
+    horizon_s: float = 10.0
+    jump_residual_db: float = -8.0
+
+
+class ServiceStorm:
+    """Drives storm windows against the service's chain pool.
+
+    One instance is attached to the scheduler's pool; on every
+    dispatch the scheduler calls :meth:`drive` for the chain it is
+    about to use, which (a) fires the SI jump when a window opens and
+    keeps re-firing it every ``rejump_interval_s`` while the window is
+    open — a re-tune inside the window fixes nothing for long — and
+    (b) answers :meth:`active` for the chain's re-tune callback, which
+    is what makes re-tunes fail mid-storm.
+    """
+
+    def __init__(self, windows=(), rejump_interval_s=0.05):
+        self.windows = sorted(windows, key=lambda w: (w.start_s, w.end_s))
+        self.rejump_interval_s = float(rejump_interval_s)
+        self._last_jump = {}            # chain key -> last jump time
+        self.jumps = 0
+
+    @classmethod
+    def scheduled(cls, start_s, duration_s, chain_keys=None, **kwargs):
+        """A single explicit window (tests, demos)."""
+        keys = tuple(chain_keys) if chain_keys is not None else None
+        return cls([StormWindow(float(start_s),
+                                float(start_s) + float(duration_s), keys)],
+                   **kwargs)
+
+    @classmethod
+    def seeded(cls, config: StormConfig, chain_keys, **kwargs):
+        """Seeded per-chain windows from a FaultSchedule burst process.
+
+        Storm start times are the arrivals of a Bernoulli process
+        sampled on a 10 ms lattice (one draw per tick per chain, so
+        the window set is a pure function of the config and the chain
+        keys).
+        """
+        schedule = FaultSchedule(config.seed)
+        tick = 0.01
+        n = int(config.horizon_s / tick)
+        windows = []
+        for key in chain_keys:
+            u = schedule.stream("service-storm", key).random(n)
+            opens = (u < config.rate_per_s * tick).nonzero()[0]
+            guard = -1.0
+            for i in opens:
+                start = i * tick
+                if start < guard:
+                    continue            # still inside the previous storm
+                windows.append(StormWindow(start, start + config.duration_s,
+                                           (key,)))
+                guard = start + config.duration_s
+        return cls(windows, **kwargs)
+
+    def active(self, key, now_s):
+        """Whether ``key`` is inside a storm window at ``now_s``."""
+        return any(w.covers(key, now_s) for w in self.windows)
+
+    def drive(self, entry, now_s):
+        """Advance the storm against one chain entry (idempotent)."""
+        if not self.active(entry.key, now_s):
+            self._last_jump.pop(entry.key, None)
+            return
+        last = self._last_jump.get(entry.key)
+        if last is None or now_s - last >= self.rejump_interval_s:
+            entry.stage.jump()
+            self._last_jump[entry.key] = now_s
+            self.jumps += 1
+            tel = current_collector()
+            if tel.enabled:
+                tel.counter("service.storm.jumps", chain=entry.key).inc()

@@ -78,6 +78,9 @@ KNOWN_METRIC_PREFIXES = (
     "probes.",
     "relay.",
     "runtime.",
+    # Always-on relay service: session/frame accounting, queue depths,
+    # stage-latency histograms, storm-driven SI jumps.
+    "service.",
     "supervision.",
 )
 

@@ -126,6 +126,52 @@ class TestReportCommand:
         assert "ns CP" in out
 
 
+class TestServeCommand:
+    def test_parses_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert callable(args.func)
+        assert args.sessions == 16 and args.tenants == 2
+        assert not args.once
+
+    def test_shares_engine_flags_with_report(self):
+        # The satellite contract: serve and report accept the same
+        # engine plumbing via _add_engine_args, no duplicated flags.
+        parser = build_parser()
+        common = ["--jobs", "2", "--backend", "thread", "--no-cache",
+                  "--checkpoint", "m.jsonl", "--max-retries", "3",
+                  "--task-timeout", "1.5", "--chaos", "seed=7"]
+        for command in (["report", "gains"], ["serve"]):
+            args = parser.parse_args(command + common)
+            assert args.jobs == 2 and args.backend == "thread"
+            assert args.no_cache and args.checkpoint == "m.jsonl"
+            assert args.max_retries == 3 and args.task_timeout == 1.5
+            assert args.chaos == "seed=7"
+
+    def test_once_runs_and_reports_conservation(self, capsys):
+        assert main(["serve", "--once", "--sessions", "4",
+                     "--duration", "0.1", "--rate", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "served 4/4 sessions" in out
+        assert "conservation" in out
+        assert "chain chain-0" in out
+
+    def test_once_writes_status_dir(self, tmp_path, capsys):
+        out_dir = tmp_path / "status"
+        assert main(["serve", "--once", "--sessions", "3",
+                     "--duration", "0.1",
+                     "--status-dir", str(out_dir)]) == 0
+        assert (out_dir / "status.json").exists()
+        assert (out_dir / "link_health.html").exists()
+        assert "status.json" in capsys.readouterr().out
+
+    def test_storm_flag_reports_jumps(self, capsys):
+        assert main(["--seed", "17", "serve", "--once", "--sessions", "6",
+                     "--duration", "0.2", "--rate", "60",
+                     "--storm", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "SI jumps" in out
+
+
 class TestReportFromFile:
     def test_missing_file_errors_cleanly(self, tmp_path):
         with pytest.raises(SystemExit,

@@ -1,6 +1,7 @@
 """Checkpoint/resume: sweep manifests and interrupted-sweep recovery."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -9,6 +10,7 @@ from repro.exec import (
     ResultCache,
     SweepManifest,
     Task,
+    last_sweep_stats,
     run_sweep,
     sweep_id,
     task_fn,
@@ -25,6 +27,18 @@ def _no_env_cache(monkeypatch):
 @task_fn("test.manifest.draw", version="1")
 def _draw(n, rng=None):
     return {"v": rng.standard_normal(n)}
+
+
+@task_fn("test.manifest.interrupt", version="1")
+def _maybe_interrupt(i, arm, log, rng=None):
+    # Count every execution (append-per-run), then simulate the user's
+    # Ctrl-C landing while task ``i == trip`` is running: the arm file
+    # exists only on the first pass, so the resume run sails through.
+    with open(os.path.join(log, f"ran-{i}"), "a") as fh:
+        fh.write("x")
+    if os.path.exists(arm) and i == 5:
+        raise KeyboardInterrupt
+    return {"i": i}
 
 
 def _tasks(count=8):
@@ -121,6 +135,86 @@ class TestResume:
         out = run_sweep(_tasks(3), checkpoint=tmp_path / "m.jsonl")
         assert out.stats.cache is not None
         assert (tmp_path / ".repro-cache").is_dir()
+
+
+class TestKeyboardInterrupt:
+    """Ctrl-C mid-sweep must leave a resumable checkpoint behind."""
+
+    @staticmethod
+    def _interrupt_tasks(tmp_path, count=8):
+        log = tmp_path / "log"
+        log.mkdir(exist_ok=True)
+        arm = tmp_path / "arm"
+        return [Task("test.manifest.interrupt",
+                     {"i": i, "arm": str(arm), "log": str(log)}, seed=i)
+                for i in range(count)], arm, log
+
+    @staticmethod
+    def _manifest_indices(path):
+        lines = path.read_text().splitlines()[1:]          # skip header
+        return {json.loads(line)["i"] for line in lines}
+
+    def test_serial_interrupt_then_resume_no_recompute(self, tmp_path):
+        tasks, arm, log = self._interrupt_tasks(tmp_path)
+        arm.touch()
+        cache = ResultCache(tmp_path / "c")
+        manifest = tmp_path / "m.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(tasks, cache=cache, checkpoint=manifest)
+        # Tasks 0-4 finished before the interrupt; each is durably on
+        # the manifest even though the sweep died, and the trip task is
+        # not (it never completed).
+        assert self._manifest_indices(manifest) == {0, 1, 2, 3, 4}
+        arm.unlink()
+        again = run_sweep(tasks, cache=ResultCache(tmp_path / "c"),
+                          checkpoint=manifest)
+        assert again.stats.resumed == 5
+        assert again.stats.executed == 3
+        assert [r["i"] for r in again.results] == list(range(8))
+        # Checkpointed tasks ran exactly once across both sweeps.
+        for i in range(5):
+            assert (log / f"ran-{i}").read_text() == "x"
+
+    def test_thread_interrupt_salvages_inflight_results(self, tmp_path,
+                                                        monkeypatch):
+        # The interrupt lands in the dispatcher's wait(); completed
+        # in-flight futures must still be banked to cache + manifest
+        # before it propagates.
+        from repro.exec import executor as executor_mod
+
+        real_wait = executor_mod.wait
+        calls = {"n": 0}
+
+        def tripping_wait(fs, timeout=None, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                real_wait(fs, timeout=30)     # let the pool finish first
+                raise KeyboardInterrupt
+            return real_wait(fs, timeout=timeout, **kwargs)
+
+        monkeypatch.setattr(executor_mod, "wait", tripping_wait)
+        tasks = _tasks()
+        cache = ResultCache(tmp_path / "c")
+        manifest = tmp_path / "m.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(tasks, jobs=2, backend="thread", chunk_size=1,
+                      cache=cache, checkpoint=manifest)
+        stats = last_sweep_stats()
+        assert stats.interrupted is True
+        # Every future had completed by the time the interrupt landed,
+        # so the salvage pass banks all of them.
+        assert self._manifest_indices(manifest) == set(range(len(tasks)))
+        monkeypatch.setattr(executor_mod, "wait", real_wait)
+        again = run_sweep(tasks, jobs=2, backend="thread", chunk_size=1,
+                          cache=ResultCache(tmp_path / "c"),
+                          checkpoint=manifest)
+        assert again.stats.executed == 0
+        assert again.stats.resumed == len(tasks)
+
+    def test_clean_sweep_not_marked_interrupted(self, tmp_path):
+        run_sweep(_tasks(3), cache=ResultCache(tmp_path / "c"),
+                  checkpoint=tmp_path / "m.jsonl")
+        assert last_sweep_stats().interrupted is False
 
 
 class TestTornTails:

@@ -1,0 +1,187 @@
+"""Fault storms against the live service: ladder descent and recovery."""
+
+from repro.service import (
+    ChainPool,
+    SchedulerPolicy,
+    ServeConfig,
+    ServiceScheduler,
+    ServiceStorm,
+    StormConfig,
+    TrafficConfig,
+    make_sessions,
+    run_once,
+)
+from repro.service.session import SessionEventKind
+
+
+class TestWindows:
+    def test_scheduled_window_covers_interval(self):
+        storm = ServiceStorm.scheduled(0.25, 0.25, chain_keys=("c0",))
+        assert not storm.active("c0", 0.2)
+        assert storm.active("c0", 0.25)
+        assert storm.active("c0", 0.49)
+        assert not storm.active("c0", 0.5)          # half-open
+        assert not storm.active("c1", 0.3)          # other chains spared
+
+    def test_none_chain_keys_means_every_chain(self):
+        storm = ServiceStorm.scheduled(0.0, 1.0)
+        assert storm.active("anything", 0.5)
+
+    def test_seeded_windows_deterministic(self):
+        config = StormConfig(seed=11, rate_per_s=2.0, horizon_s=5.0)
+        a = ServiceStorm.seeded(config, ("c0", "c1")).windows
+        b = ServiceStorm.seeded(config, ("c0", "c1")).windows
+        assert a == b
+        c = ServiceStorm.seeded(StormConfig(seed=12, rate_per_s=2.0,
+                                            horizon_s=5.0),
+                                ("c0", "c1")).windows
+        assert a != c
+
+    def test_seeded_windows_never_overlap_per_chain(self):
+        config = StormConfig(seed=3, rate_per_s=5.0, duration_s=0.4,
+                             horizon_s=10.0)
+        storm = ServiceStorm.seeded(config, ("c0",))
+        windows = sorted(storm.windows, key=lambda w: w.start_s)
+        assert windows, "expected at least one storm at rate 5/s"
+        for prev, cur in zip(windows, windows[1:]):
+            assert cur.start_s >= prev.end_s
+
+
+class TestLadder:
+    def _storm_entry(self, start=0.1, duration=0.3):
+        pool = ChainPool(seed=2)
+        storm = ServiceStorm.scheduled(start, duration)
+        pool.attach_storm(storm)
+        return pool.entry("c0"), storm
+
+    def test_chain_descends_to_half_duplex_under_storm(self):
+        entry, _ = self._storm_entry()
+        for step in range(10):
+            entry.advance(0.12 + step * 0.03)
+        assert not entry.relaying
+        kinds = [e.kind.value for e in entry.supervisor.events]
+        assert "fault-detected" in kinds
+        assert "retune-failed" in kinds
+        assert "fallback-half-duplex" in kinds
+        # Descent is ordered: detection before the mute.
+        assert kinds.index("fault-detected") \
+            < kinds.index("fallback-half-duplex")
+
+    def test_chain_recovers_after_window_closes(self):
+        entry, _ = self._storm_entry(duration=0.2)
+        for step in range(8):
+            entry.advance(0.1 + step * 0.03)
+        assert not entry.relaying
+        for step in range(30):
+            entry.advance(0.4 + step * 0.03)
+        assert entry.relaying
+        kinds = [e.kind.value for e in entry.supervisor.events]
+        assert "retune-succeeded" in kinds
+        assert "recovered" in kinds
+        assert kinds.index("fallback-half-duplex") \
+            < kinds.index("recovered")
+
+    def test_retune_fails_only_inside_window(self):
+        entry, storm = self._storm_entry(start=0.0, duration=0.5)
+        entry.stage.jump()
+        assert entry._retune(0.25) is False          # mid-storm
+        assert entry._retune(0.6) is True            # window closed
+        assert not entry.stage.jumped
+
+    def test_rejump_keeps_residual_high_through_window(self):
+        entry, storm = self._storm_entry(start=0.0, duration=1.0)
+        entry.advance(0.0)
+        jumps_early = entry.stage.jump_count
+        for step in range(10):
+            entry.advance(0.1 * (step + 1))
+        assert entry.stage.jump_count > jumps_early
+
+
+class TestServiceUnderStorm:
+    """The acceptance criterion: mute -> shed -> recover, service up."""
+
+    def _run(self):
+        pool = ChainPool(seed=5)
+        sched = ServiceScheduler(
+            policy=SchedulerPolicy(queue_high_water=256), pool=pool)
+        storm = ServiceStorm.scheduled(0.10, 0.25, chain_keys=("c0",))
+        pool.attach_storm(storm)
+        traffic = TrafficConfig(model="cbr", rate_fps=100.0,
+                                frame_samples=64, start_s=0.0,
+                                duration_s=0.8)
+        sessions = make_sessions(4, tenants=("t0", "t1"), seed=9,
+                                 traffic=traffic, chain_keys=("c0", "c1"),
+                                 model_mix=("cbr",))
+        for s in sessions:
+            sched.admit_session(s, 0.0)
+            s.activate(0.0)
+        cursors = [0] * len(sessions)
+        t = 0.0
+        while t <= 0.9:
+            for i, s in enumerate(sessions):
+                arr = s.arrivals_s
+                while cursors[i] < len(arr) and arr[cursors[i]] <= t:
+                    sched.offer(t, s, cursors[i])
+                    cursors[i] += 1
+            sched.dispatch(t)
+            t += 0.01
+        sched.flush(t)
+        sched.check_conservation()
+        return sched, sessions
+
+    def test_sessions_degrade_and_recover_through_ladder(self):
+        sched, sessions = self._run()
+        stormed = [s for s in sessions if s.chain_key == "c0"]
+        spared = [s for s in sessions if s.chain_key == "c1"]
+        assert stormed and spared
+        # At least one session rode the full ladder: degraded while the
+        # chain was muted, resumed once it recovered.
+        laddered = [s for s in stormed
+                    if SessionEventKind.DEGRADED in s.event_kinds()
+                    and SessionEventKind.RESUMED in s.event_kinds()]
+        assert laddered
+        for s in laddered:
+            kinds = s.event_kinds()
+            assert kinds.index(SessionEventKind.DEGRADED) \
+                < kinds.index(SessionEventKind.RESUMED)
+            assert s.shed > 0                       # muted frames shed
+            assert s.processed > 0                  # and service resumed
+        # The unstormed chain never degraded anyone.
+        assert all(SessionEventKind.DEGRADED not in s.event_kinds()
+                   for s in spared)
+
+    def test_sheds_during_mute_are_declared_half_duplex(self):
+        sched, sessions = self._run()
+        reasons = {e.detail["reason"] for e in sched.events
+                   if e.kind.value == "shed"}
+        assert "half-duplex" in reasons
+        assert reasons <= {"half-duplex", "queue-full", "drain"}
+
+    def test_supervisor_ladder_sequence_on_typed_log(self):
+        sched, _ = self._run()
+        entry = sched.pool.entry("c0")
+        kinds = [e.kind.value for e in entry.supervisor.events]
+        mute = kinds.index("fallback-half-duplex")
+        assert "fault-detected" in kinds[:mute]
+        assert "retune-failed" in kinds[:mute]
+        assert "recovered" in kinds[mute:]
+
+    def test_service_stays_up_and_conserves(self):
+        sched, sessions = self._run()
+        assert sched.processed > 0
+        assert sched.offered == sched.admitted + sched.rejected_frames
+        assert sched.admitted == sched.processed + sched.shed
+
+
+class TestEndToEnd:
+    def test_run_once_with_seeded_storm_is_deterministic(self):
+        config = ServeConfig(sessions=8, tenants=2, chains=2, seed=17,
+                             duration_s=0.25, rate_fps=60.0,
+                             storm_rate_per_s=20.0)
+        pump_a, _ = run_once(config)
+        pump_b, _ = run_once(config)
+        assert pump_a.scheduler.event_digest() \
+            == pump_b.scheduler.event_digest()
+        jumps = sum(e.stage.jump_count
+                    for e in pump_a.scheduler.pool.entries())
+        assert jumps > 0

@@ -212,6 +212,12 @@ class TestPrefixGate:
 
         assert "fleet." in KNOWN_METRIC_PREFIXES
 
+    def test_known_prefixes_cover_service(self):
+        from repro.telemetry import KNOWN_METRIC_PREFIXES
+
+        assert "service." in KNOWN_METRIC_PREFIXES
+        assert KNOWN_METRIC_PREFIXES == tuple(sorted(KNOWN_METRIC_PREFIXES))
+
     def test_repo_prefix_accepted(self, tmp_path):
         assert validate_main(
             [str(self._write(tmp_path, "probes.samples"))]) == 0
@@ -219,6 +225,18 @@ class TestPrefixGate:
     def test_fleet_prefix_accepted(self, tmp_path):
         assert validate_main(
             [str(self._write(tmp_path, "fleet.reroute.events"))]) == 0
+
+    def test_service_prefix_accepted(self, tmp_path):
+        assert validate_main(
+            [str(self._write(tmp_path, "service.frames.shed"))]) == 0
+
+    def test_service_typo_still_rejected(self, tmp_path, capsys):
+        # "services." is NOT the registered family; the gate must not
+        # let the new prefix shadow near-miss names.
+        assert validate_main(
+            [str(self._write(tmp_path, "servicex.frames.shed"))]) == 1
+        out = capsys.readouterr().out
+        assert "unknown prefix" in out and "service." in out
 
     def test_unregistered_prefix_fails_with_actionable_message(
             self, tmp_path, capsys):
