@@ -23,6 +23,12 @@ serve          the always-on relay service: concurrent seeded client
                sessions through shared chains with fair scheduling,
                backpressure, fault storms, and a live status
                directory (``--status-dir``, ``--once``)
+obs            observability analysis: ``profile`` turns a telemetry
+               JSONL export into a span-tree wall-time attribution,
+               folded stacks and a no-JS SVG flamegraph; ``slo``
+               replays recorded service series through the burn-rate
+               engine; ``diff`` compares two runs and exits non-zero
+               on perf regressions past a threshold
 =============  =====================================================
 """
 
@@ -357,6 +363,109 @@ def _cmd_serve(args):
               f"{args.status_dir}/link_health.html")
 
 
+def _cmd_obs_profile(args):
+    import json
+
+    from repro.obs import profile_payload, write_collapsed
+    from repro.obs.flamegraph import write_flamegraph_html
+    from repro.telemetry import (
+        TelemetrySchemaError,
+        read_jsonl,
+        validate_jsonl,
+    )
+
+    try:
+        validate_jsonl(args.file)
+        payload = read_jsonl(args.file)
+    except OSError as err:
+        raise SystemExit(f"repro obs profile: cannot read {args.file}: "
+                         f"{err}")
+    except TelemetrySchemaError as err:
+        raise SystemExit(f"repro obs profile: {args.file} is not a valid "
+                         f"telemetry JSONL export: {err}")
+    report = profile_payload(payload, cpus=args.cpus)
+    for line in report.verdict_lines():
+        print(line)
+    if args.folded is not None:
+        n = write_collapsed(report.stacks, args.folded)
+        print(f"wrote {n} folded stacks to {args.folded}")
+    if args.flamegraph is not None:
+        write_flamegraph_html(report.stacks, args.flamegraph,
+                              title=f"repro obs profile: {args.file}",
+                              verdict_lines=report.verdict_lines())
+        print(f"wrote flamegraph to {args.flamegraph}")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote profile report to {args.json}")
+    return report
+
+
+def _cmd_obs_slo(args):
+    import json
+
+    from repro.obs import SeriesRecorder, SloEngine, default_service_slos
+    from repro.obs.slo import load_slo_specs
+
+    try:
+        recorder = SeriesRecorder.load_jsonl(args.series)
+    except (OSError, ValueError, KeyError) as err:
+        raise SystemExit(f"repro obs slo: cannot load series from "
+                         f"{args.series}: {err}")
+    specs = load_slo_specs(args.spec) if args.spec else \
+        default_service_slos()
+    engine = SloEngine(specs)
+    # Replay: evaluate at every recorded sample time, in order, so the
+    # offline verdict matches what the live service would have fired.
+    times = sorted({t for name in recorder.names()
+                    for t, _ in recorder.series(name).points})
+    for t in times:
+        engine.evaluate(recorder, t)
+    status = engine.status()
+    print(f"replayed {len(times)} ticks over {len(recorder.names())} "
+          f"series against {len(specs)} SLOs")
+    for name in sorted(status["state"]):
+        state = status["state"][name]
+        flag = "FIRING" if state["firing"] else "ok"
+        print(f"  {name:<20} {state['objective']} {state['target']:g} "
+              f"on {state['series']:<28} {flag}")
+    for alert in status["alerts"]:
+        print(f"  t={alert['time_s']:8.3f}  {alert['slo']:<20} "
+              f"{alert['severity']:<7} {alert['kind']:<9} "
+              f"burn {alert['burn_long']:.2f}/{alert['burn_short']:.2f}")
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(status, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote SLO status to {args.json}")
+    if args.strict and status["alerts"]:
+        raise SystemExit(f"repro obs slo: {len(status['alerts'])} alert "
+                         f"transition(s) under --strict")
+    return status
+
+
+def _cmd_obs_diff(args):
+    import json
+
+    from repro.obs import diff_runs
+
+    try:
+        report = diff_runs(args.base, args.new, threshold=args.threshold)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        raise SystemExit(f"repro obs diff: {err}")
+    for line in report.format_lines(show_ok=args.all):
+        print(line)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote diff report to {args.json}")
+    if not report.ok:
+        raise SystemExit(2)
+    return report
+
+
 def build_parser():
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -487,6 +596,57 @@ def build_parser():
                             "exit (deterministic smoke mode)")
     _add_engine_args(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    obs = sub.add_parser(
+        "obs", help="observability analysis: profile / slo / diff")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    profile = obs_sub.add_parser(
+        "profile", help="span-tree wall-time attribution + flamegraph "
+                        "from a telemetry JSONL export")
+    profile.add_argument("file", help="telemetry JSONL export "
+                                      "(repro report --jsonl)")
+    profile.add_argument("--flamegraph", default=None, metavar="FILE",
+                         help="write the self-contained no-JS HTML "
+                              "flamegraph here")
+    profile.add_argument("--folded", default=None, metavar="FILE",
+                         help="write collapsed stacks "
+                              "(flamegraph.pl folded format)")
+    profile.add_argument("--json", default=None, metavar="FILE",
+                         help="write the attribution report as JSON")
+    profile.add_argument("--cpus", type=int, default=None,
+                         help="cap the concurrency estimate at this many "
+                              "CPUs (default: trust the recorded run)")
+    profile.set_defaults(func=_cmd_obs_profile)
+
+    slo = obs_sub.add_parser(
+        "slo", help="replay recorded service series through the "
+                    "burn-rate SLO engine")
+    slo.add_argument("series", help="series JSONL (status dir "
+                                    "series.jsonl)")
+    slo.add_argument("--spec", default=None, metavar="FILE",
+                     help="JSON SLO specs (default: the stock service "
+                          "SLOs)")
+    slo.add_argument("--json", default=None, metavar="FILE",
+                     help="write the final SLO status as JSON")
+    slo.add_argument("--strict", action="store_true",
+                     help="exit non-zero if any alert transition fired")
+    slo.set_defaults(func=_cmd_obs_slo)
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare two bench baselines or telemetry runs; "
+                     "exit 2 on regressions")
+    diff.add_argument("base", help="baseline run (BENCH_*.json or "
+                                   "telemetry JSONL)")
+    diff.add_argument("new", help="candidate run (same kind as base)")
+    diff.add_argument("--threshold", type=float, default=0.25,
+                      help="relative move that counts as a regression "
+                           "(default 0.25 = 25%%)")
+    diff.add_argument("--all", action="store_true",
+                      help="also list unchanged metrics")
+    diff.add_argument("--json", default=None, metavar="FILE",
+                      help="write the diff report as JSON")
+    diff.set_defaults(func=_cmd_obs_diff)
     return parser
 
 

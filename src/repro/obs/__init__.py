@@ -1,0 +1,83 @@
+"""repro.obs — analysis and alerting on top of ``repro.telemetry``.
+
+The telemetry layer *records* (counters, histograms, spans, events);
+this package *explains*:
+
+* :mod:`repro.obs.tree` — rebuild exact span call trees from payload
+  records, collapse them to flamegraph folded stacks, walk the
+  cross-shard critical path;
+* :mod:`repro.obs.flamegraph` — self-contained no-JS SVG flamegraphs
+  in the ``probes.html_report`` idiom;
+* :mod:`repro.obs.profile` — the sweep profile verdict: attribute
+  measured wall time to pack / worker compute / dispatch gap;
+* :mod:`repro.obs.series` — retention-bounded rolling series sampled
+  on the service's virtual-time tick;
+* :mod:`repro.obs.slo` — declarative SLOs with multi-window burn-rate
+  alerting, surfaced in ``status.json`` and the link-health page;
+* :mod:`repro.obs.diff` — perf-regression diffing between two bench
+  baselines or two telemetry runs.
+
+Everything is stdlib + the existing telemetry payload shapes; the
+``repro obs`` CLI (``profile`` / ``slo`` / ``diff``) fronts it.
+"""
+
+from repro.obs.diff import (
+    DiffEntry,
+    DiffReport,
+    diff_metrics,
+    diff_runs,
+    load_run,
+)
+from repro.obs.flamegraph import (
+    render_flamegraph_html,
+    render_flamegraph_svg,
+    write_flamegraph_html,
+)
+from repro.obs.profile import ProfileReport, profile_payload
+from repro.obs.series import DEFAULT_RETENTION, Series, SeriesRecorder
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    SloAlert,
+    SloEngine,
+    SloSpec,
+    SloWindow,
+    default_service_slos,
+    load_slo_specs,
+)
+from repro.obs.tree import (
+    SpanNode,
+    build_span_trees,
+    collapsed_stacks,
+    critical_path,
+    top_path_stages,
+    write_collapsed,
+)
+
+__all__ = [
+    "DEFAULT_RETENTION",
+    "DEFAULT_WINDOWS",
+    "DiffEntry",
+    "DiffReport",
+    "ProfileReport",
+    "Series",
+    "SeriesRecorder",
+    "SloAlert",
+    "SloEngine",
+    "SloSpec",
+    "SloWindow",
+    "SpanNode",
+    "build_span_trees",
+    "collapsed_stacks",
+    "critical_path",
+    "default_service_slos",
+    "diff_metrics",
+    "diff_runs",
+    "load_run",
+    "load_slo_specs",
+    "profile_payload",
+    "render_flamegraph_html",
+    "render_flamegraph_svg",
+    "top_path_stages",
+    "write_collapsed",
+    "write_flamegraph_html",
+]

@@ -323,8 +323,15 @@ th { background: #f1f5f9; }
 """
 
 
-def render_html_report(payload, title="FastForward link health"):
-    """The full report as one self-contained HTML string."""
+def render_html_report(payload, title="FastForward link health",
+                       extra_sections=()):
+    """The full report as one self-contained HTML string.
+
+    ``extra_sections`` is an iterable of pre-rendered HTML fragments
+    (same no-script constraint) inserted between the summary table and
+    the panel grid — the service layer uses it for the SLO burn-rate
+    panel.
+    """
     origin = payload.get("origin", "?")
     panels = (
         ("panel-constellation", "Constellation (equalised)",
@@ -346,13 +353,16 @@ def render_html_report(payload, title="FastForward link health"):
         f'<p class="meta">telemetry origin: {html.escape(str(origin))} · '
         "static report, no scripts, no external assets</p>"
         f"{_summary_table(payload)}"
+        f"{''.join(extra_sections)}"
         f'<div class="grid">{sections}</div>'
         "</body></html>\n")
 
 
-def write_html_report(payload, path, title="FastForward link health"):
+def write_html_report(payload, path, title="FastForward link health",
+                      extra_sections=()):
     """Render and write the report; returns ``path``."""
-    text = render_html_report(payload, title=title)
+    text = render_html_report(payload, title=title,
+                              extra_sections=extra_sections)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     return path

@@ -30,17 +30,17 @@ import numpy as np
 from repro.probes import ProbeSet, make_reference_frame
 from repro.probes.html_report import write_html_report
 from repro.service.session import SessionState
+from repro.telemetry import percentiles
 
 
 def latency_summary(values_s):
     """p50/p99/max (milliseconds) of a list of seconds."""
     if not len(values_s):
         return {"count": 0, "p50_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
-    ms = np.asarray(values_s, dtype=float) * 1e3
-    return {"count": int(ms.size),
-            "p50_ms": float(np.percentile(ms, 50)),
-            "p99_ms": float(np.percentile(ms, 99)),
-            "max_ms": float(ms.max())}
+    ms = [float(v) * 1e3 for v in values_s]
+    p50, p99 = percentiles(ms, (50, 99))
+    return {"count": len(ms), "p50_ms": p50, "p99_ms": p99,
+            "max_ms": max(ms)}
 
 
 @dataclass
@@ -53,9 +53,10 @@ class ServiceStatus:
     queues: dict = field(default_factory=dict)
     latency: dict = field(default_factory=dict)
     chains: list = field(default_factory=list)
+    slo: dict = None
 
     @classmethod
-    def capture(cls, scheduler, now_s, telemetry=None):
+    def capture(cls, scheduler, now_s, telemetry=None, slo_engine=None):
         """Snapshot ``scheduler`` (and its chain pool) at ``now_s``."""
         by_state = {state.value: 0 for state in SessionState}
         for session in scheduler.sessions.values():
@@ -90,12 +91,16 @@ class ServiceStatus:
                     "shed": scheduler.shed,
                     "rejected": scheduler.rejected_frames,
                     "queued": scheduler.queue_depth()},
-            queues=queues, latency=latency, chains=chains)
+            queues=queues, latency=latency, chains=chains,
+            slo=slo_engine.status() if slo_engine is not None else None)
 
     def as_dict(self):
-        return {"time_s": self.time_s, "sessions": self.sessions,
-                "frames": self.frames, "queues": self.queues,
-                "latency": self.latency, "chains": self.chains}
+        out = {"time_s": self.time_s, "sessions": self.sessions,
+               "frames": self.frames, "queues": self.queues,
+               "latency": self.latency, "chains": self.chains}
+        if self.slo is not None:
+            out["slo"] = self.slo
+        return out
 
 
 def refresh_probes(pool, telemetry=None, n_symbols=8, seed=1905):
@@ -116,6 +121,63 @@ def refresh_probes(pool, telemetry=None, n_symbols=8, seed=1905):
                             telemetry=telemetry, probes=probes)
         probed += 1
     return probed
+
+
+def slo_html_section(slo_status):
+    """The SLO burn-rate table as an HTML fragment (no scripts).
+
+    Takes the ``SloEngine.status()`` dict and renders one row per
+    (SLO, window) pair, coloured by firing state, plus the most recent
+    alert transitions — passed to ``render_html_report`` via its
+    ``extra_sections`` hook.
+    """
+    import html as _html
+
+    if not slo_status or not slo_status.get("state"):
+        return ""
+    rows = []
+    for name in sorted(slo_status["state"]):
+        state = slo_status["state"][name]
+        latest = state.get("latest")
+        latest_s = f"{latest:.4g}" if latest is not None else "–"
+        for window in state.get("windows", ()):
+            color = "#dc2626" if window["firing"] else "#059669"
+            label = "FIRING" if window["firing"] else "ok"
+            rows.append(
+                f"<tr><td style=\"text-align:left\">"
+                f"{_html.escape(name)}</td>"
+                f"<td>{_html.escape(state['objective'])} "
+                f"{state['target']:g}</td>"
+                f"<td>{latest_s}</td>"
+                f"<td>{window['long_s']:g}s/{window['short_s']:g}s</td>"
+                f"<td>{window['burn_long']:.2f}</td>"
+                f"<td>{window['burn_short']:.2f}</td>"
+                f"<td>{window['threshold']:g}</td>"
+                f"<td style=\"color:{color}\">{label} "
+                f"({_html.escape(window['severity'])})</td></tr>")
+    alerts = slo_status.get("alerts", [])
+    alert_rows = "".join(
+        f"<tr><td>{a['time_s']:.3f}</td>"
+        f"<td style=\"text-align:left\">{_html.escape(a['slo'])}</td>"
+        f"<td>{_html.escape(a['severity'])}</td>"
+        f"<td>{_html.escape(a['kind'])}</td>"
+        f"<td>{a['burn_long']:.2f}</td><td>{a['burn_short']:.2f}</td></tr>"
+        for a in alerts[-12:])
+    alert_table = (
+        "<table><thead><tr><th>t (s)</th><th>SLO</th><th>severity</th>"
+        "<th>transition</th><th>burn long</th><th>burn short</th></tr>"
+        f"</thead><tbody>{alert_rows}</tbody></table>"
+        if alert_rows else "<p class=\"meta\">no alert transitions</p>")
+    firing = slo_status.get("firing", [])
+    firing_s = ", ".join(firing) if firing else "none"
+    return (
+        "<h2>Service-level objectives</h2>"
+        f"<p class=\"meta\">firing: {_html.escape(firing_s)}</p>"
+        "<table><thead><tr><th>SLO</th><th>objective</th><th>latest</th>"
+        "<th>windows</th><th>burn long</th><th>burn short</th>"
+        "<th>threshold</th><th>state</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+        f"{alert_table}")
 
 
 def _atomic_write_text(path, text):
@@ -149,15 +211,29 @@ class StatusWriter:
     def report_path(self):
         return os.path.join(self.status_dir, "link_health.html")
 
-    def write(self, status: ServiceStatus, telemetry=None):
+    @property
+    def series_path(self):
+        return os.path.join(self.status_dir, "series.jsonl")
+
+    def write(self, status: ServiceStatus, telemetry=None, series=None):
         """Write one snapshot; each file lands atomically."""
         _atomic_write_text(self.status_path,
                            json.dumps(status.as_dict(), indent=2,
                                       sort_keys=True) + "\n")
         if telemetry is not None:
+            extra = []
+            if status.slo is not None:
+                section = slo_html_section(status.slo)
+                if section:
+                    extra.append(section)
             tmp = self.report_path + ".tmp"
             write_html_report(telemetry.payload(), tmp,
-                              title="FastForward relay service")
+                              title="FastForward relay service",
+                              extra_sections=extra)
             os.replace(tmp, self.report_path)
+        if series is not None:
+            tmp = self.series_path + ".tmp"
+            series.write_jsonl(tmp)
+            os.replace(tmp, self.series_path)
         self.writes += 1
         return self.status_path

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.service.health import latency_summary
 from repro.service.server import ServeConfig, run_once
+from repro.telemetry import percentiles
 
 
 @dataclass
@@ -66,6 +67,7 @@ class LoadTestReport:
     event_digest: str
     deterministic: bool = None
     conserved: bool = False
+    slo: dict = field(default_factory=dict)
 
     def as_dict(self):
         return {"config": self.config, "duration_s": self.duration_s,
@@ -75,7 +77,7 @@ class LoadTestReport:
                 "supervisor": self.supervisor,
                 "event_digest": self.event_digest,
                 "deterministic": self.deterministic,
-                "conserved": self.conserved}
+                "conserved": self.conserved, "slo": self.slo}
 
 
 def _measure(pump, tel):
@@ -109,9 +111,10 @@ def _measure(pump, tel):
     latency = {"queue": latency_summary(sched.queue_wait_s)}
     hist = tel.histogram("service.latency.process_ns", unit="ns")
     if hist.count:
+        p50_ns, p99_ns = percentiles(hist, (50, 99))
         latency["process"] = {"count": int(hist.count),
-                              "p50_ms": hist.percentile(50) / 1e6,
-                              "p99_ms": hist.percentile(99) / 1e6}
+                              "p50_ms": p50_ns / 1e6,
+                              "p99_ms": p99_ns / 1e6}
     ladder = {"chains": len(sched.pool.entries()),
               "si_jumps": sum(e.stage.jump_count
                               for e in sched.pool.entries()),
@@ -120,7 +123,17 @@ def _measure(pump, tel):
         kinds = [ev.kind.value for ev in entry.supervisor.events]
         ladder["mutes"] += kinds.count("fallback-half-duplex")
         ladder["recoveries"] += kinds.count("recovered")
+    engine = pump.slo_engine
+    slo = {}
+    if engine is not None:
+        stream = engine.alert_stream()
+        slo = {"firing": engine.firing,
+               "alert_count": len(stream),
+               "firing_count": sum(1 for a in stream
+                                   if a["kind"] == "firing"),
+               "alerts": stream}
     return {
+        "slo": slo,
         "sessions": {"requested": len(pump.sessions), "closed": closed,
                      "rejected": sched.rejected_sessions,
                      "per_second": closed / duration},

@@ -22,6 +22,8 @@ import asyncio
 
 from dataclasses import dataclass
 
+from repro.obs.series import SeriesRecorder
+from repro.obs.slo import SloEngine, default_service_slos
 from repro.service.health import ServiceStatus, StatusWriter, refresh_probes
 from repro.service.scheduler import (
     ChainPool,
@@ -61,16 +63,21 @@ class ServicePump:
 
     def __init__(self, scheduler: ServiceScheduler, sessions, storm=None,
                  config: PumpConfig = None, status_writer: StatusWriter = None,
-                 telemetry=None):
+                 telemetry=None, series=None, slo_engine=None):
         self.scheduler = scheduler
         self.sessions = list(sessions)
         self.config = config or PumpConfig()
         self.status_writer = status_writer
         self.telemetry = telemetry
+        #: Rolling virtual-time series + burn-rate SLOs (both optional;
+        #: ``build_service`` always wires them).
+        self.series = series
+        self.slo_engine = slo_engine
         self.now_s = 0.0
         self.ticks = 0
         self._last_status_s = None
         self._last_probe_s = None
+        self._prev_counts = (0, 0)      # (admitted, shed) at last sample
         if storm is not None:
             scheduler.pool.attach_storm(storm)
         self.storm = storm
@@ -116,10 +123,45 @@ class ServicePump:
                     self._cursors[i] += 1
         served = sched.dispatch(now_s,
                                 max_frames=self.config.capacity_per_tick)
+        self._sample_series(now_s)
         self._maybe_observe(now_s)
         self.now_s = now_s + self.config.tick_s
         self.ticks += 1
         return served
+
+    def _sample_series(self, now_s):
+        """Record the virtual-time series and evaluate SLOs this tick.
+
+        Everything sampled here is derived from virtual time and the
+        deterministic scheduler state — never from wall clocks — so
+        same-seed runs produce bit-identical series and alert streams.
+        """
+        if self.series is None:
+            return
+        from repro.telemetry import percentiles
+
+        sched = self.scheduler
+        waits = sched.queue_wait_s[-256:]
+        (p99,) = percentiles([w * 1.0 for w in waits], (99,)) \
+            if waits else (0.0,)
+        self.series.sample("service.queue_wait_p99_s", now_s, p99, unit="s")
+        prev_admitted, prev_shed = self._prev_counts
+        d_admitted = sched.admitted - prev_admitted
+        d_shed = sched.shed - prev_shed
+        self._prev_counts = (sched.admitted, sched.shed)
+        if d_admitted > 0:
+            shed_rate = d_shed / d_admitted
+        else:
+            shed_rate = 1.0 if d_shed > 0 else 0.0
+        self.series.sample("service.shed_rate", now_s, shed_rate)
+        entries = sched.pool.entries()
+        availability = (sum(1 for e in entries if e.relaying) / len(entries)
+                        if entries else 1.0)
+        self.series.sample("service.chain_availability", now_s, availability)
+        self.series.sample("service.queue_depth", now_s,
+                           sched.queue_depth())
+        if self.slo_engine is not None:
+            self.slo_engine.evaluate(self.series, now_s)
 
     def _maybe_observe(self, now_s):
         cfg = self.config
@@ -143,8 +185,10 @@ class ServicePump:
         status = ServiceStatus.capture(self.scheduler,
                                        self.now_s if now_s is None
                                        else now_s,
-                                       telemetry=self.telemetry)
-        return self.status_writer.write(status, telemetry=self.telemetry)
+                                       telemetry=self.telemetry,
+                                       slo_engine=self.slo_engine)
+        return self.status_writer.write(status, telemetry=self.telemetry,
+                                        series=self.series)
 
     # -- drive to completion ------------------------------------------------
 
@@ -169,6 +213,7 @@ class ServicePump:
         # One final full dispatch with no budget cap, then shed the rest.
         sched.dispatch(now_s, max_frames=None)
         sched.flush(now_s, reason="drain")
+        self._sample_series(now_s)
         refresh_probes(sched.pool, telemetry=self.telemetry)
         self.write_status(now_s)
         for session in self.sessions:
@@ -245,8 +290,16 @@ class ServeConfig:
     storm_duration_s: float = 0.3
 
 
-def build_service(config: ServeConfig, status_dir=None, telemetry=None):
-    """Construct (pump, telemetry) from a :class:`ServeConfig`."""
+def build_service(config: ServeConfig, status_dir=None, telemetry=None,
+                  slos=None):
+    """Construct (pump, telemetry) from a :class:`ServeConfig`.
+
+    ``slos`` overrides the stock SLO specs
+    (:func:`repro.obs.slo.default_service_slos`); every service gets a
+    series recorder and a burn-rate engine — their state lands in
+    ``status.json`` and the link-health page whenever a status dir is
+    configured.
+    """
     tel = telemetry or TelemetryCollector(origin="service")
     tenants = tuple(f"tenant-{i}" for i in range(config.tenants))
     chain_keys = tuple(f"chain-{i}" for i in range(config.chains))
@@ -276,8 +329,12 @@ def build_service(config: ServeConfig, status_dir=None, telemetry=None):
                              capacity_per_tick=config.capacity_per_tick,
                              status_interval_s=config.status_interval_s,
                              probe_interval_s=config.probe_interval_s)
+    series = SeriesRecorder()
+    engine = SloEngine(slos if slos is not None else default_service_slos(),
+                       telemetry=tel)
     pump = ServicePump(scheduler, sessions, storm=storm, config=pump_config,
-                       status_writer=writer, telemetry=tel)
+                       status_writer=writer, telemetry=tel,
+                       series=series, slo_engine=engine)
     return pump, tel
 
 

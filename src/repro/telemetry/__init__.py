@@ -51,6 +51,7 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     log_spaced_edges,
+    percentiles,
 )
 from repro.telemetry.spans import NULL_SPAN, NullSpan, SpanRecorder
 from repro.telemetry.timing import NS_PER_S, now_ns, timed_call
@@ -82,6 +83,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "log_spaced_edges",
+    "percentiles",
     "NULL_SPAN",
     "NullSpan",
     "SpanRecorder",

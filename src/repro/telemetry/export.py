@@ -121,30 +121,16 @@ def _scalar_rows(payload, kind):
     return rows
 
 
-def _hist_percentile(item, q):
-    count = item["count"]
-    if not count:
-        return 0.0
-    target = count * q / 100.0
-    running = 0
-    edges = item["edges"]
-    for i, n in enumerate(item["counts"]):
-        running += n
-        if running >= target and n:
-            upper = edges[i] if i < len(edges) else item["max"]
-            return min(max(upper, item["min"]), item["max"])
-    return item["max"]
-
-
 def _hist_rows(payload):
+    from repro.telemetry.metrics import percentiles
+
     rows = []
     for item in payload.get("histograms", ()):
         count = item["count"]
         mean = item["total"] / count if count else 0.0
+        p50, p95 = percentiles(item, (50, 95))
         rows.append((item["name"], _fmt_labels(item.get("labels", {})),
-                     count, f"{mean:.4g}",
-                     f"{_hist_percentile(item, 50):.4g}",
-                     f"{_hist_percentile(item, 95):.4g}",
+                     count, f"{mean:.4g}", f"{p50:.4g}", f"{p95:.4g}",
                      f"{(item['max'] if count else 0.0):.4g}"))
     return rows
 

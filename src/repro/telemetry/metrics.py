@@ -144,6 +144,63 @@ class Histogram:
         self.max = max(self.max, other.max)
 
 
+def percentiles(data, qs=(50.0, 95.0)):
+    """Percentile estimates for ``data`` at each ``q`` in ``qs`` (0-100).
+
+    One quantile helper for every module that reports latency — the
+    exporters, ``service.health``/``service.loadtest`` and the
+    ``repro.obs`` analysis layer all come through here instead of
+    rolling their own bucket walks.  Accepts three shapes:
+
+    * a :class:`Histogram` instrument — bucket-resolution estimates via
+      :meth:`Histogram.percentile`;
+    * a histogram *snapshot dict* (``edges``/``counts``/``count`` plus
+      ``min``/``max``, as produced by :meth:`MetricsRegistry.snapshot`
+      or read back from a JSONL export) — the same bucket walk, clamped
+      into the observed range;
+    * any other sequence of numbers — the exact value via sorted-order
+      linear interpolation (the ``numpy.percentile`` default method).
+
+    Returns a tuple of floats, one per requested ``q``; empty inputs
+    yield all zeros.
+    """
+    qs = tuple(float(q) for q in qs)
+    if hasattr(data, "percentile"):
+        return tuple(float(data.percentile(q)) for q in qs)
+    if isinstance(data, dict):
+        return tuple(_snapshot_percentile(data, q) for q in qs)
+    values = sorted(float(v) for v in data)
+    if not values:
+        return tuple(0.0 for _ in qs)
+    out = []
+    for q in qs:
+        pos = (len(values) - 1) * min(max(q, 0.0), 100.0) / 100.0
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        out.append(values[lo] + (values[hi] - values[lo]) * (pos - lo))
+    return tuple(out)
+
+
+def _snapshot_percentile(item, q):
+    """Bucket-walk percentile of a histogram snapshot dict."""
+    count = item.get("count", 0)
+    if not count:
+        return 0.0
+    lo = item.get("min")
+    hi = item.get("max")
+    lo = -math.inf if lo is None else lo
+    hi = math.inf if hi is None else hi
+    target = count * min(max(q, 0.0), 100.0) / 100.0
+    running = 0
+    edges = item["edges"]
+    for i, n in enumerate(item["counts"]):
+        running += n
+        if running >= target and n:
+            upper = edges[i] if i < len(edges) else hi
+            return float(min(max(upper, lo), hi))
+    return float(hi)
+
+
 def _labels_key(labels):
     """Canonical (sorted) label tuple used as part of the point key."""
     return tuple(sorted(labels.items()))

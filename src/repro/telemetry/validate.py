@@ -75,6 +75,9 @@ KNOWN_METRIC_PREFIXES = (
     # counts, rescue rate, reroute latency histograms.
     "fleet.",
     "netsim.",
+    # Observability analysis layer: SLO burn rates/alert counts and
+    # profiler bookkeeping emitted by repro.obs.
+    "obs.",
     "probes.",
     "relay.",
     "runtime.",

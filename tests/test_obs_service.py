@@ -1,0 +1,131 @@
+"""Service integration of repro.obs: series sampling, SLOs, status output."""
+
+import json
+import os
+
+from repro.obs.series import SeriesRecorder
+from repro.service import ServeConfig, run_once
+from repro.service.health import slo_html_section
+from repro.service.loadtest import LoadTestConfig, run_loadtest
+
+
+def _calm_config(**kwargs):
+    base = dict(sessions=6, tenants=2, chains=2, seed=11,
+                rate_fps=40.0, duration_s=0.2)
+    base.update(kwargs)
+    return ServeConfig(**base)
+
+
+def _storm_config(**kwargs):
+    """Overload + storm: sheds frames and mutes chains, so SLOs burn."""
+    base = dict(sessions=10, tenants=2, chains=2, seed=23,
+                rate_fps=80.0, duration_s=0.6, capacity_per_tick=2,
+                storm_rate_per_s=25.0, status_interval_s=0.1)
+    base.update(kwargs)
+    return ServeConfig(**base)
+
+
+class TestSeriesSampling:
+    def test_pump_records_service_series(self):
+        pump, _ = run_once(_calm_config())
+        names = pump.series.names()
+        for expected in ("service.queue_wait_p99_s", "service.shed_rate",
+                         "service.chain_availability",
+                         "service.queue_depth"):
+            assert expected in names
+        # One sample per tick — retention-bounded but non-empty.
+        assert pump.series.series("service.queue_depth").points
+
+    def test_samples_use_virtual_time(self):
+        config = _calm_config()
+        pump, _ = run_once(config)
+        points = pump.series.series("service.queue_depth").points
+        times = [t for t, _ in points]
+        assert times == sorted(times)
+        # Virtual clock: bounded by duration plus the drain horizon,
+        # regardless of how long the run took on the wall.
+        assert times[-1] <= config.duration_s + 1.0
+
+    def test_calm_run_fires_nothing(self):
+        pump, _ = run_once(_calm_config())
+        assert pump.slo_engine.firing == []
+        assert pump.slo_engine.alert_stream() == []
+
+
+class TestStormSlos:
+    def test_storm_fires_slo_alerts(self):
+        pump, tel = run_once(_storm_config())
+        fired = {a.slo for a in pump.slo_engine.alerts}
+        assert "shed-rate" in fired
+        counters = tel.metrics.counter_values("obs.slo.alerts")
+        assert sum(counters.values()) == len(pump.slo_engine.alerts)
+
+    def test_same_seed_identical_alert_streams(self):
+        pump_a, _ = run_once(_storm_config())
+        pump_b, _ = run_once(_storm_config())
+        assert pump_a.slo_engine.alert_stream() \
+            == pump_b.slo_engine.alert_stream()
+        assert pump_a.slo_engine.alert_stream()
+
+    def test_status_json_carries_slo_state(self, tmp_path):
+        out = tmp_path / "status"
+        pump, _ = run_once(_storm_config(), status_dir=out)
+        status = json.loads((out / "status.json").read_text())
+        slo = status["slo"]
+        assert slo["firing"] or slo["alerts"]
+        assert {s["name"] for s in slo["specs"]} == \
+            {"frame-latency", "shed-rate", "chain-availability"}
+
+    def test_series_jsonl_written_and_loadable(self, tmp_path):
+        out = tmp_path / "status"
+        pump, _ = run_once(_storm_config(), status_dir=out)
+        path = out / "series.jsonl"
+        assert path.exists()
+        loaded = SeriesRecorder.load_jsonl(path)
+        assert loaded.snapshot() == pump.series.snapshot()
+        assert all(not name.endswith(".tmp") for name in os.listdir(out))
+
+    def test_link_health_html_has_slo_section_no_scripts(self, tmp_path):
+        out = tmp_path / "status"
+        run_once(_storm_config(), status_dir=out)
+        html = (out / "link_health.html").read_text()
+        assert "SLO" in html
+        assert "<script" not in html
+        assert "shed-rate" in html
+
+
+class TestSloHtmlSection:
+    def test_empty_state_renders_nothing(self):
+        assert slo_html_section(None) == ""
+        assert slo_html_section({"state": {}, "alerts": [],
+                                 "firing": [], "specs": []}) == ""
+
+    def test_firing_rows_marked(self):
+        from repro.obs.slo import SloEngine, SloSpec, SloWindow
+
+        rec = SeriesRecorder()
+        spec = SloSpec(name="shed-rate", series="service.shed_rate",
+                       objective="le", target=0.0, budget=0.01,
+                       windows=(SloWindow(long_s=1.0, short_s=0.3,
+                                          burn_threshold=1.0),))
+        engine = SloEngine([spec])
+        for i in range(10):
+            rec.sample("service.shed_rate", i * 0.1, 1.0)
+        engine.evaluate(rec, 0.9)
+        html = slo_html_section(engine.status())
+        assert "FIRING" in html
+        assert "shed-rate" in html
+        assert "<script" not in html
+
+
+class TestLoadtestReport:
+    def test_report_carries_slo_outcome(self):
+        report, pump = run_loadtest(LoadTestConfig(
+            serve=_storm_config(duration_s=0.4),
+            check_determinism=False))
+        slo = report.slo
+        assert slo["alert_count"] == len(pump.slo_engine.alerts)
+        assert slo["alert_count"] > 0
+        assert set(slo) == {"firing", "alert_count", "firing_count",
+                            "alerts"}
+        assert report.as_dict()["slo"] == slo

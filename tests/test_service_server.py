@@ -137,7 +137,8 @@ class TestHealth:
         out = tmp_path / "status"
         run_once(_small_config(status_interval_s=0.02), status_dir=out)
         assert sorted(os.listdir(out)) == ["link_health.html",
-                                          "status.json"]
+                                           "series.jsonl",
+                                           "status.json"]
 
     def test_refresh_probes_populates_probe_metrics(self):
         from repro.telemetry.collector import TelemetryCollector

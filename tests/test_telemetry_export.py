@@ -226,9 +226,27 @@ class TestPrefixGate:
         assert validate_main(
             [str(self._write(tmp_path, "fleet.reroute.events"))]) == 0
 
+    def test_known_prefixes_cover_obs(self):
+        from repro.telemetry import KNOWN_METRIC_PREFIXES
+
+        assert "obs." in KNOWN_METRIC_PREFIXES
+        assert KNOWN_METRIC_PREFIXES == tuple(sorted(KNOWN_METRIC_PREFIXES))
+
     def test_service_prefix_accepted(self, tmp_path):
         assert validate_main(
             [str(self._write(tmp_path, "service.frames.shed"))]) == 0
+
+    def test_obs_prefix_accepted(self, tmp_path):
+        assert validate_main(
+            [str(self._write(tmp_path, "obs.slo.alerts"))]) == 0
+
+    def test_obs_typo_still_rejected(self, tmp_path, capsys):
+        # "observ." is NOT the registered family; near-miss names must
+        # still fail the gate.
+        assert validate_main(
+            [str(self._write(tmp_path, "observ.slo.alerts"))]) == 1
+        out = capsys.readouterr().out
+        assert "unknown prefix" in out and "obs." in out
 
     def test_service_typo_still_rejected(self, tmp_path, capsys):
         # "services." is NOT the registered family; the gate must not

@@ -9,6 +9,7 @@ from repro.telemetry import (
     Histogram,
     MetricsRegistry,
     log_spaced_edges,
+    percentiles,
 )
 
 
@@ -91,6 +92,42 @@ class TestInstruments:
     def test_merge_rejects_mismatched_edges(self):
         with pytest.raises(ValueError):
             Histogram(edges=(1.0, 2.0)).merge(Histogram(edges=(1.0, 3.0)))
+
+
+class TestPercentiles:
+    """The shared public quantile helper (PR 10)."""
+
+    def test_raw_sequence_matches_numpy_linear(self):
+        import numpy as np
+
+        data = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+        ours = percentiles(data, (0, 25, 50, 95, 100))
+        theirs = tuple(float(np.percentile(data, q))
+                       for q in (0, 25, 50, 95, 100))
+        assert ours == pytest.approx(theirs)
+
+    def test_empty_input_returns_zeros(self):
+        assert percentiles([], (50, 99)) == (0.0, 0.0)
+
+    def test_histogram_instrument_dispatch(self):
+        h = Histogram()
+        for v in (3.0, 4.0, 5.0, 1000.0):
+            h.observe(v)
+        p50, p99 = percentiles(h, (50, 99))
+        assert h.min <= p50 <= p99 <= h.max
+
+    def test_snapshot_dict_dispatch(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = {"edges": list(h.edges), "counts": list(h.counts),
+                "count": h.count, "min": h.min, "max": h.max}
+        direct = percentiles(h, (50, 95))
+        via_snapshot = percentiles(snap, (50, 95))
+        assert via_snapshot == pytest.approx(direct)
+
+    def test_default_quantiles(self):
+        assert len(percentiles([1.0, 2.0, 3.0])) == 2
 
     def test_rejects_non_increasing_edges(self):
         with pytest.raises(ValueError):

@@ -58,6 +58,77 @@ class TestSpans:
         assert {r["name"]: r["depth"] for r in tel.spans} == \
             {"fails": 0, "after": 0}
 
+    def test_ids_unique_and_roots_have_no_parent(self):
+        tel = TelemetryCollector()
+        with tel.span("a"):
+            pass
+        with tel.span("b"):
+            pass
+        ids = [r["id"] for r in tel.spans]
+        assert len(set(ids)) == len(ids)
+        assert all(r["parent"] is None for r in tel.spans)
+
+    def test_parent_links_follow_nesting(self):
+        tel = TelemetryCollector()
+        with tel.span("outer"):
+            with tel.span("inner"):
+                with tel.span("leaf"):
+                    pass
+            with tel.span("sibling"):
+                pass
+        by_name = {r["name"]: r for r in tel.spans}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["leaf"]["parent"] == by_name["inner"]["id"]
+        assert by_name["sibling"]["parent"] == by_name["outer"]["id"]
+
+    def test_parent_stack_recovers_after_exception(self):
+        tel = TelemetryCollector()
+        with tel.span("outer"):
+            with pytest.raises(RuntimeError):
+                with tel.span("fails"):
+                    raise RuntimeError("boom")
+            with tel.span("after"):
+                pass
+        by_name = {r["name"]: r for r in tel.spans}
+        assert by_name["fails"]["parent"] == by_name["outer"]["id"]
+        assert by_name["after"]["parent"] == by_name["outer"]["id"]
+
+    def test_parent_stacks_are_per_thread(self):
+        tel = TelemetryCollector()
+        done = threading.Event()
+
+        def worker():
+            with tel.span("thread-span"):
+                pass
+            done.set()
+
+        with tel.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            done.wait(5)
+            t.join()
+        by_name = {r["name"]: r for r in tel.spans}
+        # The other thread's span must NOT parent under main's open span.
+        assert by_name["thread-span"]["parent"] is None
+        assert by_name["main-span"]["parent"] is None
+
+    def test_legacy_records_without_parent_still_merge(self):
+        # Old JSONL exports carry no id/parent keys; merge must accept
+        # them unchanged (the obs tree builder falls back to intervals).
+        w = TelemetryCollector(origin="shard-0")
+        with w.span("exec.shard", shard=0):
+            pass
+        payload = w.payload()
+        for rec in payload["spans"]:
+            rec.pop("id", None)
+            rec.pop("parent", None)
+        parent = TelemetryCollector(origin="main")
+        parent.merge(payload)
+        (span,) = parent.spans
+        assert span["name"] == "exec.shard"
+        assert "parent" not in span
+
     def test_events_sequence(self):
         tel = TelemetryCollector()
         tel.event("first", k=1)
